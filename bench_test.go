@@ -1,0 +1,198 @@
+// Package repro's root benchmarks regenerate each paper artifact under
+// `go test -bench=.`; every table and figure has one benchmark, and custom
+// metrics report the headline numbers alongside ns/op.
+package repro
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/experiments"
+)
+
+// BenchmarkTable1_AlgorithmLatency regenerates Table I (E1).
+func BenchmarkTable1_AlgorithmLatency(b *testing.B) {
+	var rows []experiments.Table1Row
+	var err error
+	for i := 0; i < b.N; i++ {
+		rows, err = experiments.RunTable1()
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, r := range rows {
+		b.ReportMetric(r.LatencyMS, shortName(r.Name)+"_ms")
+	}
+}
+
+func shortName(s string) string {
+	switch s {
+	case "Lane Detection":
+		return "lane"
+	case "Vehicle Detection (Haar)":
+		return "haar"
+	case "Vehicle Detection (TensorFlow)":
+		return "dnn"
+	default:
+		return s
+	}
+}
+
+// BenchmarkFigure2_VideoLoss regenerates Figure 2 (E2) with one-minute
+// streams per operating point (the shape is stable from ~30 GOPs up).
+func BenchmarkFigure2_VideoLoss(b *testing.B) {
+	var rows []experiments.Figure2Row
+	var err error
+	for i := 0; i < b.N; i++ {
+		rows, err = experiments.RunFigure2(int64(42+i), time.Minute)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, r := range rows {
+		b.ReportMetric(r.PacketLoss, r.Scenario+"_"+r.Profile+"_pkt")
+		b.ReportMetric(r.FrameLoss, r.Scenario+"_"+r.Profile+"_frm")
+	}
+}
+
+// BenchmarkFigure3_InceptionProcessors regenerates Figure 3 (E3).
+func BenchmarkFigure3_InceptionProcessors(b *testing.B) {
+	var rows []experiments.Figure3Row
+	var err error
+	for i := 0; i < b.N; i++ {
+		rows, err = experiments.RunFigure3()
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, r := range rows {
+		b.ReportMetric(r.TimeMS, r.Label+"_ms")
+	}
+}
+
+// BenchmarkDSF_SchedulerAblation regenerates E4.
+func BenchmarkDSF_SchedulerAblation(b *testing.B) {
+	var rows []experiments.DSFRow
+	var err error
+	for i := 0; i < b.N; i++ {
+		rows, err = experiments.RunDSFAblation(8)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, r := range rows {
+		if r.Workload == "alpr" {
+			b.ReportMetric(r.MakespanMS, r.Policy+"_alpr_ms")
+		}
+	}
+}
+
+// BenchmarkElastic_PipelineSelection regenerates E5.
+func BenchmarkElastic_PipelineSelection(b *testing.B) {
+	var rows []experiments.ElasticRow
+	var err error
+	for i := 0; i < b.N; i++ {
+		rows, err = experiments.RunElastic()
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, r := range rows {
+		label := "idle"
+		if r.EdgeBusy {
+			label = "busy"
+		}
+		b.ReportMetric(r.LatencyMS, label+"_"+f0(r.SpeedMPH)+"mph_ms")
+	}
+}
+
+func f0(v float64) string {
+	switch v {
+	case 0:
+		return "0"
+	case 35:
+		return "35"
+	case 70:
+		return "70"
+	default:
+		return "x"
+	}
+}
+
+// BenchmarkOffload_ThreeArchitectures regenerates E6.
+func BenchmarkOffload_ThreeArchitectures(b *testing.B) {
+	var rows []experiments.ArchRow
+	var err error
+	for i := 0; i < b.N; i++ {
+		rows, err = experiments.RunArchComparison()
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, r := range rows {
+		if r.Workload == "vehicle-detect-dnn" && r.SpeedMPH == 35 {
+			b.ReportMetric(r.OnboardMS, "dnn35_onboard_ms")
+			b.ReportMetric(r.EdgeMS, "dnn35_edge_ms")
+			b.ReportMetric(r.CloudMS, "dnn35_cloud_ms")
+		}
+	}
+}
+
+// BenchmarkPBEAM_Compression regenerates E7's sweep.
+func BenchmarkPBEAM_Compression(b *testing.B) {
+	var rows []experiments.CompressRow
+	var err error
+	for i := 0; i < b.N; i++ {
+		rows, err = experiments.RunCompressionSweep(int64(7 + i))
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	last := rows[len(rows)-1]
+	b.ReportMetric(last.Ratio, "max_ratio_x")
+	b.ReportMetric(last.AccAfter, "acc_at_max")
+}
+
+// BenchmarkPBEAM_Pipeline regenerates E7b.
+func BenchmarkPBEAM_Pipeline(b *testing.B) {
+	var rows []experiments.PBEAMRow
+	var err error
+	for i := 0; i < b.N; i++ {
+		rows, err = experiments.RunPBEAMPipeline(int64(11+i), 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(rows[0].PBEAMAcc-rows[0].CompressedAcc, "personalization_gain")
+}
+
+// BenchmarkDDI_TieredStore regenerates E8.
+func BenchmarkDDI_TieredStore(b *testing.B) {
+	var rows []experiments.DDIRow
+	var err error
+	for i := 0; i < b.N; i++ {
+		rows, err = experiments.RunDDIBench(b.TempDir(), int64(5+i))
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(rows[0].AvgMS, "cache_hit_ms")
+	b.ReportMetric(rows[1].AvgMS, "disk_path_ms")
+}
+
+// BenchmarkCollab_ConvoySharing regenerates E9.
+func BenchmarkCollab_ConvoySharing(b *testing.B) {
+	var rows []experiments.CollabRow
+	var err error
+	for i := 0; i < b.N; i++ {
+		rows, err = experiments.RunCollaboration()
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, r := range rows {
+		if r.Collaborative && r.Convoy == 8 {
+			b.ReportMetric(r.SavingsX, "convoy8_savings_x")
+		}
+	}
+}

@@ -1,0 +1,89 @@
+// Command ddictl inspects and queries a DDI disk store offline.
+//
+// Usage:
+//
+//	ddictl -dir ./vdap-data count
+//	ddictl -dir ./vdap-data query -source obd -from 10 -to 3600 -limit 5
+//	ddictl -dir ./vdap-data get -id 17
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/ddi"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "ddictl:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	global := flag.NewFlagSet("ddictl", flag.ContinueOnError)
+	dir := global.String("dir", "", "DDI store directory")
+	if err := global.Parse(args); err != nil {
+		return err
+	}
+	if *dir == "" {
+		return fmt.Errorf("-dir is required")
+	}
+	rest := global.Args()
+	if len(rest) == 0 {
+		return fmt.Errorf("need a subcommand: count | query | get")
+	}
+	store, err := ddi.OpenDiskStore(*dir)
+	if err != nil {
+		return err
+	}
+	defer store.Close()
+
+	switch rest[0] {
+	case "count":
+		fmt.Println(store.Count())
+		return nil
+	case "get":
+		fs := flag.NewFlagSet("get", flag.ContinueOnError)
+		id := fs.Uint64("id", 0, "record ID")
+		if err := fs.Parse(rest[1:]); err != nil {
+			return err
+		}
+		rec, ok := store.Get(*id)
+		if !ok {
+			return fmt.Errorf("record %d not found", *id)
+		}
+		printRecord(rec)
+		return nil
+	case "query":
+		fs := flag.NewFlagSet("query", flag.ContinueOnError)
+		source := fs.String("source", "", "source filter (obd, gps, weather, traffic, social, user)")
+		from := fs.Float64("from", 0, "window start, virtual seconds")
+		to := fs.Float64("to", 0, "window end, virtual seconds (0 = open)")
+		limit := fs.Int("limit", 20, "max records")
+		if err := fs.Parse(rest[1:]); err != nil {
+			return err
+		}
+		q := ddi.Query{
+			Source: ddi.Source(*source),
+			From:   time.Duration(*from * float64(time.Second)),
+			To:     time.Duration(*to * float64(time.Second)),
+			Limit:  *limit,
+		}
+		recs := store.Select(q)
+		for _, r := range recs {
+			printRecord(r)
+		}
+		fmt.Printf("%d record(s)\n", len(recs))
+		return nil
+	default:
+		return fmt.Errorf("unknown subcommand %q", rest[0])
+	}
+}
+
+func printRecord(r ddi.Record) {
+	fmt.Printf("#%d %-8s t=%-10v (%.1f, %.1f) %s\n", r.ID, r.Source, r.At, r.X, r.Y, r.Payload)
+}

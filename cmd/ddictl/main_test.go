@@ -1,0 +1,63 @@
+package main
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/ddi"
+)
+
+func seedStore(t *testing.T) string {
+	t.Helper()
+	dir := t.TempDir()
+	store, err := ddi.OpenDiskStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer store.Close()
+	for i := 1; i <= 5; i++ {
+		rec := ddi.Record{
+			Source:  ddi.SourceOBD,
+			At:      time.Duration(i) * time.Second,
+			X:       float64(i * 100),
+			Payload: []byte(`{"rpm":2000}`),
+		}
+		if _, err := store.Put(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return dir
+}
+
+func TestRunCount(t *testing.T) {
+	dir := seedStore(t)
+	if err := run([]string{"-dir", dir, "count"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunQueryAndGet(t *testing.T) {
+	dir := seedStore(t)
+	if err := run([]string{"-dir", dir, "query", "-source", "obd", "-from", "2", "-to", "4"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-dir", dir, "get", "-id", "1"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-dir", dir, "get", "-id", "999"}); err == nil {
+		t.Fatal("missing record reported success")
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if err := run([]string{"count"}); err == nil {
+		t.Fatal("missing -dir accepted")
+	}
+	dir := seedStore(t)
+	if err := run([]string{"-dir", dir}); err == nil {
+		t.Fatal("missing subcommand accepted")
+	}
+	if err := run([]string{"-dir", dir, "explode"}); err == nil {
+		t.Fatal("unknown subcommand accepted")
+	}
+}

@@ -1,0 +1,170 @@
+// Command vdapbench regenerates every table and figure of the OpenVDAP
+// paper's evaluation, plus the design-claim ablations (E4-E8).
+//
+// Usage:
+//
+//	vdapbench -exp all
+//	vdapbench -exp fig2 -seed 7 -duration 5m
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	var (
+		exp      = flag.String("exp", "all", "experiment: all|table1|fig2|fig3|dsf|elastic|arch|compress|retrain|pbeam|collab|commute|fleet|hdmap|ddi")
+		seed     = flag.Int64("seed", 42, "random seed")
+		duration = flag.Duration("duration", 5*time.Minute, "figure-2 stream duration")
+		dir      = flag.String("dir", "", "DDI scratch directory (default: temp)")
+	)
+	flag.Parse()
+	if err := run(*exp, *seed, *duration, *dir); err != nil {
+		fmt.Fprintln(os.Stderr, "vdapbench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(exp string, seed int64, duration time.Duration, dir string) error {
+	runners := map[string]func() error{
+		"table1": func() error {
+			rows, err := experiments.RunTable1()
+			if err != nil {
+				return err
+			}
+			fmt.Println(experiments.Table1Table(rows))
+			return nil
+		},
+		"fig2": func() error {
+			rows, err := experiments.RunFigure2(seed, duration)
+			if err != nil {
+				return err
+			}
+			fmt.Println(experiments.Figure2Table(rows))
+			return nil
+		},
+		"fig3": func() error {
+			rows, err := experiments.RunFigure3()
+			if err != nil {
+				return err
+			}
+			fmt.Println(experiments.Figure3Table(rows))
+			return nil
+		},
+		"dsf": func() error {
+			rows, err := experiments.RunDSFAblation(8)
+			if err != nil {
+				return err
+			}
+			fmt.Println(experiments.DSFTable(rows))
+			return nil
+		},
+		"elastic": func() error {
+			rows, err := experiments.RunElastic()
+			if err != nil {
+				return err
+			}
+			fmt.Println(experiments.ElasticTable(rows))
+			return nil
+		},
+		"arch": func() error {
+			rows, err := experiments.RunArchComparison()
+			if err != nil {
+				return err
+			}
+			fmt.Println(experiments.ArchTable(rows))
+			return nil
+		},
+		"compress": func() error {
+			rows, err := experiments.RunCompressionSweep(seed)
+			if err != nil {
+				return err
+			}
+			fmt.Println(experiments.CompressTable(rows))
+			return nil
+		},
+		"pbeam": func() error {
+			rows, err := experiments.RunPBEAMPipeline(seed, 3)
+			if err != nil {
+				return err
+			}
+			fmt.Println(experiments.PBEAMTable(rows))
+			return nil
+		},
+		"retrain": func() error {
+			rows, err := experiments.RunCompressionRetrain(seed)
+			if err != nil {
+				return err
+			}
+			fmt.Println(experiments.RetrainTable(rows))
+			return nil
+		},
+		"collab": func() error {
+			rows, err := experiments.RunCollaboration()
+			if err != nil {
+				return err
+			}
+			fmt.Println(experiments.CollabTable(rows))
+			return nil
+		},
+		"fleet": func() error {
+			rows, err := experiments.RunFleetContention()
+			if err != nil {
+				return err
+			}
+			fmt.Println(experiments.FleetTable(rows))
+			return nil
+		},
+		"commute": func() error {
+			rows, err := experiments.RunCommute()
+			if err != nil {
+				return err
+			}
+			fmt.Println(experiments.CommuteTable(rows))
+			return nil
+		},
+		"hdmap": func() error {
+			rows, err := experiments.RunHDMapPrefetch()
+			if err != nil {
+				return err
+			}
+			fmt.Println(experiments.HDMapTable(rows))
+			return nil
+		},
+		"ddi": func() error {
+			d := dir
+			if d == "" {
+				tmp, err := os.MkdirTemp("", "vdapbench-ddi-*")
+				if err != nil {
+					return err
+				}
+				defer os.RemoveAll(tmp)
+				d = tmp
+			}
+			rows, err := experiments.RunDDIBench(d, seed)
+			if err != nil {
+				return err
+			}
+			fmt.Println(experiments.DDITable(rows))
+			return nil
+		},
+	}
+	if exp == "all" {
+		for _, name := range []string{"table1", "fig2", "fig3", "dsf", "elastic", "arch", "compress", "retrain", "pbeam", "collab", "commute", "fleet", "hdmap", "ddi"} {
+			if err := runners[name](); err != nil {
+				return fmt.Errorf("%s: %w", name, err)
+			}
+		}
+		return nil
+	}
+	r, ok := runners[exp]
+	if !ok {
+		return fmt.Errorf("unknown experiment %q", exp)
+	}
+	return r()
+}

@@ -1,0 +1,38 @@
+package main
+
+import (
+	"testing"
+	"time"
+)
+
+// TestRunEachExperiment smoke-tests every experiment through the CLI entry
+// point with short parameters.
+func TestRunEachExperiment(t *testing.T) {
+	fast := []string{"table1", "fig3", "dsf", "elastic", "arch", "collab", "commute", "fleet", "hdmap", "compress", "retrain", "pbeam"}
+	for _, exp := range fast {
+		exp := exp
+		t.Run(exp, func(t *testing.T) {
+			if err := run(exp, 7, 4*time.Second, t.TempDir()); err != nil {
+				t.Fatalf("run(%s): %v", exp, err)
+			}
+		})
+	}
+}
+
+func TestRunFig2Short(t *testing.T) {
+	if err := run("fig2", 7, 4*time.Second, ""); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunDDI(t *testing.T) {
+	if err := run("ddi", 7, time.Second, t.TempDir()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunUnknownExperiment(t *testing.T) {
+	if err := run("warp-drive", 1, time.Second, ""); err == nil {
+		t.Fatal("unknown experiment accepted")
+	}
+}

@@ -1,0 +1,58 @@
+package main
+
+import (
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"repro/internal/libvdap"
+)
+
+func TestBuildPlatformInstallsBuiltins(t *testing.T) {
+	p, err := buildPlatform(t.TempDir(), 35, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	want := map[string]bool{
+		"pedestrian-alert":      false,
+		"real-time-diagnostics": false,
+		"infotainment":          false,
+		"kidnapper-search":      false,
+	}
+	for _, s := range p.Elastic().Services() {
+		if _, ok := want[s.Name]; ok {
+			want[s.Name] = true
+		}
+	}
+	for name, seen := range want {
+		if !seen {
+			t.Errorf("built-in service %s not installed", name)
+		}
+	}
+	// The node serves its API and runs services end to end.
+	ts := httptest.NewServer(p.API())
+	defer ts.Close()
+	client, err := libvdap.NewClient(ts.URL, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := client.Invoke("kidnapper-search")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.HungUp || res.LatencyMS <= 0 {
+		t.Fatalf("invoke = %+v", res)
+	}
+	// Collection is live: advance virtual time and see records.
+	if err := p.Engine().RunUntil(p.Engine().Now() + 5*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	recs, _, err := client.QueryData("obd", 0, p.Engine().Now().Seconds(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) == 0 {
+		t.Fatal("no OBD records collected")
+	}
+}

@@ -1,0 +1,108 @@
+// Package cloud models the remote tier: the offload destination of last
+// resort and the data server DDI migrates vehicle data to (paper §IV-D
+// "eventually migrated to a cloud based data server ... open to the
+// community").
+package cloud
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/network"
+	"repro/internal/xedge"
+)
+
+// Cloud bundles the compute site with the community data server.
+type Cloud struct {
+	site *xedge.Site
+	data *DataServer
+}
+
+// New builds the cloud tier.
+func New() (*Cloud, error) {
+	site, err := xedge.NewCloud()
+	if err != nil {
+		return nil, err
+	}
+	return &Cloud{site: site, data: NewDataServer()}, nil
+}
+
+// Site returns the compute site for offloading.
+func (c *Cloud) Site() *xedge.Site { return c.site }
+
+// Data returns the community data server.
+func (c *Cloud) Data() *DataServer { return c.data }
+
+// Record is one migrated vehicle-data item.
+type Record struct {
+	Vehicle  string        `json:"vehicle"` // pseudonym, not real identity
+	Source   string        `json:"source"`  // obd, gps, weather, ...
+	At       time.Duration `json:"at"`
+	Payload  []byte        `json:"payload"`
+	Uploaded time.Duration `json:"uploaded"`
+}
+
+// DataServer is the append-only community archive. It is safe for
+// concurrent use (the libvdap HTTP tier reaches it from server goroutines).
+type DataServer struct {
+	mu      sync.RWMutex
+	records []Record
+	bytes   int64
+}
+
+// NewDataServer returns an empty archive.
+func NewDataServer() *DataServer { return &DataServer{} }
+
+// Ingest stores records arriving from a vehicle's DDI migration.
+func (d *DataServer) Ingest(recs ...Record) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	for _, r := range recs {
+		d.records = append(d.records, r)
+		d.bytes += int64(len(r.Payload))
+	}
+}
+
+// Count returns the number of archived records.
+func (d *DataServer) Count() int {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return len(d.records)
+}
+
+// Bytes returns total archived payload bytes.
+func (d *DataServer) Bytes() int64 {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return d.bytes
+}
+
+// Query returns records from the given source within [from, to], sorted by
+// time — the open-data API researchers consume.
+func (d *DataServer) Query(source string, from, to time.Duration) []Record {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	var out []Record
+	for _, r := range d.records {
+		if source != "" && r.Source != source {
+			continue
+		}
+		if r.At < from || r.At > to {
+			continue
+		}
+		out = append(out, r)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].At < out[j].At })
+	return out
+}
+
+// MigrationCost returns the transfer time for migrating sizeBytes from the
+// vehicle to the data server over the given uplink path.
+func MigrationCost(path network.Path, sizeBytes float64) (time.Duration, error) {
+	if sizeBytes < 0 {
+		return 0, fmt.Errorf("cloud: negative migration size %v", sizeBytes)
+	}
+	return path.TransferTime(sizeBytes, network.Uplink)
+}

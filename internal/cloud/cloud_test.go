@@ -1,0 +1,85 @@
+package cloud
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/network"
+)
+
+func TestNew(t *testing.T) {
+	c, err := New()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Site() == nil || c.Data() == nil {
+		t.Fatal("cloud missing site or data server")
+	}
+}
+
+func TestDataServerIngestAndQuery(t *testing.T) {
+	d := NewDataServer()
+	d.Ingest(
+		Record{Vehicle: "p1", Source: "obd", At: 10 * time.Second, Payload: []byte("a")},
+		Record{Vehicle: "p1", Source: "gps", At: 20 * time.Second, Payload: []byte("bb")},
+		Record{Vehicle: "p2", Source: "obd", At: 30 * time.Second, Payload: []byte("ccc")},
+	)
+	if d.Count() != 3 {
+		t.Fatalf("Count = %d", d.Count())
+	}
+	if d.Bytes() != 6 {
+		t.Fatalf("Bytes = %d", d.Bytes())
+	}
+	obd := d.Query("obd", 0, time.Minute)
+	if len(obd) != 2 {
+		t.Fatalf("obd query = %d records", len(obd))
+	}
+	if obd[0].At > obd[1].At {
+		t.Fatal("query results not time-sorted")
+	}
+	window := d.Query("", 15*time.Second, 25*time.Second)
+	if len(window) != 1 || window[0].Source != "gps" {
+		t.Fatalf("window query = %v", window)
+	}
+	if got := d.Query("lidar", 0, time.Hour); len(got) != 0 {
+		t.Fatalf("unknown source returned %d records", len(got))
+	}
+}
+
+func TestDataServerConcurrentIngest(t *testing.T) {
+	d := NewDataServer()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				d.Ingest(Record{Source: "obd", Payload: []byte{1, 2}})
+			}
+		}()
+	}
+	wg.Wait()
+	if d.Count() != 800 {
+		t.Fatalf("Count = %d after concurrent ingest, want 800", d.Count())
+	}
+	if d.Bytes() != 1600 {
+		t.Fatalf("Bytes = %d, want 1600", d.Bytes())
+	}
+}
+
+func TestMigrationCost(t *testing.T) {
+	lte, _ := network.LookupLink("lte")
+	wan, _ := network.LookupLink("wan")
+	path := network.Path{Name: "up", Links: []network.LinkSpec{lte, wan}}
+	d, err := MigrationCost(path, 10e6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d <= 0 {
+		t.Fatal("non-positive migration cost")
+	}
+	if _, err := MigrationCost(path, -1); err == nil {
+		t.Fatal("negative size accepted")
+	}
+}

@@ -1,0 +1,51 @@
+package collab
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/geo"
+)
+
+func BenchmarkObtainWithSharing(b *testing.B) {
+	road, err := geo.NewRoad(100000)
+	if err != nil {
+		b.Fatal(err)
+	}
+	convoy, err := NewConvoy(300)
+	if err != nil {
+		b.Fatal(err)
+	}
+	keyer, err := NewKeyer(100, 2*time.Second)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var vehicles []*Vehicle
+	for i := 0; i < 4; i++ {
+		cache, err := NewCache(keyer, 10*time.Second)
+		if err != nil {
+			b.Fatal(err)
+		}
+		v := &Vehicle{
+			Name:     fmt.Sprintf("cav-%d", i),
+			Mobility: geo.Mobility{Road: road, SpeedMS: 15, StartX: float64(i) * 25},
+			Cache:    cache,
+		}
+		if err := convoy.Add(v); err != nil {
+			b.Fatal(err)
+		}
+		vehicles = append(vehicles, v)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		now := time.Duration(i) * 100 * time.Millisecond
+		v := vehicles[i%len(vehicles)]
+		key := keyer.For("detect", v.Mobility.PositionAt(now).X, now)
+		if _, _, err := convoy.Obtain(v, key, now, func() (Result, time.Duration, error) {
+			return Result{At: now, Bytes: 2048}, time.Millisecond, nil
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

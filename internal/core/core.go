@@ -1,0 +1,414 @@
+// Package core assembles the full OpenVDAP stack into one vehicle
+// platform: the simulation kernel, the road world, the VCU with its DSF
+// scheduler, the offloading engine over XEdge and cloud sites, EdgeOSv
+// (elastic management, isolation, security, data sharing, privacy), the
+// DDI data tier, and the libvdap registry and RESTful API.
+//
+// This is the public surface examples and tools build on.
+package core
+
+import (
+	"fmt"
+	"net/http"
+	"strings"
+	"time"
+
+	"repro/internal/cloud"
+	"repro/internal/ddi"
+	"repro/internal/edgeos"
+	"repro/internal/geo"
+	"repro/internal/libvdap"
+	"repro/internal/offload"
+	"repro/internal/sim"
+	"repro/internal/telemetry"
+	"repro/internal/vcu"
+	"repro/internal/xedge"
+)
+
+// Config parameterizes a platform instance. The zero value is not valid;
+// use DefaultConfig as a base.
+type Config struct {
+	// Seed drives every random stream; same seed, same run.
+	Seed int64
+	// RoadLengthM is the corridor length in meters.
+	RoadLengthM float64
+	// BaseStations and RSUs are placed uniformly along the road.
+	BaseStations int
+	RSUs         int
+	// RSUCoverageM and BaseStationCoverageM are coverage radii.
+	RSUCoverageM         float64
+	BaseStationCoverageM float64
+	// SpeedMPH is the vehicle's cruise speed.
+	SpeedMPH float64
+	// DataDir is where DDI persists its disk tier.
+	DataDir string
+	// Policy is the DSF scheduling policy. Nil means GreedyEFT.
+	Policy vcu.Policy
+	// Objective is the elastic-management goal. Zero means MinLatency.
+	Objective edgeos.Objective
+	// Secret is the vehicle's long-term secret (>= 16 bytes).
+	Secret []byte
+	// PseudonymRotation is the privacy epoch. Zero means 10 minutes.
+	PseudonymRotation time.Duration
+	// NeighborVehicles adds peer CAVs as offload destinations.
+	NeighborVehicles int
+}
+
+// DefaultConfig returns a sensible single-vehicle scenario: a 20 km
+// corridor, LTE towers every 1 km, RSUs every 2 km, 35 MPH cruise.
+func DefaultConfig(dataDir string) Config {
+	return Config{
+		Seed:                 1,
+		RoadLengthM:          20000,
+		BaseStations:         20,
+		RSUs:                 10,
+		RSUCoverageM:         400,
+		BaseStationCoverageM: 900,
+		SpeedMPH:             35,
+		DataDir:              dataDir,
+		Secret:               []byte("openvdap-vehicle-longterm-secret"),
+	}
+}
+
+// Platform is one running OpenVDAP vehicle node.
+type Platform struct {
+	cfg Config
+
+	engine   *sim.Engine
+	road     *geo.Road
+	mobility geo.Mobility
+
+	mhep     *vcu.MHEP
+	dsf      *vcu.DSF
+	offload  *offload.Engine
+	elastic  *edgeos.ElasticManager
+	runtime  *edgeos.ContainerRuntime
+	security *edgeos.SecurityModule
+	sharing  *edgeos.DataSharing
+	privacy  *edgeos.PrivacyModule
+	data     *ddi.DDI
+	cloud    *cloud.Cloud
+	registry *libvdap.Registry
+	api      *libvdap.Server
+	metrics  *telemetry.Registry
+	firewall *edgeos.Firewall
+
+	stopCollect func()
+}
+
+// New assembles a platform.
+func New(cfg Config) (*Platform, error) {
+	if cfg.RoadLengthM <= 0 {
+		return nil, fmt.Errorf("core: road length must be positive")
+	}
+	if cfg.DataDir == "" {
+		return nil, fmt.Errorf("core: DataDir is required")
+	}
+	if len(cfg.Secret) < 16 {
+		return nil, fmt.Errorf("core: Secret must be at least 16 bytes")
+	}
+	if cfg.Policy == nil {
+		cfg.Policy = vcu.GreedyEFT{}
+	}
+	if cfg.Objective == 0 {
+		cfg.Objective = edgeos.MinLatency
+	}
+	if cfg.PseudonymRotation == 0 {
+		cfg.PseudonymRotation = 10 * time.Minute
+	}
+
+	engine := sim.NewEngine(cfg.Seed)
+
+	road, err := geo.NewRoad(cfg.RoadLengthM)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.BaseStations > 0 {
+		road.PlaceStations(cfg.BaseStations, geo.BaseStation, cfg.BaseStationCoverageM, 0, "bs")
+	}
+	if cfg.RSUs > 0 {
+		road.PlaceStations(cfg.RSUs, geo.RSU, cfg.RSUCoverageM, 0, "rsu")
+	}
+	mobility := geo.Mobility{Road: road, SpeedMS: geo.MPH(cfg.SpeedMPH)}
+
+	mhep, err := vcu.DefaultVCU()
+	if err != nil {
+		return nil, err
+	}
+	dsf, err := vcu.NewDSF(mhep, cfg.Policy)
+	if err != nil {
+		return nil, err
+	}
+
+	var sites []*xedge.Site
+	rsuSites, err := xedge.PlaceAlongRoad(road)
+	if err != nil {
+		return nil, err
+	}
+	sites = append(sites, rsuSites...)
+	cl, err := cloud.New()
+	if err != nil {
+		return nil, err
+	}
+	sites = append(sites, cl.Site())
+	for i := 0; i < cfg.NeighborVehicles; i++ {
+		n, err := xedge.NewNeighborVehicle(fmt.Sprintf("neighbor-%d", i))
+		if err != nil {
+			return nil, err
+		}
+		sites = append(sites, n)
+	}
+
+	eng, err := offload.NewEngine(dsf, mobility, sites)
+	if err != nil {
+		return nil, err
+	}
+	elastic, err := edgeos.NewElasticManager(eng, cfg.Objective)
+	if err != nil {
+		return nil, err
+	}
+	runtime := edgeos.NewContainerRuntime()
+	security, err := edgeos.NewSecurityModule(runtime, elastic)
+	if err != nil {
+		return nil, err
+	}
+	sharing, err := edgeos.NewDataSharing(cfg.Secret, 64)
+	if err != nil {
+		return nil, err
+	}
+	privacy, err := edgeos.NewPrivacyModule(cfg.Secret, cfg.PseudonymRotation, 100)
+	if err != nil {
+		return nil, err
+	}
+	data, err := ddi.New(ddi.Options{Dir: cfg.DataDir, Mobility: mobility}, engine.RNG().Fork())
+	if err != nil {
+		return nil, err
+	}
+	registry := libvdap.NewRegistry()
+	if err := libvdap.DefaultCommonLibrary(registry); err != nil {
+		return nil, err
+	}
+	api, err := libvdap.NewServer(registry, mhep, data, sharing, engine.Now)
+	if err != nil {
+		return nil, err
+	}
+	api.AttachElastic(elastic)
+
+	return &Platform{
+		cfg:      cfg,
+		engine:   engine,
+		road:     road,
+		mobility: mobility,
+		mhep:     mhep,
+		dsf:      dsf,
+		offload:  eng,
+		elastic:  elastic,
+		runtime:  runtime,
+		security: security,
+		sharing:  sharing,
+		privacy:  privacy,
+		data:     data,
+		cloud:    cl,
+		registry: registry,
+		api:      api,
+		metrics:  telemetry.NewRegistry(),
+		firewall: edgeos.DefaultVehicleFirewall(),
+	}, nil
+}
+
+// Engine returns the simulation kernel.
+func (p *Platform) Engine() *sim.Engine { return p.engine }
+
+// Road returns the world model.
+func (p *Platform) Road() *geo.Road { return p.road }
+
+// Mobility returns the vehicle's current mobility.
+func (p *Platform) Mobility() geo.Mobility { return p.mobility }
+
+// MHEP returns the VCU hardware platform.
+func (p *Platform) MHEP() *vcu.MHEP { return p.mhep }
+
+// DSF returns the scheduler.
+func (p *Platform) DSF() *vcu.DSF { return p.dsf }
+
+// Offload returns the offloading engine.
+func (p *Platform) Offload() *offload.Engine { return p.offload }
+
+// Elastic returns the EdgeOSv elastic manager.
+func (p *Platform) Elastic() *edgeos.ElasticManager { return p.elastic }
+
+// Security returns the EdgeOSv security module.
+func (p *Platform) Security() *edgeos.SecurityModule { return p.security }
+
+// Runtime returns the container runtime.
+func (p *Platform) Runtime() *edgeos.ContainerRuntime { return p.runtime }
+
+// Sharing returns the data-sharing module.
+func (p *Platform) Sharing() *edgeos.DataSharing { return p.sharing }
+
+// Privacy returns the privacy module.
+func (p *Platform) Privacy() *edgeos.PrivacyModule { return p.privacy }
+
+// DDI returns the driving-data integrator.
+func (p *Platform) DDI() *ddi.DDI { return p.data }
+
+// Cloud returns the remote tier.
+func (p *Platform) Cloud() *cloud.Cloud { return p.cloud }
+
+// Registry returns the libvdap model registry.
+func (p *Platform) Registry() *libvdap.Registry { return p.registry }
+
+// API returns the libvdap RESTful handler, ready for http.ListenAndServe.
+func (p *Platform) API() http.Handler { return p.api }
+
+// SetSpeedMPH changes the vehicle's cruise speed, propagating to the
+// offloading engine's network-degradation model.
+func (p *Platform) SetSpeedMPH(mph float64) {
+	p.mobility.SpeedMS = geo.MPH(mph)
+	p.offload.SetMobility(p.mobility)
+}
+
+// InstallService registers a service with the Security module using
+// default container limits scaled by priority.
+func (p *Platform) InstallService(s *edgeos.Service) error {
+	shares := 100 * int(s.Priority)
+	return p.security.Install(s, shares, 2048)
+}
+
+// InvokeService runs one invocation of a service at the current virtual
+// time and advances the clock past its completion.
+func (p *Platform) InvokeService(name string) (edgeos.InvocationResult, error) {
+	res, err := p.elastic.Invoke(name, p.engine.Now())
+	if err != nil {
+		return res, err
+	}
+	if res.HungUp {
+		p.metrics.Add("service."+name+".hangups", 1)
+		return res, nil
+	}
+	p.metrics.Add("service."+name+".invocations", 1)
+	p.metrics.ObserveDuration("service."+name+".latency_ms", res.Latency)
+	p.metrics.Add("service."+name+".energy_j", res.EnergyJ)
+	p.metrics.Add("dest."+res.Dest+".invocations", 1)
+	if res.Completed > p.engine.Now() {
+		if err := p.engine.RunUntil(res.Completed); err != nil {
+			return res, err
+		}
+	}
+	return res, nil
+}
+
+// Metrics exposes the platform's telemetry registry.
+func (p *Platform) Metrics() *telemetry.Registry { return p.metrics }
+
+// Firewall returns the vehicle's default-deny inbound firewall.
+func (p *Platform) Firewall() *edgeos.Firewall { return p.firewall }
+
+// AdmitFlow evaluates an inbound connection attempt against the firewall
+// and records the outcome in telemetry.
+func (p *Platform) AdmitFlow(f edgeos.Flow) (edgeos.Verdict, string) {
+	v, rule := p.firewall.Evaluate(f)
+	p.metrics.Add("firewall."+v.String(), 1)
+	return v, rule
+}
+
+// StartCollection begins periodic DDI collection every interval of
+// virtual time.
+func (p *Platform) StartCollection(interval time.Duration) error {
+	if p.stopCollect != nil {
+		return fmt.Errorf("core: collection already running")
+	}
+	stop, err := p.engine.Every(interval, func() {
+		recs, err := p.data.Collect(p.engine.Now())
+		if err != nil {
+			// Collection failures should not kill the simulation; the
+			// store surfaces them on the next explicit access.
+			p.metrics.Add("ddi.collect_errors", 1)
+			return
+		}
+		p.metrics.Add("ddi.records_collected", float64(len(recs)))
+	})
+	if err != nil {
+		return err
+	}
+	p.stopCollect = stop
+	return nil
+}
+
+// StopCollection halts periodic collection.
+func (p *Platform) StopCollection() {
+	if p.stopCollect != nil {
+		p.stopCollect()
+		p.stopCollect = nil
+	}
+}
+
+// MigrateOldData ships DDI records older than `before` to the cloud data
+// server under the vehicle's current pseudonym.
+func (p *Platform) MigrateOldData(before time.Duration) (int, time.Duration, error) {
+	lte := p.cloud.Site().Access()
+	return p.data.MigrateToCloud(
+		p.cloud.Data(),
+		p.privacy.Pseudonym(p.engine.Now()),
+		before,
+		func(bytes float64) (time.Duration, error) {
+			return cloud.MigrationCost(lte, bytes)
+		},
+	)
+}
+
+// Report renders a human-readable scenario summary: virtual time, device
+// utilization, per-service statistics, DDI activity, and the raw metrics.
+func (p *Platform) Report() string {
+	var b strings.Builder
+	now := p.engine.Now()
+	fmt.Fprintf(&b, "== OpenVDAP platform report @ t=%v ==\n", now)
+	fmt.Fprintf(&b, "vehicle position %.0f m, speed %.1f m/s\n",
+		p.mobility.PositionAt(now).X, p.mobility.SpeedMS)
+
+	horizon := now
+	if horizon <= 0 {
+		horizon = time.Second
+	}
+	b.WriteString("\n-- VCU devices --\n")
+	for _, prof := range p.mhep.Profiles(now, horizon) {
+		fmt.Fprintf(&b, "%-18s %-6s util=%5.1f%% online=%v\n",
+			prof.Name, prof.Kind, prof.Utilization*100, prof.Online)
+	}
+
+	b.WriteString("\n-- services --\n")
+	for _, s := range p.elastic.Services() {
+		st, err := p.elastic.Stats(s.Name)
+		if err != nil {
+			continue
+		}
+		avg := time.Duration(0)
+		if n := st.Invocations - st.HangUps; n > 0 {
+			avg = st.TotalLatency / time.Duration(n)
+		}
+		fmt.Fprintf(&b, "%-24s prio=%d state=%-8v runs=%-4d hangups=%-3d avg=%v energy=%.1fJ pipelines=%v\n",
+			s.Name, s.Priority, s.State(), st.Invocations, st.HangUps,
+			avg.Round(time.Millisecond), st.TotalEnergyJ, st.PipelineUse)
+	}
+
+	fwAllowed, fwDenied := p.firewall.Stats()
+	fmt.Fprintf(&b, "\n-- firewall --\nallowed=%d denied=%d\n", fwAllowed, fwDenied)
+
+	ups, downs, hitRate := p.data.Stats()
+	fmt.Fprintf(&b, "\n-- DDI --\nrecords=%d uploads=%d downloads=%d cache-hit=%.2f\n",
+		p.data.Store().Count(), ups, downs, hitRate)
+	fmt.Fprintf(&b, "cloud archive: %d records, %d bytes\n",
+		p.cloud.Data().Count(), p.cloud.Data().Bytes())
+
+	if m := p.metrics.Render(); m != "" {
+		b.WriteString("\n-- metrics --\n")
+		b.WriteString(m)
+	}
+	return b.String()
+}
+
+// Close releases platform resources (the DDI disk tier).
+func (p *Platform) Close() error {
+	p.StopCollection()
+	return p.data.Close()
+}

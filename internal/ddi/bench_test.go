@@ -1,0 +1,58 @@
+package ddi
+
+import (
+	"testing"
+	"time"
+)
+
+func BenchmarkCachePutGet(b *testing.B) {
+	c, err := NewMemCache(4096, time.Minute)
+	if err != nil {
+		b.Fatal(err)
+	}
+	r := Record{ID: 1, Source: SourceOBD, Payload: []byte(`{"rpm":2000}`)}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r.ID = uint64(i%4096 + 1)
+		c.Put(r, time.Duration(i))
+		c.Get(r.ID, time.Duration(i))
+	}
+}
+
+func BenchmarkStorePut(b *testing.B) {
+	s, err := OpenDiskStore(b.TempDir())
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer s.Close()
+	rec := Record{Source: SourceOBD, At: time.Second, Payload: []byte(`{"rpm":2000,"speed":88.2,"coolant":90.5}`)}
+	b.SetBytes(int64(len(rec.Payload)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rec.At = time.Duration(i) * time.Millisecond
+		if _, err := s.Put(rec); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkStoreSelectWindow(b *testing.B) {
+	s, err := OpenDiskStore(b.TempDir())
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer s.Close()
+	for i := 0; i < 10000; i++ {
+		rec := Record{Source: SourceOBD, At: time.Duration(i) * time.Second, Payload: []byte(`{"v":1}`)}
+		if _, err := s.Put(rec); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		got := s.Select(Query{Source: SourceOBD, From: 1000 * time.Second, To: 1600 * time.Second})
+		if len(got) != 601 {
+			b.Fatalf("got %d", len(got))
+		}
+	}
+}

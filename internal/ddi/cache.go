@@ -1,0 +1,125 @@
+package ddi
+
+import (
+	"container/list"
+	"fmt"
+	"time"
+)
+
+// MemCache is the in-memory tier (the paper's Redis role): bounded
+// capacity, per-entry survival time in virtual time, LRU eviction. A
+// record fetched from disk is promoted here; expired entries fall back to
+// disk on next access.
+type MemCache struct {
+	capacity int
+	ttl      time.Duration
+	entries  map[uint64]*list.Element
+	lru      *list.List // front = most recent
+
+	hits   int
+	misses int
+}
+
+type cacheEntry struct {
+	rec       Record
+	expiresAt time.Duration
+}
+
+// NewMemCache builds a cache holding up to capacity records, each
+// surviving ttl of virtual time after insertion (paper: "for all the data
+// caches into the in-memory database, a survival time is set for it").
+func NewMemCache(capacity int, ttl time.Duration) (*MemCache, error) {
+	if capacity <= 0 {
+		return nil, fmt.Errorf("ddi: cache capacity must be positive, got %d", capacity)
+	}
+	if ttl <= 0 {
+		return nil, fmt.Errorf("ddi: cache TTL must be positive, got %v", ttl)
+	}
+	return &MemCache{
+		capacity: capacity,
+		ttl:      ttl,
+		entries:  make(map[uint64]*list.Element, capacity),
+		lru:      list.New(),
+	}, nil
+}
+
+// Put inserts or refreshes a record at virtual time now.
+func (c *MemCache) Put(rec Record, now time.Duration) {
+	if el, ok := c.entries[rec.ID]; ok {
+		entry, valid := el.Value.(*cacheEntry)
+		if valid {
+			entry.rec = rec
+			entry.expiresAt = now + c.ttl
+		}
+		c.lru.MoveToFront(el)
+		return
+	}
+	for c.lru.Len() >= c.capacity {
+		c.evictOldest()
+	}
+	el := c.lru.PushFront(&cacheEntry{rec: rec, expiresAt: now + c.ttl})
+	c.entries[rec.ID] = el
+}
+
+func (c *MemCache) evictOldest() {
+	back := c.lru.Back()
+	if back == nil {
+		return
+	}
+	entry, ok := back.Value.(*cacheEntry)
+	c.lru.Remove(back)
+	if ok {
+		delete(c.entries, entry.rec.ID)
+	}
+}
+
+// Get returns a live cached record, counting hit/miss statistics.
+func (c *MemCache) Get(id uint64, now time.Duration) (Record, bool) {
+	el, ok := c.entries[id]
+	if !ok {
+		c.misses++
+		return Record{}, false
+	}
+	entry, valid := el.Value.(*cacheEntry)
+	if !valid || entry.expiresAt <= now {
+		c.lru.Remove(el)
+		delete(c.entries, id)
+		c.misses++
+		return Record{}, false
+	}
+	c.lru.MoveToFront(el)
+	c.hits++
+	return entry.rec, true
+}
+
+// Sweep removes all expired entries at virtual time now and returns how
+// many were removed.
+func (c *MemCache) Sweep(now time.Duration) int {
+	removed := 0
+	for el := c.lru.Back(); el != nil; {
+		prev := el.Prev()
+		if entry, ok := el.Value.(*cacheEntry); ok && entry.expiresAt <= now {
+			c.lru.Remove(el)
+			delete(c.entries, entry.rec.ID)
+			removed++
+		}
+		el = prev
+	}
+	return removed
+}
+
+// Len returns the number of cached entries (including not-yet-swept
+// expired ones).
+func (c *MemCache) Len() int { return c.lru.Len() }
+
+// Stats returns cumulative hits and misses.
+func (c *MemCache) Stats() (hits, misses int) { return c.hits, c.misses }
+
+// HitRate returns hits / (hits + misses), or 0 before any access.
+func (c *MemCache) HitRate() float64 {
+	total := c.hits + c.misses
+	if total == 0 {
+		return 0
+	}
+	return float64(c.hits) / float64(total)
+}

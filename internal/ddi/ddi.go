@@ -1,0 +1,257 @@
+package ddi
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/cloud"
+	"repro/internal/geo"
+	"repro/internal/hardware"
+	"repro/internal/sensors"
+	"repro/internal/sim"
+)
+
+// memHitLatency is the in-memory tier's access cost — the Redis-role
+// latency in the two-tier design.
+const memHitLatency = 50 * time.Microsecond
+
+// DDI is the driving data integrator facade: collectors on the bottom,
+// the two-tier database in the middle, and upload/download service calls
+// on top.
+type DDI struct {
+	store *DiskStore
+	cache *MemCache
+	ssd   *hardware.Storage
+
+	obd       *sensors.OBD
+	gps       *sensors.GPS
+	feeds     *Feeds
+	rng       *sim.RNG
+	mob       geo.Mobility
+	uploads   int
+	downloads int
+}
+
+// Options configures New.
+type Options struct {
+	// Dir is the disk-store directory (required).
+	Dir string
+	// CacheCapacity bounds the in-memory tier. Zero means 4096.
+	CacheCapacity int
+	// CacheTTL is the survival time of cached entries. Zero means 5 min.
+	CacheTTL time.Duration
+	// Mobility drives the GPS collector.
+	Mobility geo.Mobility
+	// SSD models disk-tier access latency. Nil means DefaultSSD.
+	SSD *hardware.Storage
+}
+
+// New assembles a DDI.
+func New(opts Options, rng *sim.RNG) (*DDI, error) {
+	if rng == nil {
+		return nil, fmt.Errorf("ddi: nil RNG")
+	}
+	if opts.CacheCapacity == 0 {
+		opts.CacheCapacity = 4096
+	}
+	if opts.CacheTTL == 0 {
+		opts.CacheTTL = 5 * time.Minute
+	}
+	if opts.SSD == nil {
+		opts.SSD = hardware.DefaultSSD()
+	}
+	store, err := OpenDiskStore(opts.Dir)
+	if err != nil {
+		return nil, err
+	}
+	cache, err := NewMemCache(opts.CacheCapacity, opts.CacheTTL)
+	if err != nil {
+		return nil, err
+	}
+	obd, err := sensors.NewOBD(rng.Fork())
+	if err != nil {
+		return nil, err
+	}
+	gps, err := sensors.NewGPS(opts.Mobility, rng.Fork())
+	if err != nil {
+		return nil, err
+	}
+	feeds, err := NewFeeds(rng.Fork())
+	if err != nil {
+		return nil, err
+	}
+	return &DDI{
+		store: store, cache: cache, ssd: opts.SSD,
+		obd: obd, gps: gps, feeds: feeds, rng: rng.Fork(), mob: opts.Mobility,
+	}, nil
+}
+
+// OBD exposes the OBD collector (fault injection lives there).
+func (d *DDI) OBD() *sensors.OBD { return d.obd }
+
+// Cache exposes the in-memory tier for statistics.
+func (d *DDI) Cache() *MemCache { return d.cache }
+
+// Store exposes the disk tier.
+func (d *DDI) Store() *DiskStore { return d.store }
+
+// Collect performs one collection round at virtual time now: OBD, GPS,
+// weather, traffic, and any pending social events are sampled, stored, and
+// cached. It returns the stored records.
+func (d *DDI) Collect(now time.Duration) ([]Record, error) {
+	pos := d.mob.PositionAt(now)
+	speedKPH := d.mob.SpeedMS * 3.6
+
+	var out []Record
+	add := func(source Source, v any) error {
+		payload, err := MarshalPayload(v)
+		if err != nil {
+			return err
+		}
+		rec := Record{Source: source, At: now, X: pos.X, Y: pos.Y, Payload: payload}
+		id, err := d.store.Put(rec)
+		if err != nil {
+			return err
+		}
+		rec.ID = id
+		d.cache.Put(rec, now)
+		out = append(out, rec)
+		return nil
+	}
+
+	if err := add(SourceOBD, d.obd.Read(now, speedKPH)); err != nil {
+		return nil, err
+	}
+	if err := add(SourceGPS, d.gps.Fix(now)); err != nil {
+		return nil, err
+	}
+	if err := add(SourceWeather, d.feeds.Weather(now)); err != nil {
+		return nil, err
+	}
+	if err := add(SourceTraffic, d.feeds.Traffic(now)); err != nil {
+		return nil, err
+	}
+	// Social items arrive as free text and pass through the NLP stage
+	// (Figure 7) before storage; unparseable posts are dropped.
+	for _, ev := range d.feeds.Social(now) {
+		post, err := ComposePost(ev, d.rng)
+		if err != nil {
+			return nil, err
+		}
+		parsed, ok := ExtractEvent(post.Text, ev.At)
+		if !ok {
+			continue
+		}
+		parsed.Y = ev.Y
+		if err := add(SourceSocial, parsed); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// Upload is the service-layer upload request: applications push their own
+// records (paper: "for users to upload their data onto the DDI"). The
+// record lands in the cache first and persists immediately (write-through;
+// the paper's delayed write-back is modeled by TTL-based cache residency).
+func (d *DDI) Upload(now time.Duration, source Source, x, y float64, payload []byte) (Record, error) {
+	rec := Record{Source: source, At: now, X: x, Y: y, Payload: payload}
+	if err := rec.Validate(); err != nil {
+		return Record{}, err
+	}
+	id, err := d.store.Put(rec)
+	if err != nil {
+		return Record{}, err
+	}
+	rec.ID = id
+	d.cache.Put(rec, now)
+	d.uploads++
+	return rec, nil
+}
+
+// DownloadByID is the service-layer point lookup: in-memory first, disk on
+// miss with promotion. The returned latency is the simulated two-tier
+// access cost.
+func (d *DDI) DownloadByID(now time.Duration, id uint64) (Record, time.Duration, error) {
+	d.downloads++
+	if rec, ok := d.cache.Get(id, now); ok {
+		return rec, memHitLatency, nil
+	}
+	rec, ok := d.store.Get(id)
+	if !ok {
+		return Record{}, 0, fmt.Errorf("ddi: record %d not found", id)
+	}
+	readTime, err := d.ssd.ReadTime(float64(rec.SizeBytes()) / 1e6)
+	if err != nil {
+		return Record{}, 0, err
+	}
+	d.cache.Put(rec, now) // promote
+	return rec, memHitLatency + readTime, nil
+}
+
+// Download is the service-layer range query (keyed by time/location per
+// the paper). Range queries always hit the disk tier's index; results are
+// promoted for subsequent point lookups.
+func (d *DDI) Download(now time.Duration, q Query) ([]Record, time.Duration, error) {
+	d.downloads++
+	recs := d.store.Select(q)
+	var bytes float64
+	for i := range recs {
+		bytes += float64(recs[i].SizeBytes())
+		d.cache.Put(recs[i], now)
+	}
+	latency, err := d.ssd.ReadTime(bytes / 1e6)
+	if err != nil {
+		return nil, 0, err
+	}
+	return recs, latency, nil
+}
+
+// MigrateToCloud ships records older than `before` to the community data
+// server and deletes them locally (paper: "eventually migrated to a cloud
+// based data server"). It returns the migrated count and the simulated
+// transfer duration over the given path.
+func (d *DDI) MigrateToCloud(server *cloud.DataServer, pseudonym string, before time.Duration, cost func(sizeBytes float64) (time.Duration, error)) (int, time.Duration, error) {
+	if server == nil {
+		return 0, 0, fmt.Errorf("ddi: nil data server")
+	}
+	if before <= 0 {
+		return 0, 0, nil
+	}
+	old := d.store.Select(Query{To: before - time.Nanosecond})
+	if len(old) == 0 {
+		return 0, 0, nil
+	}
+	var bytes float64
+	recs := make([]cloud.Record, 0, len(old))
+	for _, r := range old {
+		bytes += float64(r.SizeBytes())
+		recs = append(recs, cloud.Record{
+			Vehicle: pseudonym,
+			Source:  string(r.Source),
+			At:      r.At,
+			Payload: append([]byte(nil), r.Payload...),
+		})
+	}
+	var dur time.Duration
+	if cost != nil {
+		var err error
+		dur, err = cost(bytes)
+		if err != nil {
+			return 0, 0, err
+		}
+	}
+	server.Ingest(recs...)
+	if _, err := d.store.DeleteBefore(before); err != nil {
+		return 0, 0, err
+	}
+	return len(old), dur, nil
+}
+
+// Stats summarizes service-layer activity.
+func (d *DDI) Stats() (uploads, downloads int, cacheHitRate float64) {
+	return d.uploads, d.downloads, d.cache.HitRate()
+}
+
+// Close flushes and closes the disk tier.
+func (d *DDI) Close() error { return d.store.Close() }

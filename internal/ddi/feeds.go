@@ -1,0 +1,140 @@
+package ddi
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"time"
+
+	"repro/internal/sim"
+)
+
+// WeatherReport is the external weather context DDI collects.
+type WeatherReport struct {
+	At         time.Duration `json:"at"`
+	TempC      float64       `json:"tempC"`
+	Condition  string        `json:"condition"`
+	WindKPH    float64       `json:"windKph"`
+	Visibility float64       `json:"visibilityKm"`
+}
+
+// TrafficReport is the road-condition context.
+type TrafficReport struct {
+	At         time.Duration `json:"at"`
+	Congestion float64       `json:"congestion"` // 0 free-flow .. 1 jammed
+	Incidents  int           `json:"incidents"`
+	AvgSpeed   float64       `json:"avgSpeedKph"`
+}
+
+// SocialEvent is a nearby emergency or notable event from social feeds.
+type SocialEvent struct {
+	At       time.Duration `json:"at"`
+	Kind     string        `json:"kind"`
+	Severity int           `json:"severity"` // 1..5
+	X        float64       `json:"x"`
+	Y        float64       `json:"y"`
+}
+
+// Feeds synthesizes the three external context sources (the paper's
+// "vehicle-specific APIs" — offline here, so generated with realistic
+// temporal structure: weather drifts, traffic follows a daily-ish cycle,
+// social events arrive as a Poisson process).
+type Feeds struct {
+	rng       *sim.RNG
+	temp      float64
+	nextEvent time.Duration
+}
+
+// NewFeeds builds the generator.
+func NewFeeds(rng *sim.RNG) (*Feeds, error) {
+	if rng == nil {
+		return nil, fmt.Errorf("ddi: nil RNG")
+	}
+	f := &Feeds{rng: rng, temp: 18}
+	f.nextEvent = time.Duration(rng.Exponential(float64(10 * time.Minute)))
+	return f, nil
+}
+
+// Weather samples the drifting weather state.
+func (f *Feeds) Weather(now time.Duration) WeatherReport {
+	f.temp += f.rng.Normal(0, 0.15)
+	if f.temp < -25 {
+		f.temp = -25
+	}
+	if f.temp > 42 {
+		f.temp = 42
+	}
+	cond := "clear"
+	switch {
+	case f.temp < 0 && f.rng.Bernoulli(0.3):
+		cond = "snow"
+	case f.rng.Bernoulli(0.15):
+		cond = "rain"
+	case f.rng.Bernoulli(0.2):
+		cond = "cloudy"
+	}
+	vis := 12.0
+	if cond == "snow" || cond == "rain" {
+		vis = f.rng.Uniform(0.5, 6)
+	}
+	return WeatherReport{
+		At: now, TempC: f.temp, Condition: cond,
+		WindKPH: f.rng.Uniform(0, 40), Visibility: vis,
+	}
+}
+
+// Traffic samples congestion with a slow 2-hour cycle plus noise.
+func (f *Feeds) Traffic(now time.Duration) TrafficReport {
+	phase := float64(now%(2*time.Hour)) / float64(2*time.Hour)
+	base := 0.5 - 0.4*cosApprox(phase)
+	cong := clamp01(base + f.rng.Normal(0, 0.08))
+	incidents := 0
+	if f.rng.Bernoulli(cong * 0.2) {
+		incidents = 1 + f.rng.Intn(2)
+	}
+	return TrafficReport{
+		At: now, Congestion: cong, Incidents: incidents,
+		AvgSpeed: 100 * (1 - cong),
+	}
+}
+
+// Social returns any events that fired since the previous call.
+func (f *Feeds) Social(now time.Duration) []SocialEvent {
+	kinds := []string{"accident", "road-closure", "amber-alert", "severe-weather-warning", "parade"}
+	var out []SocialEvent
+	for f.nextEvent <= now {
+		out = append(out, SocialEvent{
+			At:       f.nextEvent,
+			Kind:     kinds[f.rng.Intn(len(kinds))],
+			Severity: 1 + f.rng.Intn(5),
+			X:        f.rng.Uniform(0, 10000),
+			Y:        f.rng.Uniform(-50, 50),
+		})
+		f.nextEvent += time.Duration(f.rng.Exponential(float64(10 * time.Minute)))
+	}
+	return out
+}
+
+// MarshalPayload JSON-encodes any feed datum for storage.
+func MarshalPayload(v any) ([]byte, error) {
+	b, err := json.Marshal(v)
+	if err != nil {
+		return nil, fmt.Errorf("ddi: marshal payload: %w", err)
+	}
+	return b, nil
+}
+
+func clamp01(v float64) float64 {
+	if v < 0 {
+		return 0
+	}
+	if v > 1 {
+		return 1
+	}
+	return v
+}
+
+// cosApprox returns cos(2*pi*x), shaping the traffic cycle.
+func cosApprox(x float64) float64 {
+	return math.Cos(2 * math.Pi * x)
+}

@@ -1,0 +1,141 @@
+package ddi
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/sim"
+)
+
+// This file implements the Natural Language Processing stage of the DDI
+// collector (paper Figure 7): social-web posts arrive as free text and are
+// parsed into structured SocialEvent records before storage.
+
+// Post is one raw social-web item.
+type Post struct {
+	At   string `json:"at"` // informational; structured time comes from collection
+	Text string `json:"text"`
+}
+
+// kindPhrases maps event kinds to the phrasing templates posts use.
+var kindPhrases = map[string][]string{
+	"accident":               {"multi car crash", "bad accident", "collision reported", "fender bender"},
+	"road-closure":           {"road closed", "full closure", "street is shut"},
+	"amber-alert":            {"amber alert issued", "amber alert active"},
+	"severe-weather-warning": {"severe storm warning", "blizzard warning", "tornado watch"},
+	"parade":                 {"parade today", "street festival"},
+}
+
+// severityScanOrder lists qualifiers from worst to mildest for extraction.
+var severityScanOrder = []string{
+	"fatal", "severe", "huge", "major", "serious", "significant", "moderate", "minor", "small",
+}
+
+// severityWords maps qualifier words to severity levels.
+var severityWords = map[string]int{
+	"minor":       1,
+	"small":       1,
+	"moderate":    2,
+	"significant": 3,
+	"major":       4,
+	"serious":     4,
+	"severe":      5,
+	"fatal":       5,
+	"huge":        5,
+}
+
+// ComposePost renders a SocialEvent as the free-text post a social feed
+// would carry — the inverse of ExtractEvent, used by the synthetic feed.
+func ComposePost(ev SocialEvent, rng *sim.RNG) (Post, error) {
+	phrases, ok := kindPhrases[ev.Kind]
+	if !ok {
+		return Post{}, fmt.Errorf("ddi: unknown event kind %q", ev.Kind)
+	}
+	if rng == nil {
+		return Post{}, fmt.Errorf("ddi: nil RNG")
+	}
+	qualifier := ""
+	for w, sev := range severityWords {
+		if sev == ev.Severity {
+			qualifier = w
+			break
+		}
+	}
+	if qualifier == "" {
+		qualifier = "moderate"
+	}
+	phrase := phrases[rng.Intn(len(phrases))]
+	marker := int(ev.X / 1609.344)
+	text := fmt.Sprintf("heads up: %s %s near mile marker %d, avoid the area", qualifier, phrase, marker)
+	return Post{Text: text}, nil
+}
+
+// ExtractEvent parses a free-text post into a structured event. The
+// boolean is false when the text matches no known event kind.
+func ExtractEvent(text string, at time.Duration) (SocialEvent, bool) {
+	lower := strings.ToLower(text)
+	ev := SocialEvent{At: at, Severity: 2}
+	matched := false
+	for kind, phrases := range kindPhrases {
+		for _, p := range phrases {
+			if strings.Contains(lower, p) {
+				ev.Kind = kind
+				matched = true
+				break
+			}
+		}
+		if matched {
+			break
+		}
+	}
+	if !matched {
+		return SocialEvent{}, false
+	}
+	// Scan deterministically, highest severity first, so a post carrying
+	// several qualifiers reports the worst one.
+	for _, w := range severityScanOrder {
+		if containsWord(lower, w) {
+			ev.Severity = severityWords[w]
+			break
+		}
+	}
+	if x, ok := extractMileMarker(lower); ok {
+		ev.X = x
+	}
+	return ev, true
+}
+
+// extractMileMarker finds "mile marker N" and converts to meters.
+func extractMileMarker(lower string) (float64, bool) {
+	const key = "mile marker "
+	idx := strings.Index(lower, key)
+	if idx < 0 {
+		return 0, false
+	}
+	rest := lower[idx+len(key):]
+	end := 0
+	for end < len(rest) && rest[end] >= '0' && rest[end] <= '9' {
+		end++
+	}
+	if end == 0 {
+		return 0, false
+	}
+	n, err := strconv.Atoi(rest[:end])
+	if err != nil {
+		return 0, false
+	}
+	return float64(n) * 1609.344, true
+}
+
+func containsWord(haystack, word string) bool {
+	idx := strings.Index(haystack, word)
+	if idx < 0 {
+		return false
+	}
+	beforeOK := idx == 0 || haystack[idx-1] == ' '
+	after := idx + len(word)
+	afterOK := after == len(haystack) || haystack[after] == ' ' || haystack[after] == ',' || haystack[after] == ':'
+	return beforeOK && afterOK
+}

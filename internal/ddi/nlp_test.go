@@ -1,0 +1,135 @@
+package ddi
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"repro/internal/sim"
+)
+
+func TestExtractEventKinds(t *testing.T) {
+	cases := map[string]string{
+		"heads up: major multi car crash near mile marker 4": "accident",
+		"Road CLOSED at the bridge":                          "road-closure",
+		"AMBER ALERT issued for a grey sedan":                "amber-alert",
+		"blizzard warning until 6pm":                         "severe-weather-warning",
+		"parade today downtown":                              "parade",
+	}
+	for text, wantKind := range cases {
+		ev, ok := ExtractEvent(text, time.Minute)
+		if !ok {
+			t.Errorf("no event extracted from %q", text)
+			continue
+		}
+		if ev.Kind != wantKind {
+			t.Errorf("%q -> kind %s, want %s", text, ev.Kind, wantKind)
+		}
+		if ev.At != time.Minute {
+			t.Errorf("timestamp not carried")
+		}
+	}
+}
+
+func TestExtractEventNoMatch(t *testing.T) {
+	for _, text := range []string{"", "nice weather today", "great coffee at the diner"} {
+		if _, ok := ExtractEvent(text, 0); ok {
+			t.Errorf("extracted event from %q", text)
+		}
+	}
+}
+
+func TestExtractSeverity(t *testing.T) {
+	cases := map[string]int{
+		"minor fender bender on 5th":              1,
+		"significant collision reported downtown": 3,
+		"fatal bad accident, avoid the area":      5,
+		"collision reported near exit 3":          2, // default
+	}
+	for text, want := range cases {
+		ev, ok := ExtractEvent(text, 0)
+		if !ok {
+			t.Fatalf("no event from %q", text)
+		}
+		if ev.Severity != want {
+			t.Errorf("%q -> severity %d, want %d", text, ev.Severity, want)
+		}
+	}
+	// Worst qualifier wins.
+	ev, _ := ExtractEvent("minor at first but now fatal bad accident", 0)
+	if ev.Severity != 5 {
+		t.Errorf("multi-qualifier severity = %d, want 5", ev.Severity)
+	}
+}
+
+func TestExtractMileMarker(t *testing.T) {
+	ev, ok := ExtractEvent("bad accident near mile marker 12, lanes blocked", 0)
+	if !ok {
+		t.Fatal("no event")
+	}
+	if math.Abs(ev.X-12*1609.344) > 1 {
+		t.Fatalf("X = %v, want ~%v", ev.X, 12*1609.344)
+	}
+	// No marker: X stays zero.
+	ev, _ = ExtractEvent("bad accident downtown", 0)
+	if ev.X != 0 {
+		t.Fatalf("X = %v without marker", ev.X)
+	}
+	// Marker with no digits is ignored.
+	ev, _ = ExtractEvent("bad accident near mile marker unknown", 0)
+	if ev.X != 0 {
+		t.Fatalf("X = %v for digitless marker", ev.X)
+	}
+}
+
+func TestComposeExtractRoundTrip(t *testing.T) {
+	rng := sim.NewRNG(5)
+	for _, kind := range []string{"accident", "road-closure", "amber-alert", "parade", "severe-weather-warning"} {
+		for sev := 1; sev <= 5; sev++ {
+			orig := SocialEvent{Kind: kind, Severity: sev, X: 8046.72} // mile 5
+			post, err := ComposePost(orig, rng)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, ok := ExtractEvent(post.Text, time.Minute)
+			if !ok {
+				t.Fatalf("compose/extract lost event: %q", post.Text)
+			}
+			if got.Kind != kind {
+				t.Errorf("kind %s -> %s via %q", kind, got.Kind, post.Text)
+			}
+			// Severe-weather phrases embed the word "severe", which
+			// legitimately dominates any milder qualifier.
+			if kind != "severe-weather-warning" && got.Severity != sev {
+				t.Errorf("%s severity %d -> %d via %q", kind, sev, got.Severity, post.Text)
+			}
+			if math.Abs(got.X-orig.X) > 1610 { // marker quantizes to whole miles
+				t.Errorf("X %v -> %v", orig.X, got.X)
+			}
+		}
+	}
+}
+
+func TestComposePostValidation(t *testing.T) {
+	if _, err := ComposePost(SocialEvent{Kind: "meteor-strike"}, sim.NewRNG(1)); err == nil {
+		t.Fatal("unknown kind composed")
+	}
+	if _, err := ComposePost(SocialEvent{Kind: "accident"}, nil); err == nil {
+		t.Fatal("nil RNG accepted")
+	}
+}
+
+func TestContainsWordBoundaries(t *testing.T) {
+	if containsWord("seminormal text", "minor") {
+		t.Fatal("substring matched as word")
+	}
+	if !containsWord("a minor crash", "minor") {
+		t.Fatal("word not matched")
+	}
+	if !containsWord("minor", "minor") {
+		t.Fatal("exact match failed")
+	}
+	if !containsWord("crash, minor, injuries", "minor") {
+		t.Fatal("comma-delimited word not matched")
+	}
+}

@@ -1,0 +1,262 @@
+package ddi
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"time"
+)
+
+// DiskStore is the persistent tier: an append-only JSON-lines log with an
+// in-memory index rebuilt at open. It stands in for the paper's MySQL —
+// the design property that matters (durable, slower than memory, queried
+// on cache miss) is preserved.
+type DiskStore struct {
+	mu     sync.Mutex
+	path   string
+	file   *os.File
+	w      *bufio.Writer
+	nextID uint64
+	index  map[uint64]*Record // full records; payloads are small here
+	byTime []uint64           // IDs sorted by (At, ID)
+}
+
+// OpenDiskStore opens (or creates) a store rooted at dir.
+func OpenDiskStore(dir string) (*DiskStore, error) {
+	if dir == "" {
+		return nil, fmt.Errorf("ddi: empty store directory")
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("create store dir: %w", err)
+	}
+	path := filepath.Join(dir, "ddi.log")
+	s := &DiskStore{path: path, index: make(map[uint64]*Record), nextID: 1}
+	if err := s.load(); err != nil {
+		return nil, err
+	}
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("open store log: %w", err)
+	}
+	s.file = f
+	s.w = bufio.NewWriter(f)
+	return s, nil
+}
+
+// load replays the log into the index.
+func (s *DiskStore) load() error {
+	f, err := os.Open(s.path)
+	if os.IsNotExist(err) {
+		return nil
+	}
+	if err != nil {
+		return fmt.Errorf("open store log: %w", err)
+	}
+	defer f.Close()
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<24)
+	for sc.Scan() {
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		var r Record
+		if err := json.Unmarshal(line, &r); err != nil {
+			// A torn final line from a crash is tolerated; anything else
+			// mid-file is corruption worth surfacing.
+			continue
+		}
+		rec := r
+		s.index[rec.ID] = &rec
+		s.byTime = append(s.byTime, rec.ID)
+		if rec.ID >= s.nextID {
+			s.nextID = rec.ID + 1
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return fmt.Errorf("scan store log: %w", err)
+	}
+	s.sortByTime()
+	return nil
+}
+
+func (s *DiskStore) sortByTime() {
+	sort.Slice(s.byTime, func(i, j int) bool {
+		a, b := s.index[s.byTime[i]], s.index[s.byTime[j]]
+		if a.At != b.At {
+			return a.At < b.At
+		}
+		return a.ID < b.ID
+	})
+}
+
+// Put assigns an ID, persists the record, and indexes it.
+func (s *DiskStore) Put(r Record) (uint64, error) {
+	if err := r.Validate(); err != nil {
+		return 0, err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.w == nil {
+		return 0, fmt.Errorf("ddi: store is closed")
+	}
+	r.ID = s.nextID
+	s.nextID++
+	line, err := json.Marshal(&r)
+	if err != nil {
+		return 0, fmt.Errorf("marshal record: %w", err)
+	}
+	if _, err := s.w.Write(append(line, '\n')); err != nil {
+		return 0, fmt.Errorf("append record: %w", err)
+	}
+	rec := r
+	s.index[rec.ID] = &rec
+	// Insert maintaining time order (records usually arrive in order, so
+	// this is an O(1) append in the common case).
+	s.byTime = append(s.byTime, rec.ID)
+	n := len(s.byTime)
+	if n > 1 {
+		prev := s.index[s.byTime[n-2]]
+		if prev.At > rec.At {
+			s.sortByTime()
+		}
+	}
+	return rec.ID, nil
+}
+
+// Get returns a record by ID.
+func (s *DiskStore) Get(id uint64) (Record, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	r, ok := s.index[id]
+	if !ok {
+		return Record{}, false
+	}
+	return *r, true
+}
+
+// Select returns matching records in time order.
+func (s *DiskStore) Select(q Query) []Record {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var out []Record
+	for _, id := range s.byTime {
+		r := s.index[id]
+		if !q.Matches(r) {
+			continue
+		}
+		out = append(out, *r)
+		if q.Limit > 0 && len(out) >= q.Limit {
+			break
+		}
+	}
+	return out
+}
+
+// DeleteBefore removes records captured strictly before t (used after
+// cloud migration) and returns how many were removed. The log is
+// compacted in place.
+func (s *DiskStore) DeleteBefore(t time.Duration) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.w == nil {
+		return 0, fmt.Errorf("ddi: store is closed")
+	}
+	removed := 0
+	var kept []uint64
+	for _, id := range s.byTime {
+		if s.index[id].At < t {
+			delete(s.index, id)
+			removed++
+		} else {
+			kept = append(kept, id)
+		}
+	}
+	s.byTime = kept
+	if removed > 0 {
+		if err := s.compactLocked(); err != nil {
+			return removed, err
+		}
+	}
+	return removed, nil
+}
+
+// compactLocked rewrites the log with only indexed records.
+func (s *DiskStore) compactLocked() error {
+	if err := s.w.Flush(); err != nil {
+		return err
+	}
+	if err := s.file.Close(); err != nil {
+		return err
+	}
+	tmp := s.path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return fmt.Errorf("create compact file: %w", err)
+	}
+	w := bufio.NewWriter(f)
+	for _, id := range s.byTime {
+		line, err := json.Marshal(s.index[id])
+		if err != nil {
+			f.Close()
+			return err
+		}
+		if _, err := w.Write(append(line, '\n')); err != nil {
+			f.Close()
+			return err
+		}
+	}
+	if err := w.Flush(); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp, s.path); err != nil {
+		return fmt.Errorf("swap compact file: %w", err)
+	}
+	nf, err := os.OpenFile(s.path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return fmt.Errorf("reopen store log: %w", err)
+	}
+	s.file = nf
+	s.w = bufio.NewWriter(nf)
+	return nil
+}
+
+// Count returns the number of stored records.
+func (s *DiskStore) Count() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.index)
+}
+
+// Flush persists buffered writes.
+func (s *DiskStore) Flush() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.w == nil {
+		return nil
+	}
+	return s.w.Flush()
+}
+
+// Close flushes and releases the log file.
+func (s *DiskStore) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.w == nil {
+		return nil
+	}
+	if err := s.w.Flush(); err != nil {
+		return err
+	}
+	err := s.file.Close()
+	s.w, s.file = nil, nil
+	return err
+}

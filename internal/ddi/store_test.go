@@ -1,0 +1,239 @@
+package ddi
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/sim"
+)
+
+func openStore(t *testing.T) *DiskStore {
+	t.Helper()
+	s, err := OpenDiskStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s.Close() })
+	return s
+}
+
+func rec(source Source, at time.Duration, x float64) Record {
+	return Record{Source: source, At: at, X: x, Payload: []byte(`{"v":1}`)}
+}
+
+func TestOpenDiskStoreValidation(t *testing.T) {
+	if _, err := OpenDiskStore(""); err == nil {
+		t.Fatal("empty dir accepted")
+	}
+}
+
+func TestPutAssignsMonotonicIDs(t *testing.T) {
+	s := openStore(t)
+	id1, err := s.Put(rec(SourceOBD, time.Second, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	id2, err := s.Put(rec(SourceOBD, 2*time.Second, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id2 <= id1 {
+		t.Fatalf("ids not monotonic: %d then %d", id1, id2)
+	}
+	if s.Count() != 2 {
+		t.Fatalf("Count = %d", s.Count())
+	}
+}
+
+func TestPutValidates(t *testing.T) {
+	s := openStore(t)
+	if _, err := s.Put(Record{}); err == nil {
+		t.Fatal("invalid record accepted")
+	}
+	if _, err := s.Put(Record{Source: SourceOBD, At: -1, Payload: []byte("x")}); err == nil {
+		t.Fatal("negative timestamp accepted")
+	}
+}
+
+func TestGetAndSelect(t *testing.T) {
+	s := openStore(t)
+	id, _ := s.Put(rec(SourceOBD, 10*time.Second, 100))
+	s.Put(rec(SourceGPS, 20*time.Second, 200))
+	s.Put(rec(SourceOBD, 30*time.Second, 300))
+
+	got, ok := s.Get(id)
+	if !ok || got.Source != SourceOBD {
+		t.Fatalf("Get = %+v, %v", got, ok)
+	}
+	if _, ok := s.Get(999); ok {
+		t.Fatal("found nonexistent record")
+	}
+
+	obd := s.Select(Query{Source: SourceOBD})
+	if len(obd) != 2 {
+		t.Fatalf("obd select = %d", len(obd))
+	}
+	window := s.Select(Query{From: 15 * time.Second, To: 25 * time.Second})
+	if len(window) != 1 || window[0].Source != SourceGPS {
+		t.Fatalf("window select = %v", window)
+	}
+	near := s.Select(Query{X: 190, Y: 0, Radius: 20})
+	if len(near) != 1 || near[0].X != 200 {
+		t.Fatalf("spatial select = %v", near)
+	}
+	limited := s.Select(Query{Limit: 2})
+	if len(limited) != 2 {
+		t.Fatalf("limit select = %d", len(limited))
+	}
+}
+
+func TestSelectTimeOrdered(t *testing.T) {
+	s := openStore(t)
+	// Insert out of order.
+	s.Put(rec(SourceOBD, 30*time.Second, 0))
+	s.Put(rec(SourceOBD, 10*time.Second, 0))
+	s.Put(rec(SourceOBD, 20*time.Second, 0))
+	got := s.Select(Query{})
+	if len(got) != 3 {
+		t.Fatal("missing records")
+	}
+	for i := 1; i < len(got); i++ {
+		if got[i-1].At > got[i].At {
+			t.Fatalf("results out of order: %v", got)
+		}
+	}
+}
+
+func TestPersistenceAcrossReopen(t *testing.T) {
+	dir := t.TempDir()
+	s, err := OpenDiskStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	id, _ := s.Put(rec(SourceOBD, time.Second, 42))
+	s.Put(rec(SourceWeather, 2*time.Second, 43))
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, err := OpenDiskStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if s2.Count() != 2 {
+		t.Fatalf("reopened count = %d", s2.Count())
+	}
+	got, ok := s2.Get(id)
+	if !ok || got.X != 42 {
+		t.Fatalf("record lost across reopen: %+v %v", got, ok)
+	}
+	// IDs keep advancing after reopen.
+	id3, _ := s2.Put(rec(SourceOBD, 3*time.Second, 44))
+	if id3 <= id {
+		t.Fatalf("ID regressed after reopen: %d", id3)
+	}
+}
+
+func TestDeleteBeforeAndCompaction(t *testing.T) {
+	dir := t.TempDir()
+	s, err := OpenDiskStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i <= 10; i++ {
+		s.Put(rec(SourceOBD, time.Duration(i)*time.Second, 0))
+	}
+	removed, err := s.DeleteBefore(6 * time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if removed != 5 {
+		t.Fatalf("removed = %d, want 5", removed)
+	}
+	if s.Count() != 5 {
+		t.Fatalf("count = %d", s.Count())
+	}
+	// Store still writable after compaction.
+	if _, err := s.Put(rec(SourceOBD, 11*time.Second, 0)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Compaction persisted: reopen sees only survivors.
+	s2, err := OpenDiskStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if s2.Count() != 6 {
+		t.Fatalf("reopened count = %d, want 6", s2.Count())
+	}
+}
+
+func TestClosedStoreRefusesWrites(t *testing.T) {
+	s := openStore(t)
+	s.Close()
+	if _, err := s.Put(rec(SourceOBD, time.Second, 0)); err == nil {
+		t.Fatal("write to closed store succeeded")
+	}
+	if _, err := s.DeleteBefore(time.Second); err == nil {
+		t.Fatal("delete on closed store succeeded")
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal("double close errored")
+	}
+}
+
+// TestStoreReopenFuzz: random record batches survive close/reopen cycles
+// byte for byte.
+func TestStoreReopenFuzz(t *testing.T) {
+	dir := t.TempDir()
+	rng := sim.NewRNG(77)
+	want := map[uint64]Record{}
+	for cycle := 0; cycle < 5; cycle++ {
+		s, err := OpenDiskStore(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if s.Count() != len(want) {
+			t.Fatalf("cycle %d: reopened count %d, want %d", cycle, s.Count(), len(want))
+		}
+		for i := 0; i < 20; i++ {
+			payload := make([]byte, 1+rng.Intn(64))
+			for j := range payload {
+				payload[j] = byte('a' + rng.Intn(26))
+			}
+			r := Record{
+				Source:  SourceOBD,
+				At:      time.Duration(rng.Intn(100000)) * time.Millisecond,
+				X:       rng.Uniform(0, 1e4),
+				Payload: payload,
+			}
+			id, err := s.Put(r)
+			if err != nil {
+				t.Fatal(err)
+			}
+			r.ID = id
+			want[id] = r
+		}
+		if err := s.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s, err := OpenDiskStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	for id, w := range want {
+		got, ok := s.Get(id)
+		if !ok {
+			t.Fatalf("record %d lost", id)
+		}
+		if got.At != w.At || got.X != w.X || string(got.Payload) != string(w.Payload) {
+			t.Fatalf("record %d corrupted: %+v != %+v", id, got, w)
+		}
+	}
+}

@@ -1,0 +1,48 @@
+package edgeos
+
+import (
+	"testing"
+	"time"
+)
+
+func BenchmarkChoosePipeline(b *testing.B) {
+	mgr, err := buildManager(35, MinLatency)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := mgr.Register(kidnapperService()); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, _, err := mgr.Choose("kidnapper-search", time.Duration(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDataSharingPublishFetch(b *testing.B) {
+	d, err := NewDataSharing(sharingSecret, 16)
+	if err != nil {
+		b.Fatal(err)
+	}
+	tok, err := d.Enroll("svc")
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := d.Grant("frames", "svc", "pubsub"); err != nil {
+		b.Fatal(err)
+	}
+	payload := make([]byte, 4096)
+	b.SetBytes(int64(len(payload)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		at := time.Duration(i) * time.Millisecond
+		if err := d.Publish("svc", tok, "frames", at, payload); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := d.Fetch("svc", tok, "frames", at-time.Millisecond); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,119 @@
+package edgeos
+
+import (
+	"math"
+	"testing"
+)
+
+func TestLaunchValidation(t *testing.T) {
+	r := NewContainerRuntime()
+	if _, err := r.Launch("", ContainerIsolation, 100, 256, "m"); err == nil {
+		t.Fatal("empty service accepted")
+	}
+	if _, err := r.Launch("x", ContainerIsolation, 0, 256, "m"); err == nil {
+		t.Fatal("zero shares accepted")
+	}
+	if _, err := r.Launch("x", ContainerIsolation, 100, 0, "m"); err == nil {
+		t.Fatal("zero memory accepted")
+	}
+	if _, err := r.Launch("x", ContainerIsolation, 100, 256, "m"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Launch("x", ContainerIsolation, 100, 256, "m"); err == nil {
+		t.Fatal("duplicate accepted")
+	}
+}
+
+func TestCPUFraction(t *testing.T) {
+	r := NewContainerRuntime()
+	mustLaunch(t, r, "a", 300)
+	mustLaunch(t, r, "b", 100)
+	fa, err := r.CPUFraction("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(fa-0.75) > 1e-9 {
+		t.Fatalf("fraction a = %v, want 0.75", fa)
+	}
+	if err := r.Remove("a"); err != nil {
+		t.Fatal(err)
+	}
+	fb, _ := r.CPUFraction("b")
+	if fb != 1 {
+		t.Fatalf("fraction b after removal = %v, want 1", fb)
+	}
+	if _, err := r.CPUFraction("ghost"); err == nil {
+		t.Fatal("unknown service accepted")
+	}
+	if err := r.Remove("ghost"); err == nil {
+		t.Fatal("removing unknown service succeeded")
+	}
+}
+
+func mustLaunch(t *testing.T, r *ContainerRuntime, name string, shares int) *Container {
+	t.Helper()
+	c, err := r.Launch(name, ContainerIsolation, shares, 512, "m-"+name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestMemoryIsolation(t *testing.T) {
+	r := NewContainerRuntime()
+	c := mustLaunch(t, r, "svc", 100)
+	if err := c.ChargeMemory(400); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.ChargeMemory(200); err == nil {
+		t.Fatal("over-limit charge accepted")
+	}
+	c.ReleaseMemory(300)
+	if err := c.ChargeMemory(200); err != nil {
+		t.Fatalf("charge after release failed: %v", err)
+	}
+	if c.UsedMB() != 300 {
+		t.Fatalf("UsedMB = %v, want 300", c.UsedMB())
+	}
+	if err := c.ChargeMemory(-1); err == nil {
+		t.Fatal("negative charge accepted")
+	}
+	c.ReleaseMemory(1e9)
+	if c.UsedMB() != 0 {
+		t.Fatal("over-release went negative")
+	}
+}
+
+func TestStoppedContainerRefusesCharges(t *testing.T) {
+	r := NewContainerRuntime()
+	c := mustLaunch(t, r, "svc", 100)
+	c.Stop()
+	if c.Running() {
+		t.Fatal("stopped container still running")
+	}
+	if c.UsedMB() != 0 {
+		t.Fatal("stop did not release memory")
+	}
+	if err := c.ChargeMemory(1); err == nil {
+		t.Fatal("stopped container accepted charge")
+	}
+}
+
+func TestContainersSorted(t *testing.T) {
+	r := NewContainerRuntime()
+	mustLaunch(t, r, "zeta", 100)
+	mustLaunch(t, r, "alpha", 100)
+	got := r.Containers()
+	if len(got) != 2 || got[0].Service != "alpha" || got[1].Service != "zeta" {
+		t.Fatalf("containers = %v", got)
+	}
+}
+
+func TestIsolationKindString(t *testing.T) {
+	if ContainerIsolation.String() != "container" || TEEIsolation.String() != "tee" {
+		t.Fatal("isolation names wrong")
+	}
+	if IsolationKind(9).String() != "isolation(9)" {
+		t.Fatal("unknown isolation name wrong")
+	}
+}

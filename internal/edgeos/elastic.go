@@ -1,0 +1,287 @@
+package edgeos
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/offload"
+)
+
+// Objective selects what Elastic Management optimizes.
+type Objective int
+
+const (
+	// MinLatency picks the pipeline with the smallest end-to-end latency.
+	MinLatency Objective = iota + 1
+	// MinEnergy picks the least vehicle-energy pipeline that still meets
+	// the deadline.
+	MinEnergy
+)
+
+// String returns the objective name.
+func (o Objective) String() string {
+	switch o {
+	case MinLatency:
+		return "min-latency"
+	case MinEnergy:
+		return "min-energy"
+	default:
+		return fmt.Sprintf("objective(%d)", int(o))
+	}
+}
+
+// Choice is one evaluated pipeline option.
+type Choice struct {
+	Pipeline Pipeline
+	Estimate offload.Estimate
+	// MeetsDeadline is true when the estimate fits the service deadline.
+	MeetsDeadline bool
+}
+
+// InvocationResult records one service invocation.
+type InvocationResult struct {
+	Service   string
+	Pipeline  string
+	Dest      string
+	Latency   time.Duration
+	EnergyJ   float64
+	HungUp    bool
+	Completed time.Duration
+}
+
+// ElasticStats aggregates a service's invocation history.
+type ElasticStats struct {
+	Invocations  int
+	HangUps      int
+	TotalLatency time.Duration
+	TotalEnergyJ float64
+	// PipelineUse counts invocations per pipeline name.
+	PipelineUse map[string]int
+}
+
+// ElasticManager is EdgeOSv's Elastic Management module: it evaluates each
+// registered service's pipelines against current conditions and runs the
+// best, hanging services up when nothing meets their deadline.
+type ElasticManager struct {
+	engine    *offload.Engine
+	objective Objective
+	services  map[string]*Service
+	stats     map[string]*ElasticStats
+}
+
+// NewElasticManager builds the module over an offload engine.
+func NewElasticManager(engine *offload.Engine, objective Objective) (*ElasticManager, error) {
+	if engine == nil {
+		return nil, fmt.Errorf("edgeos: nil offload engine")
+	}
+	if objective != MinLatency && objective != MinEnergy {
+		return nil, fmt.Errorf("edgeos: unknown objective %d", objective)
+	}
+	return &ElasticManager{
+		engine:    engine,
+		objective: objective,
+		services:  make(map[string]*Service),
+		stats:     make(map[string]*ElasticStats),
+	}, nil
+}
+
+// SetObjective switches the optimization goal at runtime.
+func (m *ElasticManager) SetObjective(o Objective) error {
+	if o != MinLatency && o != MinEnergy {
+		return fmt.Errorf("edgeos: unknown objective %d", o)
+	}
+	m.objective = o
+	return nil
+}
+
+// Register adds a service. Names must be unique.
+func (m *ElasticManager) Register(s *Service) error {
+	if s == nil {
+		return fmt.Errorf("edgeos: nil service")
+	}
+	if err := s.Validate(); err != nil {
+		return err
+	}
+	if _, dup := m.services[s.Name]; dup {
+		return fmt.Errorf("edgeos: service %q already registered", s.Name)
+	}
+	s.state = Running
+	m.services[s.Name] = s
+	m.stats[s.Name] = &ElasticStats{PipelineUse: make(map[string]int)}
+	return nil
+}
+
+// Service returns a registered service.
+func (m *ElasticManager) Service(name string) (*Service, error) {
+	s, ok := m.services[name]
+	if !ok {
+		return nil, fmt.Errorf("edgeos: unknown service %q", name)
+	}
+	return s, nil
+}
+
+// Services lists registered services sorted by descending priority, then
+// name (the Differentiation ordering).
+func (m *ElasticManager) Services() []*Service {
+	out := make([]*Service, 0, len(m.services))
+	for _, s := range m.services {
+		out = append(out, s)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Priority != out[j].Priority {
+			return out[i].Priority > out[j].Priority
+		}
+		return out[i].Name < out[j].Name
+	})
+	return out
+}
+
+// Stats returns a copy of a service's aggregate statistics.
+func (m *ElasticManager) Stats(name string) (ElasticStats, error) {
+	st, ok := m.stats[name]
+	if !ok {
+		return ElasticStats{}, fmt.Errorf("edgeos: unknown service %q", name)
+	}
+	cp := *st
+	cp.PipelineUse = make(map[string]int, len(st.PipelineUse))
+	for k, v := range st.PipelineUse {
+		cp.PipelineUse[k] = v
+	}
+	return cp, nil
+}
+
+// evaluate scores one pipeline of a service at virtual time now.
+func (m *ElasticManager) evaluate(s *Service, p Pipeline, now time.Duration) Choice {
+	var est offload.Estimate
+	n := len(s.DAG.Tasks)
+	if p.SplitAfter >= n {
+		est = m.engine.EstimateOnboard(s.DAG, now)
+	} else {
+		// Best remote destination for this split.
+		best := offload.Estimate{Feasible: false, Reason: "no sites"}
+		for _, site := range m.engine.Sites() {
+			cand := m.engine.EstimateSite(s.DAG, site, p.SplitAfter, now)
+			if !cand.Feasible {
+				if !best.Feasible && best.Reason == "no sites" {
+					best = cand
+				}
+				continue
+			}
+			if !best.Feasible || cand.Total < best.Total {
+				best = cand
+			}
+		}
+		est = best
+	}
+	c := Choice{Pipeline: p, Estimate: est}
+	if est.Feasible {
+		c.MeetsDeadline = s.Deadline == 0 || est.Total <= s.Deadline
+	}
+	return c
+}
+
+// Choose evaluates all pipelines of a service and returns them sorted best
+// first under the current objective, considering only deadline-meeting,
+// feasible options as candidates. The boolean reports whether any
+// candidate exists.
+func (m *ElasticManager) Choose(name string, now time.Duration) (Choice, []Choice, bool, error) {
+	s, err := m.Service(name)
+	if err != nil {
+		return Choice{}, nil, false, err
+	}
+	if s.state == Stopped || s.state == Compromised {
+		return Choice{}, nil, false, fmt.Errorf("edgeos: service %s is %v", name, s.state)
+	}
+	pipelines := s.EffectivePipelines()
+	choices := make([]Choice, 0, len(pipelines))
+	for _, p := range pipelines {
+		choices = append(choices, m.evaluate(s, p, now))
+	}
+	sort.SliceStable(choices, func(i, j int) bool {
+		ci, cj := choices[i], choices[j]
+		if ci.MeetsDeadline != cj.MeetsDeadline {
+			return ci.MeetsDeadline
+		}
+		if ci.Estimate.Feasible != cj.Estimate.Feasible {
+			return ci.Estimate.Feasible
+		}
+		if m.objective == MinEnergy && ci.MeetsDeadline && cj.MeetsDeadline {
+			if ci.Estimate.VehicleEnergyJ != cj.Estimate.VehicleEnergyJ {
+				return ci.Estimate.VehicleEnergyJ < cj.Estimate.VehicleEnergyJ
+			}
+		}
+		return ci.Estimate.Total < cj.Estimate.Total
+	})
+	best := choices[0]
+	if !best.Estimate.Feasible || !best.MeetsDeadline {
+		return best, choices, false, nil
+	}
+	return best, choices, true, nil
+}
+
+// Invoke runs one service invocation end to end: choose a pipeline,
+// execute it (committing device/site reservations), and record stats. A
+// service with no viable pipeline is hung up and the invocation reports
+// HungUp without executing; a later successful Choose resumes it.
+func (m *ElasticManager) Invoke(name string, now time.Duration) (InvocationResult, error) {
+	s, err := m.Service(name)
+	if err != nil {
+		return InvocationResult{}, err
+	}
+	best, _, viable, err := m.Choose(name, now)
+	if err != nil {
+		return InvocationResult{}, err
+	}
+	st := m.stats[name]
+	if !viable {
+		s.state = HungUp
+		st.Invocations++
+		st.HangUps++
+		return InvocationResult{Service: name, HungUp: true}, nil
+	}
+	if s.state == HungUp {
+		s.state = Running // conditions recovered
+	}
+	done, err := m.engine.Execute(s.DAG, best.Estimate, now)
+	if err != nil {
+		return InvocationResult{}, fmt.Errorf("invoke %s: %w", name, err)
+	}
+	res := InvocationResult{
+		Service:   name,
+		Pipeline:  best.Pipeline.Name,
+		Dest:      best.Estimate.Dest,
+		Latency:   done - now,
+		EnergyJ:   best.Estimate.VehicleEnergyJ,
+		Completed: done,
+	}
+	st.Invocations++
+	st.TotalLatency += res.Latency
+	st.TotalEnergyJ += res.EnergyJ
+	st.PipelineUse[best.Pipeline.Name]++
+	return res, nil
+}
+
+// Engine exposes the underlying offload engine (used by tests and the
+// platform facade to update mobility).
+func (m *ElasticManager) Engine() *offload.Engine { return m.engine }
+
+// InvokeRound runs one invocation of every Running service in strict
+// priority order — the Differentiation property: safety-critical services
+// reserve devices first, so under contention lower-priority services queue
+// behind them rather than the reverse. Stopped/compromised services are
+// skipped; hang-ups are recorded per service as usual.
+func (m *ElasticManager) InvokeRound(now time.Duration) ([]InvocationResult, error) {
+	var out []InvocationResult
+	for _, s := range m.Services() {
+		if s.state == Stopped || s.state == Compromised {
+			continue
+		}
+		res, err := m.Invoke(s.Name, now)
+		if err != nil {
+			return out, fmt.Errorf("round invoke %s: %w", s.Name, err)
+		}
+		out = append(out, res)
+	}
+	return out, nil
+}

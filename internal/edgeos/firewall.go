@@ -1,0 +1,141 @@
+package edgeos
+
+import (
+	"fmt"
+
+	"repro/internal/network"
+)
+
+// Firewall is the basic network protection the paper calls for (§III-D:
+// "the firewall as a basic can be used to protect some attacks"): a
+// default-deny policy over inbound traffic classified by interface and
+// protocol, with ordered allow/deny rules and per-rule hit counting.
+
+// Verdict is a firewall decision.
+type Verdict int
+
+const (
+	// Deny drops the traffic.
+	Deny Verdict = iota + 1
+	// Allow admits it.
+	Allow
+)
+
+// String returns the verdict name.
+func (v Verdict) String() string {
+	switch v {
+	case Deny:
+		return "deny"
+	case Allow:
+		return "allow"
+	default:
+		return fmt.Sprintf("verdict(%d)", int(v))
+	}
+}
+
+// Flow classifies one inbound connection attempt.
+type Flow struct {
+	// Iface is the arrival interface.
+	Iface network.Tech
+	// Protocol is the application protocol ("bsm", "vdap-api", "ssh", ...).
+	Protocol string
+	// Source labels the peer ("pseudonym:..", "internet:..", ...).
+	Source string
+}
+
+// Rule matches flows. Zero-valued fields are wildcards.
+type Rule struct {
+	// Name labels the rule in reports.
+	Name string
+	// Iface matches the arrival interface (0 = any).
+	Iface network.Tech
+	// Protocol matches exactly ("" = any).
+	Protocol string
+	// Verdict is applied on match.
+	Verdict Verdict
+
+	hits int
+}
+
+// matches reports whether the rule covers the flow.
+func (r *Rule) matches(f Flow) bool {
+	if r.Iface != 0 && r.Iface != f.Iface {
+		return false
+	}
+	if r.Protocol != "" && r.Protocol != f.Protocol {
+		return false
+	}
+	return true
+}
+
+// Firewall evaluates ordered rules with a default-deny tail.
+type Firewall struct {
+	rules   []*Rule
+	denied  int
+	allowed int
+}
+
+// NewFirewall returns an empty default-deny firewall.
+func NewFirewall() *Firewall { return &Firewall{} }
+
+// DefaultVehicleFirewall returns the paper-shaped baseline policy: DSRC
+// safety beacons and the libvdap API over WiFi/BLE (paired passenger
+// devices) are allowed; everything else — in particular anything arriving
+// over the cellular interfaces, the remote-attack path §III-D worries
+// about — is denied by default.
+func DefaultVehicleFirewall() *Firewall {
+	fw := NewFirewall()
+	fw.Append(Rule{Name: "allow-dsrc-bsm", Iface: network.DSRC, Protocol: "bsm", Verdict: Allow})
+	fw.Append(Rule{Name: "allow-dsrc-collab", Iface: network.DSRC, Protocol: "collab", Verdict: Allow})
+	fw.Append(Rule{Name: "allow-wifi-api", Iface: network.WiFi, Protocol: "vdap-api", Verdict: Allow})
+	fw.Append(Rule{Name: "allow-ble-api", Iface: network.BLE, Protocol: "vdap-api", Verdict: Allow})
+	return fw
+}
+
+// Append adds a rule at the end of the chain.
+func (fw *Firewall) Append(r Rule) {
+	if r.Verdict == 0 {
+		r.Verdict = Deny
+	}
+	cp := r
+	fw.rules = append(fw.rules, &cp)
+}
+
+// Evaluate returns the verdict for a flow and the matching rule name
+// ("default-deny" when no rule matched).
+func (fw *Firewall) Evaluate(f Flow) (Verdict, string) {
+	for _, r := range fw.rules {
+		if r.matches(f) {
+			r.hits++
+			if r.Verdict == Allow {
+				fw.allowed++
+			} else {
+				fw.denied++
+			}
+			return r.Verdict, r.Name
+		}
+	}
+	fw.denied++
+	return Deny, "default-deny"
+}
+
+// Stats returns total allowed and denied flows.
+func (fw *Firewall) Stats() (allowed, denied int) { return fw.allowed, fw.denied }
+
+// RuleHits returns per-rule hit counts sorted by rule name.
+func (fw *Firewall) RuleHits() map[string]int {
+	out := make(map[string]int, len(fw.rules))
+	for _, r := range fw.rules {
+		out[r.Name] = r.hits
+	}
+	return out
+}
+
+// Rules lists rule names in evaluation order.
+func (fw *Firewall) Rules() []string {
+	out := make([]string, 0, len(fw.rules))
+	for _, r := range fw.rules {
+		out = append(out, r.Name)
+	}
+	return out
+}

@@ -1,0 +1,84 @@
+package edgeos
+
+import (
+	"testing"
+
+	"repro/internal/network"
+)
+
+func TestDefaultFirewallPolicy(t *testing.T) {
+	fw := DefaultVehicleFirewall()
+	cases := []struct {
+		flow Flow
+		want Verdict
+	}{
+		{Flow{Iface: network.DSRC, Protocol: "bsm", Source: "pseudonym:abc"}, Allow},
+		{Flow{Iface: network.DSRC, Protocol: "collab", Source: "pseudonym:abc"}, Allow},
+		{Flow{Iface: network.WiFi, Protocol: "vdap-api", Source: "phone:1"}, Allow},
+		{Flow{Iface: network.BLE, Protocol: "vdap-api", Source: "phone:1"}, Allow},
+		// The remote-attack paths the paper worries about:
+		{Flow{Iface: network.LTE, Protocol: "ssh", Source: "internet:evil"}, Deny},
+		{Flow{Iface: network.LTE, Protocol: "vdap-api", Source: "internet:evil"}, Deny},
+		{Flow{Iface: network.FiveG, Protocol: "bsm", Source: "internet:spoof"}, Deny},
+		{Flow{Iface: network.WiFi, Protocol: "telnet", Source: "parking-lot"}, Deny},
+	}
+	for _, tc := range cases {
+		got, rule := fw.Evaluate(tc.flow)
+		if got != tc.want {
+			t.Errorf("%+v -> %v (rule %s), want %v", tc.flow, got, rule, tc.want)
+		}
+	}
+	allowed, denied := fw.Stats()
+	if allowed != 4 || denied != 4 {
+		t.Fatalf("stats = %d/%d", allowed, denied)
+	}
+}
+
+func TestFirewallDefaultDeny(t *testing.T) {
+	fw := NewFirewall()
+	v, rule := fw.Evaluate(Flow{Iface: network.DSRC, Protocol: "bsm"})
+	if v != Deny || rule != "default-deny" {
+		t.Fatalf("empty firewall = %v via %s", v, rule)
+	}
+}
+
+func TestFirewallRuleOrdering(t *testing.T) {
+	fw := NewFirewall()
+	// A specific deny ahead of a broad allow must win.
+	fw.Append(Rule{Name: "block-bad-proto", Protocol: "ssh", Verdict: Deny})
+	fw.Append(Rule{Name: "allow-all-dsrc", Iface: network.DSRC, Verdict: Allow})
+	if v, rule := fw.Evaluate(Flow{Iface: network.DSRC, Protocol: "ssh"}); v != Deny || rule != "block-bad-proto" {
+		t.Fatalf("ordering broken: %v via %s", v, rule)
+	}
+	if v, _ := fw.Evaluate(Flow{Iface: network.DSRC, Protocol: "bsm"}); v != Allow {
+		t.Fatalf("broad allow broken: %v", v)
+	}
+}
+
+func TestFirewallWildcardsAndHits(t *testing.T) {
+	fw := NewFirewall()
+	fw.Append(Rule{Name: "any", Verdict: Allow}) // full wildcard
+	for i := 0; i < 3; i++ {
+		fw.Evaluate(Flow{Iface: network.LTE, Protocol: "x"})
+	}
+	if fw.RuleHits()["any"] != 3 {
+		t.Fatalf("hits = %v", fw.RuleHits())
+	}
+	if len(fw.Rules()) != 1 || fw.Rules()[0] != "any" {
+		t.Fatalf("rules = %v", fw.Rules())
+	}
+}
+
+func TestFirewallZeroVerdictDefaultsToDeny(t *testing.T) {
+	fw := NewFirewall()
+	fw.Append(Rule{Name: "implicit"})
+	if v, _ := fw.Evaluate(Flow{}); v != Deny {
+		t.Fatalf("zero-verdict rule = %v", v)
+	}
+}
+
+func TestVerdictString(t *testing.T) {
+	if Allow.String() != "allow" || Deny.String() != "deny" || Verdict(9).String() != "verdict(9)" {
+		t.Fatal("verdict names wrong")
+	}
+}

@@ -1,0 +1,108 @@
+package edgeos
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/network"
+	"repro/internal/vdapcrypto"
+)
+
+// This file implements container-based service migration between vehicles
+// (paper §IV-C: containerization is "a good candidate for isolation and
+// migration", and "the service might be migrated from a neighbor vehicle
+// which may not be trustworthy" — hence attestation against a trusted
+// measurement list before an inbound service runs).
+
+// MigrationOffer is the unit a vehicle sends when handing a service over
+// DSRC to a peer.
+type MigrationOffer struct {
+	// Service carries the full definition including the image.
+	Service *Service
+	// ClaimedMeasurement is the sender's attestation claim for the image.
+	ClaimedMeasurement string
+	// FromPseudonym identifies the sender unlinkably.
+	FromPseudonym string
+}
+
+// TransferBytes is the payload size moved during migration: the image
+// plus a fixed container-state snapshot.
+func (o MigrationOffer) TransferBytes() float64 {
+	const snapshotBytes = 256 * 1024
+	if o.Service == nil {
+		return snapshotBytes
+	}
+	return float64(len(o.Service.Image)) + snapshotBytes
+}
+
+// PrepareMigration packages an installed service for handover and stops
+// its local sandbox. TEE services cannot be migrated: sealed state is
+// bound to this vehicle's hardware.
+func (sm *SecurityModule) PrepareMigration(service, fromPseudonym string) (MigrationOffer, error) {
+	s, err := sm.manager.Service(service)
+	if err != nil {
+		return MigrationOffer{}, err
+	}
+	if s.TEE {
+		return MigrationOffer{}, fmt.Errorf("edgeos: TEE service %s cannot migrate (sealed state is hardware-bound)", service)
+	}
+	if err := sm.Attest(service); err != nil {
+		return MigrationOffer{}, fmt.Errorf("pre-migration attestation: %w", err)
+	}
+	c, err := sm.runtime.Get(service)
+	if err != nil {
+		return MigrationOffer{}, err
+	}
+	c.Stop()
+	s.state = Stopped
+	return MigrationOffer{
+		Service:            s,
+		ClaimedMeasurement: sm.expected[service],
+		FromPseudonym:      fromPseudonym,
+	}, nil
+}
+
+// TrustMeasurement whitelists an image measurement for inbound migration
+// (e.g. distributed by the service vendor through the cloud).
+func (sm *SecurityModule) TrustMeasurement(measurement string) {
+	if sm.trusted == nil {
+		sm.trusted = make(map[string]bool)
+	}
+	sm.trusted[measurement] = true
+}
+
+// ReceiveMigration verifies and installs a service arriving from another
+// vehicle. The image must hash to the claimed measurement AND the
+// measurement must be on the local trust list; inbound services never get
+// TEE privileges (they run under plain container isolation until the
+// owner re-installs them locally).
+func (sm *SecurityModule) ReceiveMigration(offer MigrationOffer, cpuShares int, memoryLimitMB float64) error {
+	if offer.Service == nil {
+		return fmt.Errorf("edgeos: migration offer has no service")
+	}
+	got := vdapcrypto.Fingerprint(offer.Service.Image)
+	if got != offer.ClaimedMeasurement {
+		return fmt.Errorf("edgeos: migrated image of %s does not match claimed measurement (have %s, claimed %s)",
+			offer.Service.Name, got, offer.ClaimedMeasurement)
+	}
+	if !sm.trusted[offer.ClaimedMeasurement] {
+		return fmt.Errorf("edgeos: measurement %s of migrated service %s is not trusted",
+			offer.ClaimedMeasurement, offer.Service.Name)
+	}
+	// Rebuild the service locally; strip TEE demands.
+	inbound := &Service{
+		Name:      offer.Service.Name,
+		Priority:  offer.Service.Priority,
+		Deadline:  offer.Service.Deadline,
+		DAG:       offer.Service.DAG.Clone(),
+		Pipelines: append([]Pipeline(nil), offer.Service.Pipelines...),
+		TEE:       false,
+		Image:     append([]byte(nil), offer.Service.Image...),
+	}
+	return sm.Install(inbound, cpuShares, memoryLimitMB)
+}
+
+// MigrationCost returns the DSRC handover time for an offer.
+func MigrationCost(offer MigrationOffer, link network.LinkSpec) (time.Duration, error) {
+	return link.TransferTime(offer.TransferBytes(), network.Uplink)
+}

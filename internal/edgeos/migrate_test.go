@@ -1,0 +1,160 @@
+package edgeos
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/network"
+	"repro/internal/tasks"
+	"repro/internal/vdapcrypto"
+)
+
+func plainService() *Service {
+	return &Service{
+		Name:     "kidnapper-search",
+		Priority: PriorityInteractive,
+		Deadline: 2 * time.Second,
+		DAG:      tasks.ALPR(),
+		Image:    []byte("mobile-a3-binary-v1"),
+	}
+}
+
+// twoVehicles returns sender and receiver security modules.
+func twoVehicles(t *testing.T) (sender, receiver *SecurityModule) {
+	t.Helper()
+	sA, _, _ := newSecured(t)
+	sB, _, _ := newSecured(t)
+	return sA, sB
+}
+
+func TestMigrationHappyPath(t *testing.T) {
+	sender, receiver := twoVehicles(t)
+	svc := plainService()
+	if err := sender.Install(svc, 100, 512); err != nil {
+		t.Fatal(err)
+	}
+	offer, err := sender.PrepareMigration(svc.Name, "pseudo-sender")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if offer.FromPseudonym != "pseudo-sender" {
+		t.Fatalf("offer pseudonym = %q", offer.FromPseudonym)
+	}
+	// Sender side is stopped after handover.
+	if svc.State() != Stopped {
+		t.Fatalf("sender state = %v, want stopped", svc.State())
+	}
+	// Receiver trusts the vendor measurement and accepts.
+	receiver.TrustMeasurement(offer.ClaimedMeasurement)
+	if err := receiver.ReceiveMigration(offer, 100, 512); err != nil {
+		t.Fatal(err)
+	}
+	if err := receiver.Attest(svc.Name); err != nil {
+		t.Fatalf("migrated service fails attestation: %v", err)
+	}
+	got, err := receiver.manager.Service(svc.Name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.State() != Running {
+		t.Fatalf("receiver state = %v", got.State())
+	}
+	if got.TEE {
+		t.Fatal("migrated service was granted TEE")
+	}
+	// It runs on the new vehicle.
+	if _, err := receiver.manager.Invoke(svc.Name, 0); err != nil {
+		t.Fatalf("invoke migrated service: %v", err)
+	}
+}
+
+func TestMigrationUntrustedMeasurementRejected(t *testing.T) {
+	sender, receiver := twoVehicles(t)
+	svc := plainService()
+	if err := sender.Install(svc, 100, 512); err != nil {
+		t.Fatal(err)
+	}
+	offer, err := sender.PrepareMigration(svc.Name, "p")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Receiver never trusted this measurement.
+	err = receiver.ReceiveMigration(offer, 100, 512)
+	if err == nil || !strings.Contains(err.Error(), "not trusted") {
+		t.Fatalf("untrusted migration err = %v", err)
+	}
+}
+
+func TestMigrationTamperedImageRejected(t *testing.T) {
+	sender, receiver := twoVehicles(t)
+	svc := plainService()
+	if err := sender.Install(svc, 100, 512); err != nil {
+		t.Fatal(err)
+	}
+	offer, err := sender.PrepareMigration(svc.Name, "p")
+	if err != nil {
+		t.Fatal(err)
+	}
+	receiver.TrustMeasurement(offer.ClaimedMeasurement)
+	// A malicious relay swaps the image in flight.
+	offer.Service.Image = []byte("evil payload")
+	if err := receiver.ReceiveMigration(offer, 100, 512); err == nil {
+		t.Fatal("tampered migration accepted")
+	}
+	// Even if the relay also updates the claim, the trust list saves us.
+	offer.ClaimedMeasurement = vdapcrypto.Fingerprint(offer.Service.Image)
+	if err := receiver.ReceiveMigration(offer, 100, 512); err == nil {
+		t.Fatal("re-claimed tampered migration accepted")
+	}
+}
+
+func TestMigrationTEERefused(t *testing.T) {
+	sender, _ := twoVehicles(t)
+	svc := teeService()
+	if err := sender.Install(svc, 100, 512); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sender.PrepareMigration(svc.Name, "p"); err == nil {
+		t.Fatal("TEE service migration prepared")
+	}
+}
+
+func TestMigrationUnknownService(t *testing.T) {
+	sender, receiver := twoVehicles(t)
+	if _, err := sender.PrepareMigration("ghost", "p"); err == nil {
+		t.Fatal("unknown service prepared")
+	}
+	if err := receiver.ReceiveMigration(MigrationOffer{}, 100, 512); err == nil {
+		t.Fatal("empty offer accepted")
+	}
+}
+
+func TestMigrationCost(t *testing.T) {
+	sender, _ := twoVehicles(t)
+	svc := plainService()
+	if err := sender.Install(svc, 100, 512); err != nil {
+		t.Fatal(err)
+	}
+	offer, err := sender.PrepareMigration(svc.Name, "p")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dsrc, err := network.LookupLink("dsrc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cost, err := MigrationCost(offer, dsrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cost <= dsrc.RTT {
+		t.Fatalf("migration cost %v implausibly small", cost)
+	}
+	if offer.TransferBytes() <= float64(len(svc.Image)) {
+		t.Fatal("transfer bytes missing snapshot overhead")
+	}
+	if (MigrationOffer{}).TransferBytes() <= 0 {
+		t.Fatal("empty offer transfer bytes")
+	}
+}

@@ -1,0 +1,79 @@
+package edgeos
+
+import (
+	"testing"
+	"time"
+)
+
+var privacySecret = []byte("vehicle-long-term-privacy-secret")
+
+func TestNewPrivacyModuleValidation(t *testing.T) {
+	if _, err := NewPrivacyModule([]byte("short"), time.Minute, 100); err == nil {
+		t.Fatal("short secret accepted")
+	}
+	if _, err := NewPrivacyModule(privacySecret, 0, 100); err == nil {
+		t.Fatal("zero rotation accepted")
+	}
+	if _, err := NewPrivacyModule(privacySecret, time.Minute, 5); err == nil {
+		t.Fatal("too-fine grid accepted")
+	}
+}
+
+func TestPseudonymRotatesAndRecognized(t *testing.T) {
+	p, err := NewPrivacyModule(privacySecret, 10*time.Minute, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := p.Pseudonym(0)
+	b := p.Pseudonym(5 * time.Minute)
+	c := p.Pseudonym(15 * time.Minute)
+	if a != b {
+		t.Fatal("pseudonym rotated within epoch")
+	}
+	if a == c {
+		t.Fatal("pseudonym did not rotate")
+	}
+	if !p.IsMine(a, 15*time.Minute, 20*time.Minute) {
+		t.Fatal("own old pseudonym not recognized")
+	}
+	if p.IsMine("deadbeefdeadbeefdeadbeefdeadbeef", 0, time.Hour) {
+		t.Fatal("foreign pseudonym recognized")
+	}
+}
+
+func TestGeneralizeLocation(t *testing.T) {
+	p, _ := NewPrivacyModule(privacySecret, time.Minute, 100)
+	gx, gy := p.GeneralizeLocation(123, 456)
+	if gx != 150 || gy != 450 {
+		t.Fatalf("generalized = (%v, %v), want (150, 450)", gx, gy)
+	}
+	// Points in the same cell collapse to the same center.
+	gx2, gy2 := p.GeneralizeLocation(199, 401)
+	if gx2 != gx || gy2 != gy {
+		t.Fatal("same-cell points did not collapse")
+	}
+	// Negative coordinates snap consistently.
+	gx3, _ := p.GeneralizeLocation(-10, 0)
+	if gx3 != -50 {
+		t.Fatalf("negative snap = %v, want -50", gx3)
+	}
+}
+
+func TestScrub(t *testing.T) {
+	p, _ := NewPrivacyModule(privacySecret, time.Minute, 100)
+	rec := p.Scrub(90*time.Second, 123, 456, "obd", []byte("rpm=2000"))
+	if rec.Pseudonym != p.Pseudonym(90*time.Second) {
+		t.Fatal("scrubbed record uses wrong pseudonym")
+	}
+	if rec.X != 150 || rec.Y != 450 {
+		t.Fatalf("location not generalized: (%v, %v)", rec.X, rec.Y)
+	}
+	if rec.Kind != "obd" || string(rec.Payload) != "rpm=2000" {
+		t.Fatal("payload mangled")
+	}
+	// The pseudonym must not leak across epochs.
+	rec2 := p.Scrub(10*time.Minute, 123, 456, "obd", nil)
+	if rec2.Pseudonym == rec.Pseudonym {
+		t.Fatal("pseudonym identical across epochs")
+	}
+}

@@ -1,0 +1,134 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/collab"
+	"repro/internal/geo"
+	"repro/internal/hardware"
+)
+
+// CollabRow is one convoy size's outcome in E9.
+type CollabRow struct {
+	Convoy        int
+	Collaborative bool
+	Computations  int
+	Borrows       int
+	TotalCostMS   float64
+	SavingsX      float64 // compute reduction vs. no collaboration
+}
+
+// RunCollaboration drives convoys of increasing size down the same road
+// for two minutes; each vehicle needs an object-detection result for its
+// current 100 m segment every second (E9, the paper's §III-C
+// collaboration challenge). With sharing on, one member computes each
+// segment and the rest borrow over DSRC.
+func RunCollaboration() ([]CollabRow, error) {
+	tx2, err := hardware.Lookup(hardware.DeviceTX2MaxP)
+	if err != nil {
+		return nil, err
+	}
+	detectCost, err := tx2.ExecTime(hardware.DNNInference, hardware.InceptionV3GFLOP)
+	if err != nil {
+		return nil, err
+	}
+	const (
+		duration = 2 * time.Minute
+		spacing  = 25.0 // meters between convoy members
+	)
+	var rows []CollabRow
+	for _, n := range []int{1, 2, 4, 8} {
+		for _, collaborative := range []bool{false, true} {
+			road, err := geo.NewRoad(20000)
+			if err != nil {
+				return nil, err
+			}
+			shareRange := 300.0
+			if !collaborative {
+				shareRange = 0.001 // effectively disables sharing
+			}
+			convoy, err := collab.NewConvoy(shareRange)
+			if err != nil {
+				return nil, err
+			}
+			keyer, err := collab.NewKeyer(100, 2*time.Second)
+			if err != nil {
+				return nil, err
+			}
+			vehicles := make([]*collab.Vehicle, 0, n)
+			for i := 0; i < n; i++ {
+				cache, err := collab.NewCache(keyer, 10*time.Second)
+				if err != nil {
+					return nil, err
+				}
+				v := &collab.Vehicle{
+					Name:     fmt.Sprintf("cav-%d", i),
+					Mobility: geo.Mobility{Road: road, SpeedMS: geo.MPH(35), StartX: float64(i) * spacing},
+					Cache:    cache,
+				}
+				if err := convoy.Add(v); err != nil {
+					return nil, err
+				}
+				vehicles = append(vehicles, v)
+			}
+			var total time.Duration
+			computations, borrows := 0, 0
+			for sec := time.Duration(0); sec < duration; sec += time.Second {
+				for _, v := range vehicles {
+					x := v.Mobility.PositionAt(sec).X
+					key := keyer.For("object-detect", x, sec)
+					_, cost, err := convoy.Obtain(v, key, sec, func() (collab.Result, time.Duration, error) {
+						return collab.Result{At: sec, Bytes: 2048}, detectCost, nil
+					})
+					if err != nil {
+						return nil, err
+					}
+					total += cost
+				}
+			}
+			for _, v := range vehicles {
+				computations += v.Computed()
+				borrows += v.Borrowed()
+			}
+			rows = append(rows, CollabRow{
+				Convoy:        n,
+				Collaborative: collaborative,
+				Computations:  computations,
+				Borrows:       borrows,
+				TotalCostMS:   float64(total) / float64(time.Millisecond),
+			})
+		}
+	}
+	// Fill the savings column from the paired baseline.
+	baseline := map[int]int{}
+	for _, r := range rows {
+		if !r.Collaborative {
+			baseline[r.Convoy] = r.Computations
+		}
+	}
+	for i := range rows {
+		if rows[i].Collaborative && rows[i].Computations > 0 {
+			rows[i].SavingsX = float64(baseline[rows[i].Convoy]) / float64(rows[i].Computations)
+		} else if !rows[i].Collaborative {
+			rows[i].SavingsX = 1
+		}
+	}
+	return rows, nil
+}
+
+// CollabTable renders E9.
+func CollabTable(rows []CollabRow) *Table {
+	t := &Table{
+		Title:   "E9: convoy collaboration (2 min drive, per-segment object detection)",
+		Columns: []string{"Convoy", "Sharing", "Computations", "Borrows", "Total cost (ms)", "Compute savings"},
+	}
+	for _, r := range rows {
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprintf("%d", r.Convoy), fmt.Sprintf("%v", r.Collaborative),
+			fmt.Sprintf("%d", r.Computations), fmt.Sprintf("%d", r.Borrows),
+			f2(r.TotalCostMS), f2(r.SavingsX) + "x",
+		})
+	}
+	return t
+}

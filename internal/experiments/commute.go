@@ -1,0 +1,134 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/edgeos"
+	"repro/internal/geo"
+	"repro/internal/offload"
+	"repro/internal/tasks"
+	"repro/internal/vcu"
+	"repro/internal/xedge"
+)
+
+// CommuteRow summarizes one leg of E11.
+type CommuteRow struct {
+	Leg        string
+	SpeedMPH   float64
+	Checks     int
+	DestUse    map[string]int
+	AvgMS      float64
+	RSUCovered float64 // fraction of checks inside any RSU's coverage
+}
+
+// RunCommute drives the kidnapper-search service through a realistic
+// commute (stopped → crawl → arterial → highway → arterial) on a corridor
+// with sparse RSUs (E11): the chosen destination should shift between the
+// RSU tier (in coverage), cloud/onboard (out of coverage), and degrade
+// gracefully at highway speed.
+func RunCommute() ([]CommuteRow, error) {
+	road, err := geo.NewRoad(40000)
+	if err != nil {
+		return nil, err
+	}
+	road.PlaceStations(40, geo.BaseStation, 900, 0, "bs")
+	road.PlaceStations(8, geo.RSU, 400, 0, "rsu") // sparse: 5 km apart
+	trip := geo.CommuteTrip(road)
+	if err := trip.Validate(); err != nil {
+		return nil, err
+	}
+
+	m, err := vcu.DefaultVCU()
+	if err != nil {
+		return nil, err
+	}
+	dsf, err := vcu.NewDSF(m, vcu.GreedyEFT{})
+	if err != nil {
+		return nil, err
+	}
+	sites, err := xedge.PlaceAlongRoad(road)
+	if err != nil {
+		return nil, err
+	}
+	cl, err := xedge.NewCloud()
+	if err != nil {
+		return nil, err
+	}
+	sites = append(sites, cl)
+	eng, err := offload.NewEngine(dsf, trip.MobilityAt(0), sites)
+	if err != nil {
+		return nil, err
+	}
+	mgr, err := edgeos.NewElasticManager(eng, edgeos.MinLatency)
+	if err != nil {
+		return nil, err
+	}
+	svc := &edgeos.Service{
+		Name:     "kidnapper-search",
+		Priority: edgeos.PriorityInteractive,
+		Deadline: 2 * time.Second,
+		DAG:      tasks.ALPR(),
+		Image:    []byte("a3"),
+	}
+	if err := mgr.Register(svc); err != nil {
+		return nil, err
+	}
+
+	legNames := []string{"stopped", "crawl-15", "arterial-35", "highway-70", "arterial-35b"}
+	var rows []CommuteRow
+	var elapsed time.Duration
+	for i, leg := range trip.Legs {
+		row := CommuteRow{
+			Leg:      legNames[i],
+			SpeedMPH: leg.SpeedMS / geo.MPH(1),
+			DestUse:  map[string]int{},
+		}
+		var total time.Duration
+		for at := elapsed; at < elapsed+leg.Duration; at += 10 * time.Second {
+			eng.SetMobility(trip.MobilityAt(at))
+			pos := trip.PositionAt(at)
+			if len(road.CoveringStations(pos)) > 0 {
+				for _, st := range road.CoveringStations(pos) {
+					if st.Kind == geo.RSU {
+						row.RSUCovered++
+						break
+					}
+				}
+			}
+			best, _, viable, err := mgr.Choose("kidnapper-search", at)
+			if err != nil {
+				return nil, err
+			}
+			row.Checks++
+			if viable {
+				row.DestUse[best.Estimate.Dest]++
+				total += best.Estimate.Total
+			} else {
+				row.DestUse["hung-up"]++
+			}
+		}
+		if row.Checks > 0 {
+			row.AvgMS = float64(total) / float64(row.Checks) / float64(time.Millisecond)
+			row.RSUCovered /= float64(row.Checks)
+		}
+		rows = append(rows, row)
+		elapsed += leg.Duration
+	}
+	return rows, nil
+}
+
+// CommuteTable renders E11.
+func CommuteTable(rows []CommuteRow) *Table {
+	t := &Table{
+		Title:   "E11: destination choice along a commute (kidnapper search, sparse RSUs)",
+		Columns: []string{"Leg", "Speed (MPH)", "Checks", "Destinations", "Avg (ms)", "RSU coverage"},
+	}
+	for _, r := range rows {
+		t.Rows = append(t.Rows, []string{
+			r.Leg, f2(r.SpeedMPH), fmt.Sprintf("%d", r.Checks),
+			fmt.Sprintf("%v", r.DestUse), f2(r.AvgMS), f2(r.RSUCovered),
+		})
+	}
+	return t
+}

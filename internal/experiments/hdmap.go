@@ -1,0 +1,77 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/geo"
+	"repro/internal/hdmap"
+	"repro/internal/sim"
+)
+
+// HDMapRow is one (speed, horizon) point in E10.
+type HDMapRow struct {
+	SpeedMPH   float64
+	HorizonSec float64
+	MissRate   float64
+	Fetches    int
+	BlockedMS  float64 // total lookup-path blocking time
+}
+
+// RunHDMapPrefetch sweeps prefetch horizons at two speeds over a
+// ten-minute drive with per-second map lookups (E10): the horizon needed
+// to hide all blocking fetches grows with speed, and over-prefetching only
+// costs background bandwidth.
+func RunHDMapPrefetch() ([]HDMapRow, error) {
+	road, err := geo.NewRoad(200000)
+	if err != nil {
+		return nil, err
+	}
+	var rows []HDMapRow
+	for _, mph := range []float64{35, 70} {
+		for _, horizon := range []time.Duration{0, 5 * time.Second, 15 * time.Second, 60 * time.Second} {
+			svc, err := hdmap.New(hdmap.Config{CacheTiles: 64}, sim.NewRNG(3))
+			if err != nil {
+				return nil, err
+			}
+			mob := geo.Mobility{Road: road, SpeedMS: geo.MPH(mph)}
+			var blocked time.Duration
+			for now := time.Duration(0); now < 10*time.Minute; now += time.Second {
+				if horizon > 0 {
+					if _, _, err := svc.Prefetch(mob, now, horizon); err != nil {
+						return nil, err
+					}
+				}
+				_, cost, err := svc.Lookup(mob.PositionAt(now).X)
+				if err != nil {
+					return nil, err
+				}
+				blocked += cost
+			}
+			_, _, fetches := svc.Stats()
+			rows = append(rows, HDMapRow{
+				SpeedMPH:   mph,
+				HorizonSec: horizon.Seconds(),
+				MissRate:   svc.MissRate(),
+				Fetches:    fetches,
+				BlockedMS:  float64(blocked) / float64(time.Millisecond),
+			})
+		}
+	}
+	return rows, nil
+}
+
+// HDMapTable renders E10.
+func HDMapTable(rows []HDMapRow) *Table {
+	t := &Table{
+		Title:   "E10: HD-map prefetch horizon vs blocking fetches (10 min drive)",
+		Columns: []string{"Speed (MPH)", "Horizon (s)", "Miss rate", "Fetches", "Blocked (ms)"},
+	}
+	for _, r := range rows {
+		t.Rows = append(t.Rows, []string{
+			f2(r.SpeedMPH), f2(r.HorizonSec), f3(r.MissRate),
+			fmt.Sprintf("%d", r.Fetches), f2(r.BlockedMS),
+		})
+	}
+	return t
+}

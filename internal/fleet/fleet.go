@@ -1,0 +1,195 @@
+// Package fleet co-simulates multiple OpenVDAP vehicles sharing the same
+// XEdge and cloud infrastructure. Each vehicle has its own VCU, DSF, and
+// offloading engine, but the remote sites are shared objects, so one
+// vehicle's offloads raise queueing delay for everyone — the multi-tenant
+// contention the paper's edge architecture must survive.
+package fleet
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/edgeos"
+	"repro/internal/geo"
+	"repro/internal/offload"
+	"repro/internal/tasks"
+	"repro/internal/vcu"
+	"repro/internal/xedge"
+)
+
+// Vehicle is one fleet member.
+type Vehicle struct {
+	Name    string
+	Engine  *offload.Engine
+	Manager *edgeos.ElasticManager
+}
+
+// Fleet is a set of vehicles over shared infrastructure.
+type Fleet struct {
+	road     *geo.Road
+	sites    []*xedge.Site
+	vehicles []*Vehicle
+}
+
+// Config parameterizes New.
+type Config struct {
+	// Vehicles is the fleet size (>= 1).
+	Vehicles int
+	// RoadLengthM and infrastructure layout.
+	RoadLengthM  float64
+	BaseStations int
+	RSUs         int
+	// SpeedMPH applies to every vehicle.
+	SpeedMPH float64
+	// Policy is each vehicle's DSF policy. Nil means GreedyEFT.
+	Policy vcu.Policy
+	// Service is installed on every vehicle. Nil means the ALPR
+	// kidnapper-search service with a 2 s deadline.
+	Service func() *edgeos.Service
+}
+
+func (c Config) withDefaults() Config {
+	if c.RoadLengthM == 0 {
+		c.RoadLengthM = 20000
+	}
+	if c.BaseStations == 0 {
+		c.BaseStations = 20
+	}
+	if c.RSUs == 0 {
+		c.RSUs = 4
+	}
+	if c.SpeedMPH == 0 {
+		c.SpeedMPH = 35
+	}
+	if c.Policy == nil {
+		c.Policy = vcu.GreedyEFT{}
+	}
+	if c.Service == nil {
+		c.Service = func() *edgeos.Service {
+			return &edgeos.Service{
+				Name:     "kidnapper-search",
+				Priority: edgeos.PriorityInteractive,
+				Deadline: 2 * time.Second,
+				DAG:      tasks.ALPR(),
+				Image:    []byte("a3"),
+			}
+		}
+	}
+	return c
+}
+
+// New assembles the fleet: shared road, shared RSU/cloud sites, and one
+// full vehicle stack per member, spaced evenly along the corridor.
+func New(cfg Config) (*Fleet, error) {
+	cfg = cfg.withDefaults()
+	if cfg.Vehicles < 1 {
+		return nil, fmt.Errorf("fleet: need at least one vehicle, got %d", cfg.Vehicles)
+	}
+	road, err := geo.NewRoad(cfg.RoadLengthM)
+	if err != nil {
+		return nil, err
+	}
+	road.PlaceStations(cfg.BaseStations, geo.BaseStation, 900, 0, "bs")
+	// RSUs cover the whole corridor so contention, not coverage, is the
+	// variable under study.
+	road.PlaceStations(cfg.RSUs, geo.RSU, cfg.RoadLengthM, 0, "rsu")
+	sites, err := xedge.PlaceAlongRoad(road)
+	if err != nil {
+		return nil, err
+	}
+	cl, err := xedge.NewCloud()
+	if err != nil {
+		return nil, err
+	}
+	sites = append(sites, cl)
+
+	f := &Fleet{road: road, sites: sites}
+	spacing := cfg.RoadLengthM / float64(cfg.Vehicles)
+	for i := 0; i < cfg.Vehicles; i++ {
+		m, err := vcu.DefaultVCU()
+		if err != nil {
+			return nil, err
+		}
+		dsf, err := vcu.NewDSF(m, cfg.Policy)
+		if err != nil {
+			return nil, err
+		}
+		mob := geo.Mobility{Road: road, SpeedMS: geo.MPH(cfg.SpeedMPH), StartX: float64(i) * spacing}
+		eng, err := offload.NewEngine(dsf, mob, sites)
+		if err != nil {
+			return nil, err
+		}
+		mgr, err := edgeos.NewElasticManager(eng, edgeos.MinLatency)
+		if err != nil {
+			return nil, err
+		}
+		if err := mgr.Register(cfg.Service()); err != nil {
+			return nil, err
+		}
+		f.vehicles = append(f.vehicles, &Vehicle{
+			Name:    fmt.Sprintf("cav-%d", i),
+			Engine:  eng,
+			Manager: mgr,
+		})
+	}
+	return f, nil
+}
+
+// Vehicles returns fleet members in order.
+func (f *Fleet) Vehicles() []*Vehicle {
+	out := make([]*Vehicle, len(f.vehicles))
+	copy(out, f.vehicles)
+	return out
+}
+
+// Sites returns the shared infrastructure.
+func (f *Fleet) Sites() []*xedge.Site { return f.sites }
+
+// RoundResult aggregates one invocation round across the fleet.
+type RoundResult struct {
+	Invocations int
+	HangUps     int
+	Total       time.Duration
+	Max         time.Duration
+	// OffloadShare is the fraction of completed invocations that left the
+	// vehicle.
+	OffloadShare float64
+}
+
+// InvokeAll runs one invocation of the named service on every vehicle at
+// virtual time now. All vehicles contend for the same shared sites.
+func (f *Fleet) InvokeAll(service string, now time.Duration) (RoundResult, error) {
+	var rr RoundResult
+	offloaded := 0
+	for _, v := range f.vehicles {
+		res, err := v.Manager.Invoke(service, now)
+		if err != nil {
+			return rr, fmt.Errorf("%s: %w", v.Name, err)
+		}
+		rr.Invocations++
+		if res.HungUp {
+			rr.HangUps++
+			continue
+		}
+		rr.Total += res.Latency
+		if res.Latency > rr.Max {
+			rr.Max = res.Latency
+		}
+		if res.Dest != offload.OnboardName {
+			offloaded++
+		}
+	}
+	if done := rr.Invocations - rr.HangUps; done > 0 {
+		rr.OffloadShare = float64(offloaded) / float64(done)
+	}
+	return rr, nil
+}
+
+// Mean returns the average completed-invocation latency of a round.
+func (r RoundResult) Mean() time.Duration {
+	done := r.Invocations - r.HangUps
+	if done == 0 {
+		return 0
+	}
+	return r.Total / time.Duration(done)
+}

@@ -1,0 +1,230 @@
+package hardware
+
+import "fmt"
+
+// InceptionV3GFLOP is the forward-pass cost of Inception-v3 (~5.7 GMACs).
+// This constant anchors the Figure-3 calibration: each device's
+// DNNInference throughput is InceptionV3GFLOP divided by the paper's
+// measured latency for that device.
+const InceptionV3GFLOP = 11.46
+
+// Figure-3 measured Inception-v3 latencies (seconds) and max power (watts).
+// Power values follow the published TDPs of the named parts: Movidius NCS
+// ~1 W, Jetson TX2 Max-Q 7.5 W, Max-P 15 W, i7-6700 ~60 W (figure axis),
+// Tesla V100 250 W.
+const (
+	mncsInceptionSec = 0.3345
+	tx2qInceptionSec = 0.2428
+	tx2pInceptionSec = 0.1143
+	i7InceptionSec   = 0.1539
+	v100InceptionSec = 0.0268
+)
+
+// Catalog device names. These are the identities used throughout the
+// platform, the benchmarks, and EXPERIMENTS.md.
+const (
+	DeviceAWSVCPU   = "aws-vcpu-2.4ghz"    // Table I measurement host
+	DeviceMNCS      = "intel-mncs"         // Figure 3 "DSP-based"
+	DeviceTX2MaxQ   = "jetson-tx2-maxq"    // Figure 3 "GPU#1"
+	DeviceTX2MaxP   = "jetson-tx2-maxp"    // Figure 3 "GPU#2"
+	DeviceI76700    = "intel-i7-6700"      // Figure 3 "CPU-based"
+	DeviceV100      = "tesla-v100"         // Figure 3 "GPU#3"
+	DeviceOBC       = "onboard-controller" // legacy vehicle ECU
+	DevicePhone     = "passenger-phone"    // 2ndHEP mobile device
+	DeviceVCUFPGA   = "vcu-fpga"           // 1stHEP reconfigurable fabric
+	DeviceVCUASIC   = "vcu-asic"           // 1stHEP fixed-function accelerator
+	DeviceEdgeXeon  = "xedge-xeon"         // XEdge server CPU
+	DeviceEdgeGPU   = "xedge-gpu"          // XEdge server GPU (V100-class)
+	DeviceCloudNode = "cloud-node"         // cloud tier aggregate node
+)
+
+// Catalog returns the calibrated processor catalog keyed by device name.
+// Callers receive fresh copies and may mutate them freely.
+func Catalog() map[string]*Processor {
+	devices := []*Processor{
+		{
+			// The Table-I host: one 2.4 GHz EC2 vCPU. Vision and
+			// DNN-inference throughputs are chosen so the three Table-I
+			// workload constants in package tasks reproduce the paper's
+			// latencies exactly.
+			Name: DeviceAWSVCPU,
+			Kind: CPU,
+			Throughput: map[Class]float64{
+				General:      8,
+				Vision:       10,
+				DNNInference: 10,
+				DNNTraining:  5,
+				Codec:        8,
+				Crypto:       6,
+			},
+			IdlePowerW: 10, MaxPowerW: 45, MemoryMB: 4096, Slots: 1,
+		},
+		{
+			// Figure-3 DSP: Intel Movidius Neural Compute Stick. Superb
+			// perf/W on DNN inference, nearly useless for general code.
+			Name: DeviceMNCS,
+			Kind: DSP,
+			Throughput: map[Class]float64{
+				General:      0.5,
+				Vision:       4,
+				DNNInference: InceptionV3GFLOP / mncsInceptionSec, // ≈ 34.3
+			},
+			IdlePowerW: 0.5, MaxPowerW: 1.0, MemoryMB: 512, Slots: 1,
+		},
+		{
+			Name: DeviceTX2MaxQ,
+			Kind: GPU,
+			Throughput: map[Class]float64{
+				General:      6,
+				Vision:       20,
+				DNNInference: InceptionV3GFLOP / tx2qInceptionSec, // ≈ 47.2
+				DNNTraining:  15,
+				Codec:        30,
+			},
+			IdlePowerW: 2, MaxPowerW: 7.5, MemoryMB: 8192, Slots: 1,
+		},
+		{
+			Name: DeviceTX2MaxP,
+			Kind: GPU,
+			Throughput: map[Class]float64{
+				General:      8,
+				Vision:       30,
+				DNNInference: InceptionV3GFLOP / tx2pInceptionSec, // ≈ 100.3
+				DNNTraining:  32,
+				Codec:        45,
+			},
+			IdlePowerW: 3, MaxPowerW: 15, MemoryMB: 8192, Slots: 1,
+		},
+		{
+			Name: DeviceI76700,
+			Kind: CPU,
+			Throughput: map[Class]float64{
+				General:      25,
+				Vision:       35,
+				DNNInference: InceptionV3GFLOP / i7InceptionSec, // ≈ 74.5
+				DNNTraining:  25,
+				Codec:        40,
+				Crypto:       30,
+			},
+			IdlePowerW: 8, MaxPowerW: 60, MemoryMB: 16384, Slots: 4,
+		},
+		{
+			Name: DeviceV100,
+			Kind: GPU,
+			Throughput: map[Class]float64{
+				General:      10,
+				Vision:       120,
+				DNNInference: InceptionV3GFLOP / v100InceptionSec, // ≈ 427.6
+				DNNTraining:  400,
+				Codec:        150,
+			},
+			IdlePowerW: 35, MaxPowerW: 250, MemoryMB: 32768, Slots: 4,
+		},
+		{
+			// Traditional vehicle on-board controller: closed, tiny.
+			Name: DeviceOBC,
+			Kind: CPU,
+			Throughput: map[Class]float64{
+				General: 1.5,
+				Vision:  1.0,
+				Crypto:  0.8,
+			},
+			IdlePowerW: 2, MaxPowerW: 8, MemoryMB: 512, Slots: 1,
+		},
+		{
+			// Passenger smartphone joining the 2ndHEP opportunistically.
+			Name: DevicePhone,
+			Kind: CPU,
+			Throughput: map[Class]float64{
+				General:      6,
+				Vision:       10,
+				DNNInference: 20,
+				Codec:        25,
+				Crypto:       8,
+			},
+			IdlePowerW: 0.5, MaxPowerW: 5, MemoryMB: 6144, Slots: 1,
+		},
+		{
+			// VCU FPGA fabric: strong on streaming transforms (feature
+			// extraction, compression, codecs) per the paper's §IV-B.
+			Name: DeviceVCUFPGA,
+			Kind: FPGA,
+			Throughput: map[Class]float64{
+				Vision:       60,
+				DNNInference: 90,
+				Codec:        120,
+				Crypto:       80,
+			},
+			IdlePowerW: 5, MaxPowerW: 25, MemoryMB: 4096, Slots: 2,
+		},
+		{
+			// VCU ASIC: best perf/W but only runs DNN inference.
+			Name: DeviceVCUASIC,
+			Kind: ASIC,
+			Throughput: map[Class]float64{
+				DNNInference: 200,
+			},
+			IdlePowerW: 1, MaxPowerW: 6, MemoryMB: 2048, Slots: 1,
+		},
+		{
+			Name: DeviceEdgeXeon,
+			Kind: CPU,
+			Throughput: map[Class]float64{
+				General:      60,
+				Vision:       80,
+				DNNInference: 150,
+				DNNTraining:  60,
+				Codec:        90,
+				Crypto:       70,
+			},
+			IdlePowerW: 60, MaxPowerW: 205, MemoryMB: 65536, Slots: 16,
+		},
+		{
+			Name: DeviceEdgeGPU,
+			Kind: GPU,
+			Throughput: map[Class]float64{
+				General:      10,
+				Vision:       120,
+				DNNInference: 420,
+				DNNTraining:  400,
+				Codec:        150,
+			},
+			IdlePowerW: 35, MaxPowerW: 250, MemoryMB: 32768, Slots: 4,
+		},
+		{
+			// Cloud node: conceptually unconstrained; modeled as a large
+			// many-slot server so compute is never the cloud bottleneck.
+			Name: DeviceCloudNode,
+			Kind: CPU,
+			Throughput: map[Class]float64{
+				General:      100,
+				Vision:       200,
+				DNNInference: 800,
+				DNNTraining:  800,
+				Codec:        200,
+				Crypto:       150,
+			},
+			IdlePowerW: 100, MaxPowerW: 500, MemoryMB: 262144, Slots: 64,
+		},
+	}
+	out := make(map[string]*Processor, len(devices))
+	for _, d := range devices {
+		out[d.Name] = d
+	}
+	return out
+}
+
+// Lookup returns a copy of the named catalog device.
+func Lookup(name string) (*Processor, error) {
+	p, ok := Catalog()[name]
+	if !ok {
+		return nil, fmt.Errorf("hardware: unknown device %q", name)
+	}
+	return p, nil
+}
+
+// Figure3Devices lists the five Figure-3 processors in the paper's order:
+// DSP-based, GPU#1, GPU#2, CPU-based, GPU#3.
+func Figure3Devices() []string {
+	return []string{DeviceMNCS, DeviceTX2MaxQ, DeviceTX2MaxP, DeviceI76700, DeviceV100}
+}

@@ -1,0 +1,44 @@
+package hdmap
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/geo"
+	"repro/internal/sim"
+)
+
+func BenchmarkLookupWarm(b *testing.B) {
+	s, err := New(Config{CacheTiles: 64}, sim.NewRNG(1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, _, err := s.Lookup(100); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := s.Lookup(100); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkPrefetchDrive(b *testing.B) {
+	road, err := geo.NewRoad(1e7)
+	if err != nil {
+		b.Fatal(err)
+	}
+	mob := geo.Mobility{Road: road, SpeedMS: 30}
+	s, err := New(Config{CacheTiles: 64}, sim.NewRNG(1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		now := time.Duration(i) * time.Second
+		if _, _, err := s.Prefetch(mob, now, 15*time.Second); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

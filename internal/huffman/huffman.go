@@ -1,0 +1,264 @@
+// Package huffman implements canonical Huffman coding over byte symbols.
+// The standard library offers no reusable Huffman coder, and OpenVDAP's
+// Deep-Compression pipeline (prune → weight-share → Huffman) needs one to
+// entropy-code quantized weight indices.
+package huffman
+
+import (
+	"container/heap"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// ErrEmptyInput is returned when encoding zero bytes.
+var ErrEmptyInput = errors.New("huffman: empty input")
+
+// ErrCorrupt is returned when a decode fails structural validation.
+var ErrCorrupt = errors.New("huffman: corrupt stream")
+
+type node struct {
+	sym   int // 0..255, or -1 for internal nodes
+	count int
+	left  *node
+	right *node
+	order int // insertion order for deterministic tie-breaking
+}
+
+type nodeHeap []*node
+
+func (h nodeHeap) Len() int { return len(h) }
+func (h nodeHeap) Less(i, j int) bool {
+	if h[i].count != h[j].count {
+		return h[i].count < h[j].count
+	}
+	return h[i].order < h[j].order
+}
+func (h nodeHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *nodeHeap) Push(x any) {
+	n, ok := x.(*node)
+	if ok {
+		*h = append(*h, n)
+	}
+}
+func (h *nodeHeap) Pop() any {
+	old := *h
+	n := old[len(old)-1]
+	*h = old[:len(old)-1]
+	return n
+}
+
+// codeLengths builds per-symbol code lengths from frequencies.
+func codeLengths(freq *[256]int) [256]int {
+	var lens [256]int
+	h := &nodeHeap{}
+	order := 0
+	for s, c := range freq {
+		if c > 0 {
+			heap.Push(h, &node{sym: s, count: c, order: order})
+			order++
+		}
+	}
+	if h.Len() == 1 {
+		// Single distinct symbol: give it a 1-bit code.
+		only, _ := heap.Pop(h).(*node)
+		lens[only.sym] = 1
+		return lens
+	}
+	for h.Len() > 1 {
+		a, _ := heap.Pop(h).(*node)
+		b, _ := heap.Pop(h).(*node)
+		heap.Push(h, &node{sym: -1, count: a.count + b.count, left: a, right: b, order: order})
+		order++
+	}
+	root, _ := heap.Pop(h).(*node)
+	var walk func(n *node, depth int)
+	walk = func(n *node, depth int) {
+		if n == nil {
+			return
+		}
+		if n.sym >= 0 {
+			lens[n.sym] = depth
+			return
+		}
+		walk(n.left, depth+1)
+		walk(n.right, depth+1)
+	}
+	walk(root, 0)
+	return lens
+}
+
+// canonicalCodes assigns canonical codes from code lengths: codes of the
+// same length are consecutive, ordered by symbol value.
+func canonicalCodes(lens *[256]int) (codes [256]uint64, ok bool) {
+	type sl struct{ sym, length int }
+	var order []sl
+	maxLen := 0
+	for s, l := range lens {
+		if l > 0 {
+			order = append(order, sl{s, l})
+			if l > maxLen {
+				maxLen = l
+			}
+		}
+	}
+	if maxLen > 64 {
+		return codes, false
+	}
+	sort.Slice(order, func(i, j int) bool {
+		if order[i].length != order[j].length {
+			return order[i].length < order[j].length
+		}
+		return order[i].sym < order[j].sym
+	})
+	var code uint64
+	prevLen := 0
+	for _, e := range order {
+		code <<= uint(e.length - prevLen)
+		codes[e.sym] = code
+		code++
+		prevLen = e.length
+	}
+	return codes, true
+}
+
+// Encode compresses data. The output embeds the original length, a sparse
+// canonical code-length table (count + symbol/length pairs — most streams
+// here use few distinct symbols), and the bit stream.
+func Encode(data []byte) ([]byte, error) {
+	if len(data) == 0 {
+		return nil, ErrEmptyInput
+	}
+	var freq [256]int
+	for _, b := range data {
+		freq[b]++
+	}
+	lens := codeLengths(&freq)
+	codes, ok := canonicalCodes(&lens)
+	if !ok {
+		return nil, fmt.Errorf("huffman: code length overflow")
+	}
+
+	out := make([]byte, 0, len(data)/2+64)
+	var hdr [8]byte
+	binary.LittleEndian.PutUint64(hdr[:], uint64(len(data)))
+	out = append(out, hdr[:]...)
+	distinct := 0
+	for _, l := range lens {
+		if l > 0 {
+			distinct++
+		}
+	}
+	if distinct > 256 {
+		return nil, fmt.Errorf("huffman: impossible symbol count %d", distinct)
+	}
+	out = append(out, byte(distinct-1)) // 1..256 encoded as 0..255
+	for s, l := range lens {
+		if l == 0 {
+			continue
+		}
+		if l > 255 {
+			return nil, fmt.Errorf("huffman: code length %d exceeds byte", l)
+		}
+		out = append(out, byte(s), byte(l))
+	}
+
+	var acc uint64
+	var nbits uint
+	for _, b := range data {
+		l := uint(lens[b])
+		acc = acc<<l | codes[b]
+		nbits += l
+		for nbits >= 8 {
+			nbits -= 8
+			out = append(out, byte(acc>>nbits))
+		}
+	}
+	if nbits > 0 {
+		out = append(out, byte(acc<<(8-nbits)))
+	}
+	return out, nil
+}
+
+// Decode reverses Encode.
+func Decode(enc []byte) ([]byte, error) {
+	if len(enc) < 8+1+2 {
+		return nil, ErrCorrupt
+	}
+	n := binary.LittleEndian.Uint64(enc[:8])
+	if n == 0 || n > 1<<40 {
+		return nil, ErrCorrupt
+	}
+	distinct := int(enc[8]) + 1
+	tableEnd := 9 + 2*distinct
+	if len(enc) < tableEnd {
+		return nil, ErrCorrupt
+	}
+	var lens [256]int
+	for i := 0; i < distinct; i++ {
+		sym := enc[9+2*i]
+		l := int(enc[9+2*i+1])
+		if l == 0 || lens[sym] != 0 {
+			return nil, ErrCorrupt
+		}
+		lens[sym] = l
+	}
+	codes, ok := canonicalCodes(&lens)
+	if !ok {
+		return nil, ErrCorrupt
+	}
+
+	// Build decode map: (length, code) -> symbol.
+	type key struct {
+		length int
+		code   uint64
+	}
+	decode := make(map[key]byte)
+	maxLen := 0
+	for s, l := range lens {
+		if l > 0 {
+			decode[key{l, codes[s]}] = byte(s)
+			if l > maxLen {
+				maxLen = l
+			}
+		}
+	}
+	if len(decode) == 0 {
+		return nil, ErrCorrupt
+	}
+
+	out := make([]byte, 0, n)
+	payload := enc[tableEnd:]
+	var acc uint64
+	length := 0
+	bitIdx := 0
+	totalBits := len(payload) * 8
+	for uint64(len(out)) < n {
+		if bitIdx >= totalBits {
+			return nil, ErrCorrupt
+		}
+		bit := (payload[bitIdx/8] >> (7 - uint(bitIdx%8))) & 1
+		bitIdx++
+		acc = acc<<1 | uint64(bit)
+		length++
+		if length > maxLen {
+			return nil, ErrCorrupt
+		}
+		if sym, ok := decode[key{length, acc}]; ok {
+			out = append(out, sym)
+			acc, length = 0, 0
+		}
+	}
+	return out, nil
+}
+
+// Ratio returns compressed size over original size for data (1.0 means no
+// gain). It returns 1 for empty input.
+func Ratio(data []byte) float64 {
+	enc, err := Encode(data)
+	if err != nil {
+		return 1
+	}
+	return float64(len(enc)) / float64(len(data))
+}

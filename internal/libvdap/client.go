@@ -1,0 +1,193 @@
+package libvdap
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strconv"
+	"time"
+
+	"repro/internal/ddi"
+	"repro/internal/edgeos"
+	"repro/internal/vcu"
+)
+
+// Client is the Go binding for the RESTful API — what third-party
+// developers link against (paper: "developers can access all software and
+// hardware resources by calling the API").
+type Client struct {
+	base  string
+	http  *http.Client
+	token string
+}
+
+// NewClient targets an API server at base (e.g. "http://127.0.0.1:8947").
+func NewClient(base string, hc *http.Client) (*Client, error) {
+	if base == "" {
+		return nil, fmt.Errorf("libvdap: empty base URL")
+	}
+	if hc == nil {
+		hc = &http.Client{Timeout: 10 * time.Second}
+	}
+	return &Client{base: base, http: hc}, nil
+}
+
+// SetToken attaches a Data Sharing authentication token to future calls.
+func (c *Client) SetToken(token string) { c.token = token }
+
+func (c *Client) do(method, path string, body, out any) error {
+	var reader io.Reader
+	if body != nil {
+		buf, err := json.Marshal(body)
+		if err != nil {
+			return fmt.Errorf("marshal request: %w", err)
+		}
+		reader = bytes.NewReader(buf)
+	}
+	req, err := http.NewRequest(method, c.base+path, reader)
+	if err != nil {
+		return fmt.Errorf("build request: %w", err)
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	if c.token != "" {
+		req.Header.Set("X-VDAP-Token", c.token)
+	}
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return fmt.Errorf("%s %s: %w", method, path, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode >= 400 {
+		var apiErr apiError
+		if decodeErr := json.NewDecoder(resp.Body).Decode(&apiErr); decodeErr == nil && apiErr.Error != "" {
+			return fmt.Errorf("%s %s: %s (HTTP %d)", method, path, apiErr.Error, resp.StatusCode)
+		}
+		return fmt.Errorf("%s %s: HTTP %d", method, path, resp.StatusCode)
+	}
+	if out == nil {
+		return nil
+	}
+	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		return fmt.Errorf("decode response: %w", err)
+	}
+	return nil
+}
+
+// Status returns the platform status document.
+func (c *Client) Status() (map[string]any, error) {
+	var out map[string]any
+	if err := c.do(http.MethodGet, "/api/v1/status", nil, &out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// Models lists the model library.
+func (c *Client) Models() ([]ModelInfo, error) {
+	var out []ModelInfo
+	if err := c.do(http.MethodGet, "/api/v1/models", nil, &out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// Model returns one model's metadata.
+func (c *Client) Model(name string) (ModelInfo, error) {
+	var out ModelInfo
+	if err := c.do(http.MethodGet, "/api/v1/models/"+url.PathEscape(name), nil, &out); err != nil {
+		return ModelInfo{}, err
+	}
+	return out, nil
+}
+
+// Predict runs a registry model remotely.
+func (c *Client) Predict(name string, features []float64) (PredictResponse, error) {
+	var out PredictResponse
+	err := c.do(http.MethodPost, "/api/v1/models/"+url.PathEscape(name)+"/predict",
+		PredictRequest{Features: features}, &out)
+	return out, err
+}
+
+// Resources returns the VCU device profiles.
+func (c *Client) Resources() ([]vcu.ResourceProfile, error) {
+	var out []vcu.ResourceProfile
+	if err := c.do(http.MethodGet, "/api/v1/resources", nil, &out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// Upload pushes a record into DDI.
+func (c *Client) Upload(source string, x, y float64, payload []byte) (uint64, error) {
+	var out UploadResponse
+	err := c.do(http.MethodPost, "/api/v1/data/upload",
+		UploadRequest{Source: source, X: x, Y: y, Payload: payload}, &out)
+	return out.ID, err
+}
+
+// QueryData runs a DDI range query. from/to are virtual seconds.
+func (c *Client) QueryData(source string, fromSec, toSec float64, limit int) ([]ddi.Record, float64, error) {
+	v := url.Values{}
+	if source != "" {
+		v.Set("source", source)
+	}
+	v.Set("from", strconv.FormatFloat(fromSec, 'f', -1, 64))
+	v.Set("to", strconv.FormatFloat(toSec, 'f', -1, 64))
+	if limit > 0 {
+		v.Set("limit", strconv.Itoa(limit))
+	}
+	var out QueryResponse
+	if err := c.do(http.MethodGet, "/api/v1/data/query?"+v.Encode(), nil, &out); err != nil {
+		return nil, 0, err
+	}
+	return out.Records, out.LatencyMS, nil
+}
+
+// Topics lists data-sharing topics.
+func (c *Client) Topics() ([]string, error) {
+	var out []string
+	if err := c.do(http.MethodGet, "/api/v1/sharing/topics", nil, &out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// Publish shares a payload on a topic as the given service.
+func (c *Client) Publish(service, topic string, payload []byte) error {
+	return c.do(http.MethodPost, "/api/v1/sharing/publish",
+		PublishRequest{Service: service, Topic: topic, Payload: payload}, nil)
+}
+
+// Services lists EdgeOSv services and their statistics.
+func (c *Client) Services() ([]ServiceInfo, error) {
+	var out []ServiceInfo
+	if err := c.do(http.MethodGet, "/api/v1/services", nil, &out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// Invoke triggers one invocation of an EdgeOSv service.
+func (c *Client) Invoke(service string) (InvokeResponse, error) {
+	var out InvokeResponse
+	err := c.do(http.MethodPost, "/api/v1/services/"+url.PathEscape(service)+"/invoke", nil, &out)
+	return out, err
+}
+
+// FetchMessages reads a topic as the given service.
+func (c *Client) FetchMessages(service, topic string, sinceSec float64) ([]edgeos.Message, error) {
+	v := url.Values{}
+	v.Set("service", service)
+	v.Set("topic", topic)
+	v.Set("since", strconv.FormatFloat(sinceSec, 'f', -1, 64))
+	var out []edgeos.Message
+	if err := c.do(http.MethodGet, "/api/v1/sharing/fetch?"+v.Encode(), nil, &out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}

@@ -1,0 +1,372 @@
+package libvdap
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"time"
+
+	"repro/internal/ddi"
+	"repro/internal/edgeos"
+	"repro/internal/vcu"
+)
+
+// Clock supplies virtual time to API handlers so HTTP access participates
+// in the simulation's timeline.
+type Clock func() time.Duration
+
+// Server is the uniform RESTful API of Figure 8. Every handler fronts one
+// of the four resource groups: model library, VCU system resources, data
+// sharing, and DDI.
+type Server struct {
+	registry *Registry
+	mhep     *vcu.MHEP
+	store    *ddi.DDI
+	sharing  *edgeos.DataSharing
+	elastic  *edgeos.ElasticManager
+	clock    Clock
+	mux      *http.ServeMux
+}
+
+// NewServer wires the API. Any resource group may be nil; its endpoints
+// then return 503.
+func NewServer(registry *Registry, mhep *vcu.MHEP, store *ddi.DDI, sharing *edgeos.DataSharing, clock Clock) (*Server, error) {
+	if clock == nil {
+		return nil, fmt.Errorf("libvdap: nil clock")
+	}
+	s := &Server{
+		registry: registry,
+		mhep:     mhep,
+		store:    store,
+		sharing:  sharing,
+		clock:    clock,
+		mux:      http.NewServeMux(),
+	}
+	s.routes()
+	return s, nil
+}
+
+// AttachElastic adds the EdgeOSv service endpoints (list, invoke) backed
+// by the given elastic manager.
+func (s *Server) AttachElastic(m *edgeos.ElasticManager) { s.elastic = m }
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+var _ http.Handler = (*Server)(nil)
+
+func (s *Server) routes() {
+	s.mux.HandleFunc("GET /api/v1/status", s.handleStatus)
+	s.mux.HandleFunc("GET /api/v1/models", s.handleListModels)
+	s.mux.HandleFunc("GET /api/v1/models/{name}", s.handleModelInfo)
+	s.mux.HandleFunc("POST /api/v1/models/{name}/predict", s.handlePredict)
+	s.mux.HandleFunc("GET /api/v1/resources", s.handleResources)
+	s.mux.HandleFunc("POST /api/v1/data/upload", s.handleUpload)
+	s.mux.HandleFunc("GET /api/v1/data/query", s.handleQuery)
+	s.mux.HandleFunc("GET /api/v1/sharing/topics", s.handleTopics)
+	s.mux.HandleFunc("POST /api/v1/sharing/publish", s.handlePublish)
+	s.mux.HandleFunc("GET /api/v1/sharing/fetch", s.handleFetch)
+	s.mux.HandleFunc("GET /api/v1/services", s.handleListServices)
+	s.mux.HandleFunc("POST /api/v1/services/{name}/invoke", s.handleInvokeService)
+}
+
+// ServiceInfo summarizes one EdgeOSv service over the API.
+type ServiceInfo struct {
+	Name        string         `json:"name"`
+	Priority    int            `json:"priority"`
+	State       string         `json:"state"`
+	Invocations int            `json:"invocations"`
+	HangUps     int            `json:"hangUps"`
+	AvgMS       float64        `json:"avgLatencyMs"`
+	EnergyJ     float64        `json:"energyJ"`
+	PipelineUse map[string]int `json:"pipelineUse"`
+}
+
+func (s *Server) handleListServices(w http.ResponseWriter, r *http.Request) {
+	if s.elastic == nil {
+		writeErr(w, http.StatusServiceUnavailable, fmt.Errorf("EdgeOSv not attached"))
+		return
+	}
+	services := s.elastic.Services()
+	out := make([]ServiceInfo, 0, len(services))
+	for _, svc := range services {
+		st, err := s.elastic.Stats(svc.Name)
+		if err != nil {
+			continue
+		}
+		info := ServiceInfo{
+			Name:        svc.Name,
+			Priority:    int(svc.Priority),
+			State:       svc.State().String(),
+			Invocations: st.Invocations,
+			HangUps:     st.HangUps,
+			EnergyJ:     st.TotalEnergyJ,
+			PipelineUse: st.PipelineUse,
+		}
+		if n := st.Invocations - st.HangUps; n > 0 {
+			info.AvgMS = float64(st.TotalLatency) / float64(n) / float64(time.Millisecond)
+		}
+		out = append(out, info)
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+// InvokeResponse reports one API-triggered service invocation.
+type InvokeResponse struct {
+	Service   string  `json:"service"`
+	Pipeline  string  `json:"pipeline"`
+	Dest      string  `json:"dest"`
+	LatencyMS float64 `json:"latencyMs"`
+	HungUp    bool    `json:"hungUp"`
+}
+
+func (s *Server) handleInvokeService(w http.ResponseWriter, r *http.Request) {
+	if s.elastic == nil {
+		writeErr(w, http.StatusServiceUnavailable, fmt.Errorf("EdgeOSv not attached"))
+		return
+	}
+	name := r.PathValue("name")
+	res, err := s.elastic.Invoke(name, s.clock())
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, InvokeResponse{
+		Service:   res.Service,
+		Pipeline:  res.Pipeline,
+		Dest:      res.Dest,
+		LatencyMS: float64(res.Latency) / float64(time.Millisecond),
+		HungUp:    res.HungUp,
+	})
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		// Headers are gone; nothing more to do.
+		return
+	}
+}
+
+type apiError struct {
+	Error string `json:"error"`
+}
+
+func writeErr(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, apiError{Error: err.Error()})
+}
+
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"platform":    "openvdap",
+		"virtualTime": s.clock().Seconds(),
+		"groups": map[string]bool{
+			"models":    s.registry != nil,
+			"resources": s.mhep != nil,
+			"data":      s.store != nil,
+			"sharing":   s.sharing != nil,
+		},
+	})
+}
+
+func (s *Server) handleListModels(w http.ResponseWriter, r *http.Request) {
+	if s.registry == nil {
+		writeErr(w, http.StatusServiceUnavailable, fmt.Errorf("model library not attached"))
+		return
+	}
+	writeJSON(w, http.StatusOK, s.registry.List())
+}
+
+func (s *Server) handleModelInfo(w http.ResponseWriter, r *http.Request) {
+	if s.registry == nil {
+		writeErr(w, http.StatusServiceUnavailable, fmt.Errorf("model library not attached"))
+		return
+	}
+	info, err := s.registry.Info(r.PathValue("name"))
+	if err != nil {
+		writeErr(w, http.StatusNotFound, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, info)
+}
+
+// PredictRequest is the body of POST /models/{name}/predict.
+type PredictRequest struct {
+	Features []float64 `json:"features"`
+}
+
+// PredictResponse is its result.
+type PredictResponse struct {
+	Probabilities []float64 `json:"probabilities"`
+	Class         int       `json:"class"`
+}
+
+func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
+	if s.registry == nil {
+		writeErr(w, http.StatusServiceUnavailable, fmt.Errorf("model library not attached"))
+		return
+	}
+	var req PredictRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("decode request: %w", err))
+		return
+	}
+	probs, class, err := s.registry.Predict(r.PathValue("name"), req.Features)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, PredictResponse{Probabilities: probs, Class: class})
+}
+
+func (s *Server) handleResources(w http.ResponseWriter, r *http.Request) {
+	if s.mhep == nil {
+		writeErr(w, http.StatusServiceUnavailable, fmt.Errorf("VCU not attached"))
+		return
+	}
+	now := s.clock()
+	horizon := now
+	if horizon == 0 {
+		horizon = time.Second
+	}
+	writeJSON(w, http.StatusOK, s.mhep.Profiles(now, horizon))
+}
+
+// UploadRequest is the body of POST /data/upload.
+type UploadRequest struct {
+	Source  string  `json:"source"`
+	X       float64 `json:"x"`
+	Y       float64 `json:"y"`
+	Payload []byte  `json:"payload"`
+}
+
+// UploadResponse returns the assigned record ID.
+type UploadResponse struct {
+	ID uint64 `json:"id"`
+}
+
+func (s *Server) handleUpload(w http.ResponseWriter, r *http.Request) {
+	if s.store == nil {
+		writeErr(w, http.StatusServiceUnavailable, fmt.Errorf("DDI not attached"))
+		return
+	}
+	var req UploadRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("decode request: %w", err))
+		return
+	}
+	rec, err := s.store.Upload(s.clock(), ddi.Source(req.Source), req.X, req.Y, req.Payload)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, UploadResponse{ID: rec.ID})
+}
+
+// QueryResponse carries a DDI range query's results and simulated latency.
+type QueryResponse struct {
+	Records   []ddi.Record `json:"records"`
+	LatencyMS float64      `json:"latencyMs"`
+}
+
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	if s.store == nil {
+		writeErr(w, http.StatusServiceUnavailable, fmt.Errorf("DDI not attached"))
+		return
+	}
+	q := ddi.Query{Source: ddi.Source(r.URL.Query().Get("source"))}
+	var err error
+	if q.From, err = parseSeconds(r.URL.Query().Get("from")); err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	if q.To, err = parseSeconds(r.URL.Query().Get("to")); err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	if limit := r.URL.Query().Get("limit"); limit != "" {
+		n, err := strconv.Atoi(limit)
+		if err != nil || n < 0 {
+			writeErr(w, http.StatusBadRequest, fmt.Errorf("bad limit %q", limit))
+			return
+		}
+		q.Limit = n
+	}
+	recs, latency, err := s.store.Download(s.clock(), q)
+	if err != nil {
+		writeErr(w, http.StatusInternalServerError, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, QueryResponse{
+		Records:   recs,
+		LatencyMS: float64(latency) / float64(time.Millisecond),
+	})
+}
+
+func parseSeconds(s string) (time.Duration, error) {
+	if s == "" {
+		return 0, nil
+	}
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil || v < 0 {
+		return 0, fmt.Errorf("bad time %q (want non-negative seconds)", s)
+	}
+	return time.Duration(v * float64(time.Second)), nil
+}
+
+func (s *Server) handleTopics(w http.ResponseWriter, r *http.Request) {
+	if s.sharing == nil {
+		writeErr(w, http.StatusServiceUnavailable, fmt.Errorf("data sharing not attached"))
+		return
+	}
+	writeJSON(w, http.StatusOK, s.sharing.Topics())
+}
+
+// PublishRequest is the body of POST /sharing/publish. The service token
+// travels in the X-VDAP-Token header.
+type PublishRequest struct {
+	Service string `json:"service"`
+	Topic   string `json:"topic"`
+	Payload []byte `json:"payload"`
+}
+
+func (s *Server) handlePublish(w http.ResponseWriter, r *http.Request) {
+	if s.sharing == nil {
+		writeErr(w, http.StatusServiceUnavailable, fmt.Errorf("data sharing not attached"))
+		return
+	}
+	var req PublishRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("decode request: %w", err))
+		return
+	}
+	token := r.Header.Get("X-VDAP-Token")
+	if err := s.sharing.Publish(req.Service, token, req.Topic, s.clock(), req.Payload); err != nil {
+		writeErr(w, http.StatusForbidden, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+func (s *Server) handleFetch(w http.ResponseWriter, r *http.Request) {
+	if s.sharing == nil {
+		writeErr(w, http.StatusServiceUnavailable, fmt.Errorf("data sharing not attached"))
+		return
+	}
+	service := r.URL.Query().Get("service")
+	topic := r.URL.Query().Get("topic")
+	since, err := parseSeconds(r.URL.Query().Get("since"))
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	token := r.Header.Get("X-VDAP-Token")
+	msgs, err := s.sharing.Fetch(service, token, topic, since)
+	if err != nil {
+		writeErr(w, http.StatusForbidden, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, msgs)
+}

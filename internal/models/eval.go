@@ -1,0 +1,110 @@
+package models
+
+import "fmt"
+
+// ConfusionMatrix counts predictions: Counts[actual][predicted].
+type ConfusionMatrix struct {
+	Classes int
+	Counts  [][]int
+}
+
+// Evaluate runs the model over a dataset and tallies the confusion matrix.
+func Evaluate(m *MLP, ds *Dataset) (*ConfusionMatrix, error) {
+	if m == nil {
+		return nil, fmt.Errorf("models: nil model")
+	}
+	if ds == nil || ds.Len() == 0 {
+		return nil, fmt.Errorf("models: empty dataset")
+	}
+	classes := m.Sizes[len(m.Sizes)-1]
+	cm := &ConfusionMatrix{Classes: classes, Counts: make([][]int, classes)}
+	for i := range cm.Counts {
+		cm.Counts[i] = make([]int, classes)
+	}
+	for i := range ds.X {
+		if ds.Y[i] < 0 || ds.Y[i] >= classes {
+			return nil, fmt.Errorf("models: label %d outside %d classes", ds.Y[i], classes)
+		}
+		pred, err := m.Classify(ds.X[i])
+		if err != nil {
+			return nil, err
+		}
+		cm.Counts[ds.Y[i]][pred]++
+	}
+	return cm, nil
+}
+
+// Total returns the number of evaluated samples.
+func (c *ConfusionMatrix) Total() int {
+	n := 0
+	for _, row := range c.Counts {
+		for _, v := range row {
+			n += v
+		}
+	}
+	return n
+}
+
+// Accuracy returns the overall hit rate.
+func (c *ConfusionMatrix) Accuracy() float64 {
+	total := c.Total()
+	if total == 0 {
+		return 0
+	}
+	hit := 0
+	for i := range c.Counts {
+		hit += c.Counts[i][i]
+	}
+	return float64(hit) / float64(total)
+}
+
+// Precision returns TP / (TP + FP) for a class (0 when never predicted).
+func (c *ConfusionMatrix) Precision(class int) float64 {
+	if class < 0 || class >= c.Classes {
+		return 0
+	}
+	predicted := 0
+	for actual := 0; actual < c.Classes; actual++ {
+		predicted += c.Counts[actual][class]
+	}
+	if predicted == 0 {
+		return 0
+	}
+	return float64(c.Counts[class][class]) / float64(predicted)
+}
+
+// Recall returns TP / (TP + FN) for a class (0 when never present).
+func (c *ConfusionMatrix) Recall(class int) float64 {
+	if class < 0 || class >= c.Classes {
+		return 0
+	}
+	actual := 0
+	for pred := 0; pred < c.Classes; pred++ {
+		actual += c.Counts[class][pred]
+	}
+	if actual == 0 {
+		return 0
+	}
+	return float64(c.Counts[class][class]) / float64(actual)
+}
+
+// F1 returns the harmonic mean of precision and recall for a class.
+func (c *ConfusionMatrix) F1(class int) float64 {
+	p, r := c.Precision(class), c.Recall(class)
+	if p+r == 0 {
+		return 0
+	}
+	return 2 * p * r / (p + r)
+}
+
+// MacroF1 averages F1 over all classes.
+func (c *ConfusionMatrix) MacroF1() float64 {
+	if c.Classes == 0 {
+		return 0
+	}
+	var sum float64
+	for class := 0; class < c.Classes; class++ {
+		sum += c.F1(class)
+	}
+	return sum / float64(c.Classes)
+}

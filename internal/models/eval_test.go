@@ -1,0 +1,99 @@
+package models
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+func TestEvaluateMatchesAccuracy(t *testing.T) {
+	m, ds := trainedModel(t, 60)
+	cm, err := Evaluate(m, ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	acc, err := m.Accuracy(ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(cm.Accuracy()-acc) > 1e-12 {
+		t.Fatalf("confusion accuracy %v != Accuracy %v", cm.Accuracy(), acc)
+	}
+	if cm.Total() != ds.Len() {
+		t.Fatalf("total = %d, want %d", cm.Total(), ds.Len())
+	}
+}
+
+func TestEvaluateValidation(t *testing.T) {
+	m, ds := trainedModel(t, 61)
+	if _, err := Evaluate(nil, ds); err == nil {
+		t.Fatal("nil model accepted")
+	}
+	if _, err := Evaluate(m, nil); err == nil {
+		t.Fatal("nil dataset accepted")
+	}
+	bad := &Dataset{X: [][]float64{make([]float64, FeatureDim)}, Y: []int{99}}
+	if _, err := Evaluate(m, bad); err == nil {
+		t.Fatal("out-of-range label accepted")
+	}
+}
+
+func TestPrecisionRecallF1HandCase(t *testing.T) {
+	// Two classes: actual 0 predicted as 0 eight times, as 1 twice;
+	// actual 1 predicted as 1 six times, as 0 four times.
+	cm := &ConfusionMatrix{Classes: 2, Counts: [][]int{{8, 2}, {4, 6}}}
+	if got := cm.Accuracy(); math.Abs(got-0.7) > 1e-12 {
+		t.Fatalf("accuracy = %v", got)
+	}
+	// Precision(0) = 8 / (8+4), Recall(0) = 8 / (8+2).
+	if got := cm.Precision(0); math.Abs(got-8.0/12) > 1e-12 {
+		t.Fatalf("precision(0) = %v", got)
+	}
+	if got := cm.Recall(0); math.Abs(got-0.8) > 1e-12 {
+		t.Fatalf("recall(0) = %v", got)
+	}
+	p, r := 8.0/12, 0.8
+	if got := cm.F1(0); math.Abs(got-2*p*r/(p+r)) > 1e-12 {
+		t.Fatalf("f1(0) = %v", got)
+	}
+	if cm.MacroF1() <= 0 || cm.MacroF1() > 1 {
+		t.Fatalf("macro f1 = %v", cm.MacroF1())
+	}
+}
+
+func TestMetricsEdgeCases(t *testing.T) {
+	cm := &ConfusionMatrix{Classes: 2, Counts: [][]int{{0, 0}, {0, 0}}}
+	if cm.Accuracy() != 0 || cm.Precision(0) != 0 || cm.Recall(0) != 0 || cm.F1(0) != 0 {
+		t.Fatal("empty matrix metrics nonzero")
+	}
+	if cm.Precision(-1) != 0 || cm.Recall(5) != 0 {
+		t.Fatal("out-of-range class metrics nonzero")
+	}
+	empty := &ConfusionMatrix{}
+	if empty.MacroF1() != 0 {
+		t.Fatal("zero-class macro F1 nonzero")
+	}
+}
+
+func TestTrainedModelPerClassMetricsReasonable(t *testing.T) {
+	rng := sim.NewRNG(62)
+	ds, _ := GenerateDataset(1500, PopulationDriver(), rng.Fork())
+	train, test, _ := ds.Split(0.8)
+	m, _ := NewMLP([]int{FeatureDim, 24, NumStyles}, rng.Fork())
+	if _, err := m.Train(train, TrainOptions{Epochs: 20, LearningRate: 0.01}, rng.Fork()); err != nil {
+		t.Fatal(err)
+	}
+	cm, err := Evaluate(m, test)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for class := 0; class < NumStyles; class++ {
+		if cm.F1(class) < 0.6 {
+			t.Errorf("class %d F1 = %.3f, want >= 0.6", class, cm.F1(class))
+		}
+	}
+	if cm.MacroF1() < 0.75 {
+		t.Errorf("macro F1 = %.3f", cm.MacroF1())
+	}
+}

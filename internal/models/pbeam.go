@@ -1,0 +1,146 @@
+package models
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+)
+
+// PBEAMConfig parameterizes the cloud→edge pipeline of Figure 9:
+// train cBEAM on population data in the cloud, compress it, ship it to the
+// vehicle, and fine-tune it on the driver's own data into pBEAM.
+type PBEAMConfig struct {
+	// Hidden lists hidden-layer widths for cBEAM. Nil means {32, 16}.
+	Hidden []int
+	// CloudSamples is the population training-set size. Zero means 3000.
+	CloudSamples int
+	// CloudEpochs is cBEAM training length. Zero means 30.
+	CloudEpochs int
+	// DriverSamples is the personal fine-tuning set size. Zero means 400.
+	DriverSamples int
+	// TransferEpochs is the fine-tune length. Zero means 15.
+	TransferEpochs int
+	// Compress controls Deep Compression. Zero value means 60% pruning
+	// with 5-bit codebooks.
+	Compress CompressOptions
+	// FreezeFeatureLayers keeps all but the output layer fixed during
+	// transfer learning.
+	FreezeFeatureLayers bool
+}
+
+func (c PBEAMConfig) withDefaults() PBEAMConfig {
+	if c.Hidden == nil {
+		c.Hidden = []int{32, 16}
+	}
+	if c.CloudSamples == 0 {
+		c.CloudSamples = 3000
+	}
+	if c.CloudEpochs == 0 {
+		c.CloudEpochs = 30
+	}
+	if c.DriverSamples == 0 {
+		c.DriverSamples = 400
+	}
+	if c.TransferEpochs == 0 {
+		c.TransferEpochs = 15
+	}
+	if c.Compress.PruneFraction == 0 && c.Compress.CodebookBits == 0 {
+		c.Compress = CompressOptions{PruneFraction: 0.6, CodebookBits: 5}
+	}
+	return c
+}
+
+// PBEAMResult reports every stage of the pipeline.
+type PBEAMResult struct {
+	// CBEAM is the population model; PBEAM the personalized one.
+	CBEAM *MLP
+	PBEAM *MLP
+	// CompressedCBEAM is what was shipped to the vehicle.
+	CompressedCBEAM *Compressed
+
+	// Accuracy of each stage on the driver's held-out data.
+	CBEAMDriverAccuracy      float64
+	CompressedDriverAccuracy float64
+	PBEAMDriverAccuracy      float64
+	// CBEAMPopulationAccuracy sanity-checks cloud training.
+	CBEAMPopulationAccuracy float64
+
+	CompressStats CompressStats
+}
+
+// BuildPBEAM runs the full pipeline for one driver and reports accuracies
+// at every stage. The expected shape — and what the benchmarks assert — is
+// population ≈ compressed < personalized on the driver's own data.
+func BuildPBEAM(cfg PBEAMConfig, driver DriverProfile, rng *sim.RNG) (*PBEAMResult, error) {
+	if rng == nil {
+		return nil, fmt.Errorf("models: nil RNG")
+	}
+	cfg = cfg.withDefaults()
+
+	// Cloud stage: train the common model on population data.
+	popTrain, err := GenerateDataset(cfg.CloudSamples, PopulationDriver(), rng.Fork())
+	if err != nil {
+		return nil, fmt.Errorf("population data: %w", err)
+	}
+	popTest, err := GenerateDataset(cfg.CloudSamples/4, PopulationDriver(), rng.Fork())
+	if err != nil {
+		return nil, fmt.Errorf("population test data: %w", err)
+	}
+	sizes := append([]int{FeatureDim}, cfg.Hidden...)
+	sizes = append(sizes, NumStyles)
+	cbeam, err := NewMLP(sizes, rng.Fork())
+	if err != nil {
+		return nil, err
+	}
+	if _, err := cbeam.Train(popTrain, TrainOptions{Epochs: cfg.CloudEpochs, LearningRate: 0.01}, rng.Fork()); err != nil {
+		return nil, fmt.Errorf("cBEAM training: %w", err)
+	}
+
+	// Compression stage: shrink for the edge.
+	compressed, err := Compress(cbeam, cfg.Compress)
+	if err != nil {
+		return nil, fmt.Errorf("compress cBEAM: %w", err)
+	}
+	shipped, err := compressed.Decompress()
+	if err != nil {
+		return nil, fmt.Errorf("decompress cBEAM: %w", err)
+	}
+
+	// Edge stage: fine-tune on the driver's own data (stored in DDI).
+	driverData, err := GenerateDataset(cfg.DriverSamples, driver, rng.Fork())
+	if err != nil {
+		return nil, fmt.Errorf("driver data: %w", err)
+	}
+	driverTrain, driverTest, err := driverData.Split(0.7)
+	if err != nil {
+		return nil, err
+	}
+	pbeam := shipped.Clone()
+	topts := TrainOptions{Epochs: cfg.TransferEpochs, LearningRate: 0.02}
+	if cfg.FreezeFeatureLayers {
+		topts.FreezeBelow = pbeam.NumLayers() - 1
+	}
+	if _, err := pbeam.Train(driverTrain, topts, rng.Fork()); err != nil {
+		return nil, fmt.Errorf("pBEAM transfer learning: %w", err)
+	}
+
+	res := &PBEAMResult{
+		CBEAM:           cbeam,
+		PBEAM:           pbeam,
+		CompressedCBEAM: compressed,
+		CompressStats:   compressed.Stats,
+	}
+	if res.CBEAMPopulationAccuracy, err = cbeam.Accuracy(popTest); err != nil {
+		return nil, err
+	}
+	if res.CBEAMDriverAccuracy, err = cbeam.Accuracy(driverTest); err != nil {
+		return nil, err
+	}
+	if res.CompressedDriverAccuracy, err = shipped.Accuracy(driverTest); err != nil {
+		return nil, err
+	}
+	if res.PBEAMDriverAccuracy, err = pbeam.Accuracy(driverTest); err != nil {
+		return nil, err
+	}
+	return res, nil
+}

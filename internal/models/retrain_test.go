@@ -1,0 +1,174 @@
+package models
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+)
+
+func TestPruneInPlaceFractionAndMasks(t *testing.T) {
+	m, _ := trainedModel(t, 40)
+	masks, err := PruneInPlace(m, 0.7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	zeros, total := 0, 0
+	for l := range m.W {
+		for o := range m.W[l] {
+			for i, w := range m.W[l][o] {
+				total++
+				if w == 0 {
+					zeros++
+					if !masks[l][o][i] {
+						t.Fatal("zero weight not masked")
+					}
+				} else if masks[l][o][i] {
+					t.Fatal("mask covers surviving weight")
+				}
+			}
+		}
+	}
+	frac := float64(zeros) / float64(total)
+	if frac < 0.66 || frac > 0.72 {
+		t.Fatalf("pruned fraction = %.3f, want ~0.7", frac)
+	}
+}
+
+func TestPruneInPlaceValidation(t *testing.T) {
+	if _, err := PruneInPlace(nil, 0.5); err == nil {
+		t.Fatal("nil model accepted")
+	}
+	m, _ := NewMLP([]int{4, 2}, sim.NewRNG(1))
+	if _, err := PruneInPlace(m, -0.1); err == nil {
+		t.Fatal("negative fraction accepted")
+	}
+	if _, err := PruneInPlace(m, 0.995); err == nil {
+		t.Fatal("fraction > 0.99 accepted")
+	}
+	masks, err := PruneInPlace(m, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for l := range masks {
+		for o := range masks[l] {
+			for _, pruned := range masks[l][o] {
+				if pruned {
+					t.Fatal("zero fraction pruned something")
+				}
+			}
+		}
+	}
+}
+
+func TestRetrainPrunedKeepsMasksAndRecovers(t *testing.T) {
+	rng := sim.NewRNG(41)
+	ds, _ := GenerateDataset(1500, PopulationDriver(), rng.Fork())
+	train, test, _ := ds.Split(0.8)
+	m, _ := NewMLP([]int{FeatureDim, 24, 12, NumStyles}, rng.Fork())
+	if _, err := m.Train(train, TrainOptions{Epochs: 20, LearningRate: 0.01}, rng.Fork()); err != nil {
+		t.Fatal(err)
+	}
+	masks, err := PruneInPlace(m, 0.85)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prunedAcc, _ := m.Accuracy(test)
+	if _, err := RetrainPruned(m, masks, train, TrainOptions{Epochs: 10, LearningRate: 0.01}, rng.Fork()); err != nil {
+		t.Fatal(err)
+	}
+	retrainedAcc, _ := m.Accuracy(test)
+	if retrainedAcc <= prunedAcc {
+		t.Fatalf("retraining did not recover accuracy: %.3f -> %.3f", prunedAcc, retrainedAcc)
+	}
+	// Masked weights stayed zero.
+	for l := range masks {
+		for o := range masks[l] {
+			for i, pruned := range masks[l][o] {
+				if pruned && m.W[l][o][i] != 0 {
+					t.Fatal("pruned weight resurrected during retraining")
+				}
+			}
+		}
+	}
+}
+
+func TestRetrainPrunedValidation(t *testing.T) {
+	rng := sim.NewRNG(42)
+	m, _ := NewMLP([]int{FeatureDim, 8, NumStyles}, rng.Fork())
+	ds, _ := GenerateDataset(50, PopulationDriver(), rng.Fork())
+	if _, err := RetrainPruned(m, nil, ds, TrainOptions{Epochs: 1, LearningRate: 0.01}, rng); err == nil {
+		t.Fatal("mismatched masks accepted")
+	}
+	masks, _ := PruneInPlace(m, 0.5)
+	if _, err := RetrainPruned(m, masks, ds, TrainOptions{}, rng); err == nil {
+		t.Fatal("invalid options accepted")
+	}
+}
+
+// TestCompressRetrainedBeatsPlainAtHighPrune is the Deep-Compression
+// claim: retraining after pruning recovers most of the accuracy that
+// aggressive pruning destroys.
+func TestCompressRetrainedBeatsPlainAtHighPrune(t *testing.T) {
+	rng := sim.NewRNG(43)
+	ds, _ := GenerateDataset(1500, PopulationDriver(), rng.Fork())
+	train, test, _ := ds.Split(0.8)
+	m, _ := NewMLP([]int{FeatureDim, 24, 12, NumStyles}, rng.Fork())
+	if _, err := m.Train(train, TrainOptions{Epochs: 20, LearningRate: 0.01}, rng.Fork()); err != nil {
+		t.Fatal(err)
+	}
+	opts := CompressOptions{PruneFraction: 0.85, CodebookBits: 4}
+	plain, err := Compress(m, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	retrained, err := CompressRetrained(m, opts, TrainOptions{Epochs: 10, LearningRate: 0.01}, train, rng.Fork())
+	if err != nil {
+		t.Fatal(err)
+	}
+	pm, _ := plain.Decompress()
+	rm, _ := retrained.Decompress()
+	accPlain, _ := pm.Accuracy(test)
+	accRetrained, _ := rm.Accuracy(test)
+	if accRetrained <= accPlain {
+		t.Fatalf("retrained compression (%.3f) did not beat plain (%.3f) at 85%% pruning",
+			accRetrained, accPlain)
+	}
+	// Same pruning budget — size stays comparable.
+	if retrained.Stats.PrunedFraction < 0.83 {
+		t.Fatalf("retrained pruned fraction = %.3f, want ~0.85", retrained.Stats.PrunedFraction)
+	}
+}
+
+func TestCompressRetrainedValidation(t *testing.T) {
+	rng := sim.NewRNG(44)
+	m, _ := NewMLP([]int{FeatureDim, 8, NumStyles}, rng.Fork())
+	ds, _ := GenerateDataset(50, PopulationDriver(), rng.Fork())
+	good := CompressOptions{PruneFraction: 0.5, CodebookBits: 4}
+	topts := TrainOptions{Epochs: 1, LearningRate: 0.01}
+	if _, err := CompressRetrained(nil, good, topts, ds, rng); err == nil {
+		t.Fatal("nil model accepted")
+	}
+	if _, err := CompressRetrained(m, CompressOptions{}, topts, ds, rng); err == nil {
+		t.Fatal("invalid options accepted")
+	}
+	if _, err := CompressRetrained(m, good, topts, nil, rng); err == nil {
+		t.Fatal("nil dataset accepted")
+	}
+	if _, err := CompressRetrained(m, good, topts, ds, nil); err == nil {
+		t.Fatal("nil RNG accepted")
+	}
+	// The input model must be untouched.
+	before := m.Clone()
+	if _, err := CompressRetrained(m, good, topts, ds, rng); err != nil {
+		t.Fatal(err)
+	}
+	for l := range m.W {
+		for o := range m.W[l] {
+			for i := range m.W[l][o] {
+				if m.W[l][o][i] != before.W[l][o][i] {
+					t.Fatal("CompressRetrained mutated the input model")
+				}
+			}
+		}
+	}
+}

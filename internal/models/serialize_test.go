@@ -1,0 +1,66 @@
+package models
+
+import (
+	"testing"
+)
+
+func TestCompressedMarshalRoundTrip(t *testing.T) {
+	m, ds := trainedModel(t, 70)
+	c, err := Compress(m, CompressOptions{PruneFraction: 0.6, CodebookBits: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wire, err := c.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := UnmarshalCompressed(wire)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The restored model must produce identical predictions.
+	a, err := c.Decompress()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := got.Decompress()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 50; i++ {
+		pa, err := a.Predict(ds.X[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		pb, err := b.Predict(ds.X[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		for c := range pa {
+			if pa[c] != pb[c] {
+				t.Fatalf("prediction diverged after round trip at sample %d", i)
+			}
+		}
+	}
+	if got.Stats != c.Stats {
+		t.Fatalf("stats diverged: %+v vs %+v", got.Stats, c.Stats)
+	}
+	// The wire size should track the accounted compressed size plus gob's
+	// fixed framing overhead (type descriptors, ~1 kB).
+	if len(wire) > c.Stats.CompressedBytes*2+1024 {
+		t.Fatalf("wire size %d far above accounted %d", len(wire), c.Stats.CompressedBytes)
+	}
+}
+
+func TestUnmarshalCompressedErrors(t *testing.T) {
+	if _, err := UnmarshalCompressed(nil); err == nil {
+		t.Fatal("empty stream accepted")
+	}
+	if _, err := UnmarshalCompressed([]byte("garbage")); err == nil {
+		t.Fatal("garbage accepted")
+	}
+	empty := &Compressed{}
+	if _, err := empty.Marshal(); err == nil {
+		t.Fatal("layerless model marshaled")
+	}
+}

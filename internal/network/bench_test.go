@@ -1,0 +1,40 @@
+package network
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/geo"
+	"repro/internal/sim"
+)
+
+func BenchmarkSendPacket(b *testing.B) {
+	road, err := geo.NewRoad(40000)
+	if err != nil {
+		b.Fatal(err)
+	}
+	road.PlaceStations(40, geo.BaseStation, 800, 0, "bs")
+	ch, err := NewCellularChannel(Catalog()["lte"], geo.Mobility{Road: road, SpeedMS: 30}, 5.8, sim.NewRNG(1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	interval := 2 * time.Millisecond
+	now := time.Duration(0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ch.SendPacket(now)
+		now += interval
+	}
+}
+
+func BenchmarkPathTransferTime(b *testing.B) {
+	lte := Catalog()["lte"]
+	wan := Catalog()["wan"]
+	p := Path{Name: "bench", Links: []LinkSpec{lte, wan}}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := p.TransferTime(1e6, Uplink); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,407 @@
+// Package offload implements OpenVDAP's dynamic offloading and scheduling
+// strategy: for each application (task DAG) it enumerates the feasible
+// destinations — on-board VCU, neighboring vehicles, XEdge servers, the
+// remote cloud — estimates end-to-end latency and vehicle-side energy for
+// each (including mobility-degraded network transfer), and picks the
+// destination that finishes the service "at the right time with limited
+// bandwidth consumption" (paper §I, §IV).
+package offload
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/geo"
+	"repro/internal/network"
+	"repro/internal/tasks"
+	"repro/internal/vcu"
+	"repro/internal/xedge"
+)
+
+// RadioPowerW is the vehicle radio's transmit power draw, charged against
+// transfer time when estimating vehicle-side energy of offloading.
+const RadioPowerW = 2.5
+
+// OnboardName is the destination name for local execution.
+const OnboardName = "onboard"
+
+// Estimate is the predicted cost of running a DAG at one destination.
+type Estimate struct {
+	Dest string `json:"dest"`
+	Kind string `json:"kind"`
+	// SplitAfter is the number of leading topo-order tasks run on-board
+	// before shipping intermediate data (0 = full offload; len(tasks) =
+	// fully on-board).
+	SplitAfter int `json:"splitAfter"`
+	// Uplink, Compute, Downlink, Total are the latency components.
+	Uplink   time.Duration `json:"uplink"`
+	Compute  time.Duration `json:"compute"`
+	Downlink time.Duration `json:"downlink"`
+	Total    time.Duration `json:"total"`
+	// VehicleEnergyJ is energy spent on the vehicle (local compute plus
+	// radio transmit time).
+	VehicleEnergyJ float64 `json:"vehicleEnergyJ"`
+	// BytesSent is uplink payload (the bandwidth-consumption metric).
+	BytesSent float64 `json:"bytesSent"`
+	// Feasible is false when the destination cannot run the DAG now.
+	Feasible bool `json:"feasible"`
+	// Reason explains infeasibility.
+	Reason string `json:"reason,omitempty"`
+}
+
+// Engine evaluates destinations for one vehicle.
+type Engine struct {
+	dsf   *vcu.DSF
+	sites []*xedge.Site
+	mob   geo.Mobility
+
+	// Bandwidth budget (the paper's "limited bandwidth consumption"):
+	// when budgetBytes > 0, offloads whose uplink payload exceeds the
+	// remaining budget are infeasible, forcing on-board execution.
+	budgetBytes float64
+	spentBytes  float64
+}
+
+// SetBandwidthBudget caps total uplink bytes Execute may spend. Zero or
+// negative removes the cap. Spending resets.
+func (e *Engine) SetBandwidthBudget(bytes float64) {
+	if bytes <= 0 {
+		e.budgetBytes, e.spentBytes = 0, 0
+		return
+	}
+	e.budgetBytes = bytes
+	e.spentBytes = 0
+}
+
+// BandwidthRemaining returns the unspent budget (Inf semantics: second
+// return is false when no budget is set).
+func (e *Engine) BandwidthRemaining() (float64, bool) {
+	if e.budgetBytes <= 0 {
+		return 0, false
+	}
+	remaining := e.budgetBytes - e.spentBytes
+	if remaining < 0 {
+		remaining = 0
+	}
+	return remaining, true
+}
+
+// BytesSpent returns uplink bytes consumed by executed offloads.
+func (e *Engine) BytesSpent() float64 { return e.spentBytes }
+
+// withinBudget reports whether an estimate's uplink fits the budget.
+func (e *Engine) withinBudget(bytes float64) bool {
+	if e.budgetBytes <= 0 {
+		return true
+	}
+	return e.spentBytes+bytes <= e.budgetBytes
+}
+
+// NewEngine builds an engine over the vehicle's DSF, its mobility, and the
+// candidate remote sites.
+func NewEngine(dsf *vcu.DSF, mob geo.Mobility, sites []*xedge.Site) (*Engine, error) {
+	if dsf == nil {
+		return nil, fmt.Errorf("offload: nil DSF")
+	}
+	return &Engine{dsf: dsf, sites: sites, mob: mob}, nil
+}
+
+// AddSite registers another candidate destination.
+func (e *Engine) AddSite(s *xedge.Site) {
+	if s != nil {
+		e.sites = append(e.sites, s)
+	}
+}
+
+// Sites returns the registered destinations.
+func (e *Engine) Sites() []*xedge.Site {
+	out := make([]*xedge.Site, len(e.sites))
+	copy(out, e.sites)
+	return out
+}
+
+// SetMobility updates the vehicle's mobility (speed changes degrade
+// cellular transfer estimates).
+func (e *Engine) SetMobility(mob geo.Mobility) { e.mob = mob }
+
+// mobilityAdjustedPath raises cellular-link loss to the Figure-2 model's
+// expectation at the vehicle's current speed, shrinking effective goodput.
+func (e *Engine) mobilityAdjustedPath(p network.Path) network.Path {
+	adj := network.Path{Name: p.Name, Links: make([]network.LinkSpec, len(p.Links))}
+	copy(adj.Links, p.Links)
+	for i, l := range adj.Links {
+		if l.Tech == network.LTE || l.Tech == network.FiveG {
+			loss := network.ExpectedPacketLoss(e.mob.SpeedMS, 3.8)
+			if loss > l.BaseLoss {
+				l.BaseLoss = loss
+				if l.BaseLoss > 0.95 {
+					l.BaseLoss = 0.95
+				}
+				adj.Links[i] = l
+			}
+		}
+	}
+	return adj
+}
+
+// EstimateOnboard predicts full local execution via the DSF plan.
+func (e *Engine) EstimateOnboard(dag *tasks.DAG, now time.Duration) Estimate {
+	plan, err := e.dsf.Plan(dag, now)
+	if err != nil {
+		return Estimate{Dest: OnboardName, Kind: OnboardName, SplitAfter: len(dag.Tasks),
+			Feasible: false, Reason: err.Error()}
+	}
+	return Estimate{
+		Dest: OnboardName, Kind: OnboardName, SplitAfter: len(dag.Tasks),
+		Compute:        plan.Makespan,
+		Total:          plan.Makespan,
+		VehicleEnergyJ: plan.EnergyJ,
+		Feasible:       true,
+	}
+}
+
+// EstimateSite predicts running the trailing portion of the DAG at a site,
+// with the first splitAfter topo-order tasks executed on-board first.
+// splitAfter 0 offloads everything.
+func (e *Engine) EstimateSite(dag *tasks.DAG, site *xedge.Site, splitAfter int, now time.Duration) Estimate {
+	est := Estimate{Dest: site.Name(), Kind: site.Kind().String(), SplitAfter: splitAfter}
+	order, err := dag.TopoOrder()
+	if err != nil {
+		est.Reason = err.Error()
+		return est
+	}
+	if splitAfter < 0 || splitAfter >= len(order) {
+		est.Reason = fmt.Sprintf("split %d outside [0, %d)", splitAfter, len(order))
+		return est
+	}
+	if !site.Reachable(e.mob.PositionAt(now)) {
+		est.Reason = "out of coverage"
+		return est
+	}
+
+	local := order[:splitAfter]
+	remote := order[splitAfter:]
+	cursor := now
+
+	// Local prefix runs through the DSF.
+	if len(local) > 0 {
+		prefix := &tasks.DAG{Name: dag.Name + "-prefix", Tasks: cloneTasks(local)}
+		plan, err := e.dsf.Plan(prefix, now)
+		if err != nil {
+			est.Reason = err.Error()
+			return est
+		}
+		cursor = now + plan.Makespan
+		est.VehicleEnergyJ += plan.EnergyJ
+		est.Compute += plan.Makespan
+	}
+
+	// Uplink: ship the remote portion's external input — root inputs of
+	// remote tasks plus intermediate outputs crossing the cut.
+	upBytes := crossingBytes(dag, local, remote)
+	path := e.mobilityAdjustedPath(site.Access())
+	up, err := path.TransferTime(upBytes, network.Uplink)
+	if err != nil {
+		est.Reason = err.Error()
+		return est
+	}
+	est.Uplink = up
+	est.BytesSent = upBytes
+	est.VehicleEnergyJ += RadioPowerW * up.Seconds()
+	cursor += up
+
+	// Remote compute: topo-order submission estimate on site executors.
+	computeStart := cursor
+	finishOf := make(map[string]time.Duration, len(remote))
+	for _, t := range remote {
+		ready := cursor
+		for _, dep := range t.Deps {
+			if f, ok := finishOf[dep]; ok && f > ready {
+				ready = f
+			}
+		}
+		finish, err := site.EstimateExec(ready, t.Class, t.GFLOP)
+		if err != nil {
+			est.Reason = err.Error()
+			return est
+		}
+		finishOf[t.ID] = finish
+	}
+	var remoteDone time.Duration
+	for _, f := range finishOf {
+		if f > remoteDone {
+			remoteDone = f
+		}
+	}
+	est.Compute += remoteDone - computeStart
+
+	// Downlink: results of sink tasks return to the vehicle.
+	var downBytes float64
+	for _, t := range remote {
+		if len(dag.Successors(t.ID)) == 0 {
+			downBytes += t.OutputBytes
+		}
+	}
+	down, err := path.TransferTime(downBytes, network.Downlink)
+	if err != nil {
+		est.Reason = err.Error()
+		return est
+	}
+	est.Downlink = down
+	est.Total = (remoteDone - now) + down
+	if !e.withinBudget(est.BytesSent) {
+		est.Reason = fmt.Sprintf("bandwidth budget exhausted (%.0f B needed, %.0f B left)",
+			est.BytesSent, e.budgetBytes-e.spentBytes)
+		return est
+	}
+	est.Feasible = true
+	return est
+}
+
+// crossingBytes sums the data that must move from vehicle to site: inputs
+// of remote root tasks that come from outside the DAG, plus outputs of
+// local tasks consumed by remote tasks.
+func crossingBytes(dag *tasks.DAG, local, remote []*tasks.Task) float64 {
+	localSet := make(map[string]bool, len(local))
+	for _, t := range local {
+		localSet[t.ID] = true
+	}
+	var total float64
+	for _, t := range remote {
+		if len(t.Deps) == 0 {
+			total += t.InputBytes
+			continue
+		}
+		for _, dep := range t.Deps {
+			if localSet[dep] {
+				depTask, _ := dag.Get(dep)
+				total += depTask.OutputBytes
+			}
+		}
+	}
+	return total
+}
+
+func cloneTasks(ts []*tasks.Task) []*tasks.Task {
+	ids := make(map[string]bool, len(ts))
+	for _, t := range ts {
+		ids[t.ID] = true
+	}
+	out := make([]*tasks.Task, 0, len(ts))
+	for _, t := range ts {
+		cp := *t
+		// Drop dependencies outside the slice (they are satisfied inputs).
+		var deps []string
+		for _, d := range t.Deps {
+			if ids[d] {
+				deps = append(deps, d)
+			}
+		}
+		cp.Deps = deps
+		out = append(out, &cp)
+	}
+	return out
+}
+
+// Estimates evaluates on-board execution plus a full offload to every
+// registered site, sorted by total latency (infeasible entries last).
+func (e *Engine) Estimates(dag *tasks.DAG, now time.Duration) ([]Estimate, error) {
+	if dag == nil {
+		return nil, fmt.Errorf("offload: nil DAG")
+	}
+	if err := dag.Validate(); err != nil {
+		return nil, err
+	}
+	out := []Estimate{e.EstimateOnboard(dag, now)}
+	for _, s := range e.sites {
+		out = append(out, e.EstimateSite(dag, s, 0, now))
+	}
+	sortEstimates(out)
+	return out, nil
+}
+
+// Decide returns the best feasible estimate and the full comparison.
+func (e *Engine) Decide(dag *tasks.DAG, now time.Duration) (Estimate, []Estimate, error) {
+	all, err := e.Estimates(dag, now)
+	if err != nil {
+		return Estimate{}, nil, err
+	}
+	for _, est := range all {
+		if est.Feasible {
+			return est, all, nil
+		}
+	}
+	return Estimate{}, all, fmt.Errorf("offload: no feasible destination for %s", dag.Name)
+}
+
+// Execute commits the chosen estimate: on-board plans run through the DSF;
+// remote destinations reserve site executors. It returns the realized
+// completion time.
+func (e *Engine) Execute(dag *tasks.DAG, est Estimate, now time.Duration) (time.Duration, error) {
+	if !est.Feasible {
+		return 0, fmt.Errorf("offload: cannot execute infeasible estimate for %s", est.Dest)
+	}
+	if est.Dest == OnboardName {
+		plan, err := e.dsf.Run(dag, now)
+		if err != nil {
+			return 0, err
+		}
+		return now + plan.Makespan, nil
+	}
+	if !e.withinBudget(est.BytesSent) {
+		return 0, fmt.Errorf("offload: bandwidth budget exhausted for %s", est.Dest)
+	}
+	e.spentBytes += est.BytesSent
+	var site *xedge.Site
+	for _, s := range e.sites {
+		if s.Name() == est.Dest {
+			site = s
+			break
+		}
+	}
+	if site == nil {
+		return 0, fmt.Errorf("offload: unknown destination %q", est.Dest)
+	}
+	order, err := dag.TopoOrder()
+	if err != nil {
+		return 0, err
+	}
+	if est.SplitAfter > 0 {
+		prefix := &tasks.DAG{Name: dag.Name + "-prefix", Tasks: cloneTasks(order[:est.SplitAfter])}
+		plan, err := e.dsf.Run(prefix, now)
+		if err != nil {
+			return 0, err
+		}
+		now += plan.Makespan
+	}
+	now += est.Uplink
+	finishOf := make(map[string]time.Duration)
+	var last time.Duration = now
+	for _, t := range order[est.SplitAfter:] {
+		ready := now
+		for _, dep := range t.Deps {
+			if f, ok := finishOf[dep]; ok && f > ready {
+				ready = f
+			}
+		}
+		_, finish, err := site.Submit(ready, t.Class, t.GFLOP)
+		if err != nil {
+			return 0, err
+		}
+		finishOf[t.ID] = finish
+		if finish > last {
+			last = finish
+		}
+	}
+	return last + est.Downlink, nil
+}
+
+func sortEstimates(ests []Estimate) {
+	sort.SliceStable(ests, func(i, j int) bool {
+		if ests[i].Feasible != ests[j].Feasible {
+			return ests[i].Feasible
+		}
+		return ests[i].Total < ests[j].Total
+	})
+}

@@ -1,0 +1,26 @@
+package sim
+
+import (
+	"testing"
+	"time"
+)
+
+func BenchmarkEngineScheduleAndRun(b *testing.B) {
+	e := NewEngine(1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.After(time.Duration(i%1000)*time.Microsecond, func() {})
+		if i%1000 == 999 {
+			if err := e.Drain(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+func BenchmarkRNGNormal(b *testing.B) {
+	r := NewRNG(1)
+	for i := 0; i < b.N; i++ {
+		_ = r.Normal(0, 1)
+	}
+}

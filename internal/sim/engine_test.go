@@ -1,0 +1,157 @@
+package sim
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestEngineRunUntil(t *testing.T) {
+	e := NewEngine(1)
+	var fired []time.Duration
+	e.After(time.Second, func() { fired = append(fired, e.Now()) })
+	e.After(3*time.Second, func() { fired = append(fired, e.Now()) })
+	e.After(10*time.Second, func() { fired = append(fired, e.Now()) })
+
+	if err := e.RunUntil(5 * time.Second); err != nil {
+		t.Fatalf("RunUntil: %v", err)
+	}
+	if len(fired) != 2 {
+		t.Fatalf("fired %d events before deadline, want 2", len(fired))
+	}
+	if e.Now() != 5*time.Second {
+		t.Fatalf("clock = %v after RunUntil(5s), want 5s", e.Now())
+	}
+	if e.Pending() != 1 {
+		t.Fatalf("pending = %d, want 1", e.Pending())
+	}
+}
+
+func TestEngineClockAdvancesWithEvents(t *testing.T) {
+	e := NewEngine(1)
+	var at time.Duration
+	e.After(7*time.Second, func() { at = e.Now() })
+	if err := e.Drain(); err != nil {
+		t.Fatalf("Drain: %v", err)
+	}
+	if at != 7*time.Second {
+		t.Fatalf("callback saw t=%v, want 7s", at)
+	}
+}
+
+func TestEngineEventsScheduleEvents(t *testing.T) {
+	e := NewEngine(1)
+	depth := 0
+	var grow func()
+	grow = func() {
+		depth++
+		if depth < 5 {
+			e.After(time.Second, grow)
+		}
+	}
+	e.After(time.Second, grow)
+	if err := e.Drain(); err != nil {
+		t.Fatalf("Drain: %v", err)
+	}
+	if depth != 5 {
+		t.Fatalf("depth = %d, want 5", depth)
+	}
+	if e.Now() != 5*time.Second {
+		t.Fatalf("clock = %v, want 5s", e.Now())
+	}
+}
+
+func TestEngineEvery(t *testing.T) {
+	e := NewEngine(1)
+	ticks := 0
+	stop, err := e.Every(time.Second, func() { ticks++ })
+	if err != nil {
+		t.Fatalf("Every: %v", err)
+	}
+	if err := e.RunUntil(10 * time.Second); err != nil {
+		t.Fatalf("RunUntil: %v", err)
+	}
+	if ticks != 10 {
+		t.Fatalf("ticks = %d, want 10", ticks)
+	}
+	stop()
+	if err := e.RunUntil(20 * time.Second); err != nil {
+		t.Fatalf("RunUntil: %v", err)
+	}
+	if ticks != 10 {
+		t.Fatalf("ticks = %d after stop, want 10", ticks)
+	}
+}
+
+func TestEngineEveryRejectsNonPositive(t *testing.T) {
+	e := NewEngine(1)
+	if _, err := e.Every(0, func() {}); err == nil {
+		t.Fatal("Every(0) succeeded, want error")
+	}
+	if _, err := e.Every(-time.Second, func() {}); err == nil {
+		t.Fatal("Every(-1s) succeeded, want error")
+	}
+}
+
+func TestEngineStop(t *testing.T) {
+	e := NewEngine(1)
+	ran := 0
+	e.After(time.Second, func() { ran++; e.Stop() })
+	e.After(2*time.Second, func() { ran++ })
+	err := e.RunUntil(time.Minute)
+	if !errors.Is(err, ErrStopped) {
+		t.Fatalf("err = %v, want ErrStopped", err)
+	}
+	if ran != 1 {
+		t.Fatalf("ran = %d, want 1", ran)
+	}
+}
+
+func TestEngineEventBudget(t *testing.T) {
+	e := NewEngine(1)
+	e.EventBudget = 10
+	var loop func()
+	loop = func() { e.After(time.Second, loop) }
+	e.After(time.Second, loop)
+	if err := e.Drain(); err == nil {
+		t.Fatal("Drain with infinite event loop succeeded, want budget error")
+	}
+}
+
+func TestEnginePastScheduleFiresNow(t *testing.T) {
+	e := NewEngine(1)
+	e.After(5*time.Second, func() {
+		e.At(time.Second, func() {}) // in the past relative to t=5s
+	})
+	if err := e.Drain(); err != nil {
+		t.Fatalf("Drain: %v", err)
+	}
+	if e.Now() != 5*time.Second {
+		t.Fatalf("clock = %v, want 5s (past event clamps to now)", e.Now())
+	}
+}
+
+func TestEngineDeterminism(t *testing.T) {
+	run := func() []float64 {
+		e := NewEngine(42)
+		var vals []float64
+		stop, err := e.Every(time.Second, func() { vals = append(vals, e.RNG().Float64()) })
+		if err != nil {
+			t.Fatalf("Every: %v", err)
+		}
+		if err := e.RunUntil(10 * time.Second); err != nil {
+			t.Fatalf("RunUntil: %v", err)
+		}
+		stop()
+		return vals
+	}
+	a, b := run(), run()
+	if len(a) != len(b) {
+		t.Fatalf("lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("run diverged at %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+}

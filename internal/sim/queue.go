@@ -1,0 +1,107 @@
+package sim
+
+import (
+	"container/heap"
+	"time"
+)
+
+// Event is a scheduled callback in virtual time.
+type Event struct {
+	// At is the virtual time at which the event fires.
+	At time.Duration
+	// Fn is invoked when the event fires. It may schedule further events.
+	Fn func()
+
+	seq   uint64 // tie-breaker: FIFO among events at the same instant
+	index int    // heap index; -1 once popped or canceled
+}
+
+// Canceled reports whether the event has been canceled or already fired.
+func (e *Event) Canceled() bool { return e.index < 0 }
+
+// eventHeap orders events by time, then by insertion sequence.
+type eventHeap []*Event
+
+func (h eventHeap) Len() int { return len(h) }
+
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].At != h[j].At {
+		return h[i].At < h[j].At
+	}
+	return h[i].seq < h[j].seq
+}
+
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+
+func (h *eventHeap) Push(x any) {
+	ev, ok := x.(*Event)
+	if !ok {
+		return
+	}
+	ev.index = len(*h)
+	*h = append(*h, ev)
+}
+
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	ev.index = -1
+	*h = old[:n-1]
+	return ev
+}
+
+// Queue is a priority queue of events keyed by virtual time.
+// The zero value is ready to use.
+type Queue struct {
+	events eventHeap
+	seq    uint64
+}
+
+// Len returns the number of pending events.
+func (q *Queue) Len() int { return len(q.events) }
+
+// Schedule enqueues fn to run at virtual time at and returns a handle that
+// can be passed to Cancel.
+func (q *Queue) Schedule(at time.Duration, fn func()) *Event {
+	q.seq++
+	ev := &Event{At: at, Fn: fn, seq: q.seq}
+	heap.Push(&q.events, ev)
+	return ev
+}
+
+// Cancel removes ev from the queue. Canceling an event that already fired
+// or was already canceled is a no-op.
+func (q *Queue) Cancel(ev *Event) {
+	if ev == nil || ev.index < 0 || ev.index >= len(q.events) || q.events[ev.index] != ev {
+		return
+	}
+	heap.Remove(&q.events, ev.index)
+}
+
+// PeekTime returns the firing time of the earliest event. ok is false when
+// the queue is empty.
+func (q *Queue) PeekTime() (at time.Duration, ok bool) {
+	if len(q.events) == 0 {
+		return 0, false
+	}
+	return q.events[0].At, true
+}
+
+// Pop removes and returns the earliest event. ok is false when the queue is
+// empty.
+func (q *Queue) Pop() (ev *Event, ok bool) {
+	if len(q.events) == 0 {
+		return nil, false
+	}
+	popped, ok := heap.Pop(&q.events).(*Event)
+	if !ok {
+		return nil, false
+	}
+	return popped, true
+}

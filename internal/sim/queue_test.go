@@ -1,0 +1,111 @@
+package sim
+
+import (
+	"testing"
+	"time"
+)
+
+func TestQueueOrdersByTime(t *testing.T) {
+	var q Queue
+	var got []int
+	q.Schedule(3*time.Second, func() { got = append(got, 3) })
+	q.Schedule(1*time.Second, func() { got = append(got, 1) })
+	q.Schedule(2*time.Second, func() { got = append(got, 2) })
+
+	for q.Len() > 0 {
+		ev, ok := q.Pop()
+		if !ok {
+			t.Fatal("Pop returned !ok with non-empty queue")
+		}
+		ev.Fn()
+	}
+	want := []int{1, 2, 3}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("order = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestQueueFIFOAtSameInstant(t *testing.T) {
+	var q Queue
+	var got []int
+	for i := 0; i < 10; i++ {
+		i := i
+		q.Schedule(time.Second, func() { got = append(got, i) })
+	}
+	for q.Len() > 0 {
+		ev, _ := q.Pop()
+		ev.Fn()
+	}
+	for i := 0; i < 10; i++ {
+		if got[i] != i {
+			t.Fatalf("same-instant order = %v, want FIFO", got)
+		}
+	}
+}
+
+func TestQueueCancel(t *testing.T) {
+	var q Queue
+	fired := false
+	ev := q.Schedule(time.Second, func() { fired = true })
+	q.Cancel(ev)
+	if q.Len() != 0 {
+		t.Fatalf("Len = %d after cancel, want 0", q.Len())
+	}
+	if !ev.Canceled() {
+		t.Fatal("Canceled() = false after cancel")
+	}
+	// Double-cancel must be a no-op.
+	q.Cancel(ev)
+	q.Cancel(nil)
+	if fired {
+		t.Fatal("canceled event fired")
+	}
+}
+
+func TestQueueCancelMiddle(t *testing.T) {
+	var q Queue
+	var got []int
+	q.Schedule(1*time.Second, func() { got = append(got, 1) })
+	mid := q.Schedule(2*time.Second, func() { got = append(got, 2) })
+	q.Schedule(3*time.Second, func() { got = append(got, 3) })
+	q.Cancel(mid)
+	for q.Len() > 0 {
+		ev, _ := q.Pop()
+		ev.Fn()
+	}
+	if len(got) != 2 || got[0] != 1 || got[1] != 3 {
+		t.Fatalf("got %v, want [1 3]", got)
+	}
+}
+
+func TestQueuePeekTime(t *testing.T) {
+	var q Queue
+	if _, ok := q.PeekTime(); ok {
+		t.Fatal("PeekTime ok on empty queue")
+	}
+	q.Schedule(5*time.Second, func() {})
+	q.Schedule(2*time.Second, func() {})
+	at, ok := q.PeekTime()
+	if !ok || at != 2*time.Second {
+		t.Fatalf("PeekTime = %v, %v; want 2s, true", at, ok)
+	}
+}
+
+func TestClockMonotonic(t *testing.T) {
+	var c Clock
+	c.Advance(5 * time.Second)
+	c.Advance(-10 * time.Second)
+	if c.Now() != 5*time.Second {
+		t.Fatalf("Now = %v, want 5s (negative advance ignored)", c.Now())
+	}
+	c.Set(3 * time.Second) // earlier: ignored
+	if c.Now() != 5*time.Second {
+		t.Fatalf("Now = %v after backward Set, want 5s", c.Now())
+	}
+	c.Set(8 * time.Second)
+	if c.Now() != 8*time.Second {
+		t.Fatalf("Now = %v, want 8s", c.Now())
+	}
+}

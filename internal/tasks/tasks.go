@@ -1,0 +1,204 @@
+// Package tasks models the units of computation OpenVDAP schedules: single
+// tasks with a compute class and cost, and DAGs of tasks with data
+// dependencies. It also carries the library of paper workloads (Table I
+// detectors, Inception-v3, the three-stage license-plate pipeline) whose
+// cost constants are calibrated against the paper's measurements.
+package tasks
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/hardware"
+)
+
+// Task is one schedulable unit of work.
+type Task struct {
+	// ID is unique within a DAG.
+	ID string
+	// Name is a human-readable label.
+	Name string
+	// Class selects the hardware efficiency profile.
+	Class hardware.Class
+	// GFLOP is the computational cost in billions of floating-point ops.
+	GFLOP float64
+	// InputBytes is data consumed from outside or from predecessors.
+	InputBytes float64
+	// OutputBytes is data produced for successors or the caller.
+	OutputBytes float64
+	// MemoryMB is the working-set the executing device must hold.
+	MemoryMB float64
+	// Deps lists IDs of tasks that must complete first.
+	Deps []string
+	// Pinned, when non-empty, restricts execution to the named device.
+	Pinned string
+}
+
+// Validate reports structural errors in the task itself.
+func (t *Task) Validate() error {
+	if t.ID == "" {
+		return fmt.Errorf("tasks: task has no ID")
+	}
+	if t.GFLOP < 0 {
+		return fmt.Errorf("tasks: task %s has negative work", t.ID)
+	}
+	if t.InputBytes < 0 || t.OutputBytes < 0 {
+		return fmt.Errorf("tasks: task %s has negative data size", t.ID)
+	}
+	if t.MemoryMB < 0 {
+		return fmt.Errorf("tasks: task %s has negative memory", t.ID)
+	}
+	return nil
+}
+
+// DAG is a directed acyclic graph of tasks: an application decomposed by
+// the DSF task partitioner (paper §IV-B2).
+type DAG struct {
+	Name  string
+	Tasks []*Task
+}
+
+// Validate checks IDs are unique, dependencies resolve, and no cycle exists.
+func (d *DAG) Validate() error {
+	if d.Name == "" {
+		return fmt.Errorf("tasks: DAG has no name")
+	}
+	if len(d.Tasks) == 0 {
+		return fmt.Errorf("tasks: DAG %s has no tasks", d.Name)
+	}
+	byID := make(map[string]*Task, len(d.Tasks))
+	for _, t := range d.Tasks {
+		if err := t.Validate(); err != nil {
+			return fmt.Errorf("DAG %s: %w", d.Name, err)
+		}
+		if _, dup := byID[t.ID]; dup {
+			return fmt.Errorf("tasks: DAG %s has duplicate task ID %q", d.Name, t.ID)
+		}
+		byID[t.ID] = t
+	}
+	for _, t := range d.Tasks {
+		for _, dep := range t.Deps {
+			if _, ok := byID[dep]; !ok {
+				return fmt.Errorf("tasks: DAG %s task %s depends on unknown %q", d.Name, t.ID, dep)
+			}
+		}
+	}
+	if _, err := d.TopoOrder(); err != nil {
+		return err
+	}
+	return nil
+}
+
+// Get returns the task with the given ID.
+func (d *DAG) Get(id string) (*Task, bool) {
+	for _, t := range d.Tasks {
+		if t.ID == id {
+			return t, true
+		}
+	}
+	return nil, false
+}
+
+// Roots returns tasks with no dependencies, in declaration order.
+func (d *DAG) Roots() []*Task {
+	var roots []*Task
+	for _, t := range d.Tasks {
+		if len(t.Deps) == 0 {
+			roots = append(roots, t)
+		}
+	}
+	return roots
+}
+
+// Successors returns the IDs of tasks that directly depend on id.
+func (d *DAG) Successors(id string) []string {
+	var out []string
+	for _, t := range d.Tasks {
+		for _, dep := range t.Deps {
+			if dep == id {
+				out = append(out, t.ID)
+			}
+		}
+	}
+	return out
+}
+
+// TopoOrder returns the tasks in a dependency-respecting order with stable
+// tie-breaking (declaration order). It fails on cycles.
+func (d *DAG) TopoOrder() ([]*Task, error) {
+	indeg := make(map[string]int, len(d.Tasks))
+	pos := make(map[string]int, len(d.Tasks))
+	for i, t := range d.Tasks {
+		indeg[t.ID] = len(t.Deps)
+		pos[t.ID] = i
+	}
+	var ready []*Task
+	for _, t := range d.Tasks {
+		if indeg[t.ID] == 0 {
+			ready = append(ready, t)
+		}
+	}
+	var order []*Task
+	for len(ready) > 0 {
+		sort.Slice(ready, func(i, j int) bool { return pos[ready[i].ID] < pos[ready[j].ID] })
+		t := ready[0]
+		ready = ready[1:]
+		order = append(order, t)
+		for _, succID := range d.Successors(t.ID) {
+			indeg[succID]--
+			if indeg[succID] == 0 {
+				succ, _ := d.Get(succID)
+				ready = append(ready, succ)
+			}
+		}
+	}
+	if len(order) != len(d.Tasks) {
+		return nil, fmt.Errorf("tasks: DAG %s contains a cycle", d.Name)
+	}
+	return order, nil
+}
+
+// TotalGFLOP sums the work of every task.
+func (d *DAG) TotalGFLOP() float64 {
+	var total float64
+	for _, t := range d.Tasks {
+		total += t.GFLOP
+	}
+	return total
+}
+
+// CriticalPathGFLOP returns the largest cumulative work along any
+// dependency chain — the lower bound on makespan with infinite devices of
+// equal speed.
+func (d *DAG) CriticalPathGFLOP() (float64, error) {
+	order, err := d.TopoOrder()
+	if err != nil {
+		return 0, err
+	}
+	acc := make(map[string]float64, len(order))
+	var best float64
+	for _, t := range order {
+		var maxDep float64
+		for _, dep := range t.Deps {
+			if acc[dep] > maxDep {
+				maxDep = acc[dep]
+			}
+		}
+		acc[t.ID] = maxDep + t.GFLOP
+		if acc[t.ID] > best {
+			best = acc[t.ID]
+		}
+	}
+	return best, nil
+}
+
+// Clone returns a deep copy of the DAG (tasks and dep slices).
+func (d *DAG) Clone() *DAG {
+	out := &DAG{Name: d.Name, Tasks: make([]*Task, len(d.Tasks))}
+	for i, t := range d.Tasks {
+		cp := *t
+		cp.Deps = append([]string(nil), t.Deps...)
+		out.Tasks[i] = &cp
+	}
+	return out
+}

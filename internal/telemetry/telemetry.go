@@ -1,0 +1,185 @@
+// Package telemetry is a small virtual-time metrics library used by the
+// platform's reporting: counters, gauges, and quantile histograms keyed by
+// name, with deterministic text rendering. It exists so experiments and
+// long-running scenarios can summarize behavior without each component
+// hand-rolling aggregation.
+package telemetry
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Registry holds named metrics. It is safe for concurrent use (the REST
+// tier reaches it from server goroutines).
+type Registry struct {
+	mu         sync.Mutex
+	counters   map[string]float64
+	gauges     map[string]float64
+	histograms map[string]*Histogram
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters:   make(map[string]float64),
+		gauges:     make(map[string]float64),
+		histograms: make(map[string]*Histogram),
+	}
+}
+
+// Add increments a counter.
+func (r *Registry) Add(name string, delta float64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.counters[name] += delta
+}
+
+// Counter returns a counter's value.
+func (r *Registry) Counter(name string) float64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.counters[name]
+}
+
+// Set records a gauge's current value.
+func (r *Registry) Set(name string, value float64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.gauges[name] = value
+}
+
+// Gauge returns a gauge's value and whether it was ever set.
+func (r *Registry) Gauge(name string) (float64, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	v, ok := r.gauges[name]
+	return v, ok
+}
+
+// Observe records a sample into a histogram.
+func (r *Registry) Observe(name string, value float64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h, ok := r.histograms[name]
+	if !ok {
+		h = &Histogram{}
+		r.histograms[name] = h
+	}
+	h.Observe(value)
+}
+
+// ObserveDuration records a duration sample in milliseconds.
+func (r *Registry) ObserveDuration(name string, d time.Duration) {
+	r.Observe(name, float64(d)/float64(time.Millisecond))
+}
+
+// Histogram returns the named histogram snapshot (nil if absent).
+func (r *Registry) Histogram(name string) *Histogram {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h, ok := r.histograms[name]
+	if !ok {
+		return nil
+	}
+	cp := &Histogram{samples: append([]float64(nil), h.samples...), sorted: false}
+	return cp
+}
+
+// Histogram stores raw samples (scenario scale keeps this cheap) and
+// answers quantile queries.
+type Histogram struct {
+	samples []float64
+	sorted  bool
+}
+
+// Observe adds a sample.
+func (h *Histogram) Observe(v float64) {
+	h.samples = append(h.samples, v)
+	h.sorted = false
+}
+
+// Count returns the number of samples.
+func (h *Histogram) Count() int { return len(h.samples) }
+
+// Sum returns the sample total.
+func (h *Histogram) Sum() float64 {
+	var s float64
+	for _, v := range h.samples {
+		s += v
+	}
+	return s
+}
+
+// Mean returns the average (0 with no samples).
+func (h *Histogram) Mean() float64 {
+	if len(h.samples) == 0 {
+		return 0
+	}
+	return h.Sum() / float64(len(h.samples))
+}
+
+// Quantile returns the q-quantile (0 <= q <= 1) by nearest-rank; NaN with
+// no samples.
+func (h *Histogram) Quantile(q float64) float64 {
+	if len(h.samples) == 0 {
+		return math.NaN()
+	}
+	if !h.sorted {
+		sort.Float64s(h.samples)
+		h.sorted = true
+	}
+	if q <= 0 {
+		return h.samples[0]
+	}
+	if q >= 1 {
+		return h.samples[len(h.samples)-1]
+	}
+	idx := int(math.Ceil(q*float64(len(h.samples)))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	return h.samples[idx]
+}
+
+// Max returns the largest sample (NaN with none).
+func (h *Histogram) Max() float64 { return h.Quantile(1) }
+
+// Render produces a deterministic multi-line summary of every metric,
+// sorted by name.
+func (r *Registry) Render() string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var b strings.Builder
+	names := make([]string, 0, len(r.counters))
+	for n := range r.counters {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		fmt.Fprintf(&b, "counter %-40s %.2f\n", n, r.counters[n])
+	}
+	names = names[:0]
+	for n := range r.gauges {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		fmt.Fprintf(&b, "gauge   %-40s %.2f\n", n, r.gauges[n])
+	}
+	names = names[:0]
+	for n := range r.histograms {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		h := r.histograms[n]
+		fmt.Fprintf(&b, "hist    %-40s n=%d mean=%.2f p50=%.2f p95=%.2f max=%.2f\n",
+			n, h.Count(), h.Mean(), h.Quantile(0.5), h.Quantile(0.95), h.Max())
+	}
+	return b.String()
+}

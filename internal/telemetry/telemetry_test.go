@@ -1,0 +1,156 @@
+package telemetry
+
+import (
+	"math"
+	"strings"
+	"sync"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestCounters(t *testing.T) {
+	r := NewRegistry()
+	r.Add("invocations", 1)
+	r.Add("invocations", 2)
+	if got := r.Counter("invocations"); got != 3 {
+		t.Fatalf("counter = %v", got)
+	}
+	if got := r.Counter("missing"); got != 0 {
+		t.Fatalf("missing counter = %v", got)
+	}
+}
+
+func TestGauges(t *testing.T) {
+	r := NewRegistry()
+	if _, ok := r.Gauge("speed"); ok {
+		t.Fatal("unset gauge reported set")
+	}
+	r.Set("speed", 35)
+	r.Set("speed", 70)
+	v, ok := r.Gauge("speed")
+	if !ok || v != 70 {
+		t.Fatalf("gauge = %v, %v", v, ok)
+	}
+}
+
+func TestHistogramQuantiles(t *testing.T) {
+	h := &Histogram{}
+	if !math.IsNaN(h.Quantile(0.5)) {
+		t.Fatal("empty histogram quantile not NaN")
+	}
+	for i := 1; i <= 100; i++ {
+		h.Observe(float64(i))
+	}
+	if h.Count() != 100 || h.Sum() != 5050 || h.Mean() != 50.5 {
+		t.Fatalf("stats = %d/%v/%v", h.Count(), h.Sum(), h.Mean())
+	}
+	if got := h.Quantile(0.5); got != 50 {
+		t.Fatalf("p50 = %v", got)
+	}
+	if got := h.Quantile(0.95); got != 95 {
+		t.Fatalf("p95 = %v", got)
+	}
+	if got := h.Quantile(0); got != 1 {
+		t.Fatalf("p0 = %v", got)
+	}
+	if got := h.Max(); got != 100 {
+		t.Fatalf("max = %v", got)
+	}
+}
+
+func TestHistogramQuantileMonotoneProperty(t *testing.T) {
+	if err := quick.Check(func(vals []float64) bool {
+		h := &Histogram{}
+		for _, v := range vals {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				continue
+			}
+			h.Observe(v)
+		}
+		if h.Count() == 0 {
+			return true
+		}
+		prev := h.Quantile(0)
+		for _, q := range []float64{0.25, 0.5, 0.75, 0.9, 1} {
+			cur := h.Quantile(q)
+			if cur < prev {
+				return false
+			}
+			prev = cur
+		}
+		return true
+	}, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestObserveDuration(t *testing.T) {
+	r := NewRegistry()
+	r.ObserveDuration("latency", 250*time.Millisecond)
+	h := r.Histogram("latency")
+	if h == nil || h.Count() != 1 {
+		t.Fatal("duration not recorded")
+	}
+	if h.Mean() != 250 {
+		t.Fatalf("mean = %v ms", h.Mean())
+	}
+	if r.Histogram("missing") != nil {
+		t.Fatal("missing histogram not nil")
+	}
+}
+
+func TestHistogramSnapshotIsolated(t *testing.T) {
+	r := NewRegistry()
+	r.Observe("x", 1)
+	snap := r.Histogram("x")
+	snap.Observe(999)
+	if got := r.Histogram("x").Count(); got != 1 {
+		t.Fatalf("snapshot mutation leaked: count = %d", got)
+	}
+}
+
+func TestRenderDeterministic(t *testing.T) {
+	r := NewRegistry()
+	r.Add("b-counter", 2)
+	r.Add("a-counter", 1)
+	r.Set("z-gauge", 9)
+	r.Observe("m-hist", 5)
+	r.Observe("m-hist", 15)
+	out1 := r.Render()
+	out2 := r.Render()
+	if out1 != out2 {
+		t.Fatal("render not deterministic")
+	}
+	for _, want := range []string{"a-counter", "b-counter", "z-gauge", "m-hist", "p95"} {
+		if !strings.Contains(out1, want) {
+			t.Fatalf("render missing %q:\n%s", want, out1)
+		}
+	}
+	if strings.Index(out1, "a-counter") > strings.Index(out1, "b-counter") {
+		t.Fatal("counters not sorted")
+	}
+}
+
+func TestRegistryConcurrency(t *testing.T) {
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				r.Add("c", 1)
+				r.Set("g", float64(i))
+				r.Observe("h", float64(i))
+			}
+		}()
+	}
+	wg.Wait()
+	if r.Counter("c") != 4000 {
+		t.Fatalf("counter = %v", r.Counter("c"))
+	}
+	if r.Histogram("h").Count() != 4000 {
+		t.Fatal("histogram lost samples")
+	}
+}

@@ -1,0 +1,51 @@
+package v2v
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/edgeos"
+)
+
+// TestBeaconPseudonymRotationUnlinkable: a vehicle beaconing across a
+// pseudonym rotation appears as two distinct neighbors to an observer —
+// the unlinkability the Privacy module provides — while the sender itself
+// can still recognize both identities as its own.
+func TestBeaconPseudonymRotationUnlinkable(t *testing.T) {
+	sender, err := edgeos.NewPrivacyModule([]byte("sender-long-term-secret-material"), 10*time.Minute, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	observer, err := NewNeighborTable(time.Hour, 1e6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	send := func(at time.Duration, x float64) {
+		b := BSM{Pseudonym: sender.Pseudonym(at), At: at, X: x, SpeedMS: 15}
+		wire, err := b.Encode()
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := DecodeBSM(wire)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !observer.Observe(got, at, 0, 0) {
+			t.Fatalf("beacon at %v rejected", at)
+		}
+	}
+	send(time.Minute, 100)    // epoch 0
+	send(5*time.Minute, 200)  // epoch 0, same pseudonym
+	send(15*time.Minute, 300) // epoch 1, rotated pseudonym
+
+	ns := observer.Neighbors(15*time.Minute, 0, 0)
+	if len(ns) != 2 {
+		t.Fatalf("observer sees %d neighbors, want 2 (rotation looks like a new vehicle)", len(ns))
+	}
+	// The sender recognizes both identities as its own.
+	for _, n := range ns {
+		if !sender.IsMine(n.Pseudonym, 15*time.Minute, time.Hour) {
+			t.Fatalf("sender disowned pseudonym %s", n.Pseudonym)
+		}
+	}
+}

@@ -1,0 +1,85 @@
+package v2v
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"repro/internal/vdapcrypto"
+)
+
+// SignedBSM wraps a beacon with an IEEE-1609.2-style ECDSA signature and
+// the sender's per-epoch public key: receivers verify before admitting the
+// beacon to their neighbor table, so position spoofing requires a key, and
+// rotating the key with the pseudonym keeps epochs unlinkable.
+type SignedBSM struct {
+	Payload []byte // encoded BSM
+	PubKey  []byte // compressed P-256 point
+	Sig     []byte // ASN.1 ECDSA signature over Payload
+}
+
+// SignBSM encodes and signs a beacon.
+func SignBSM(b BSM, signer *vdapcrypto.Signer) (SignedBSM, error) {
+	if signer == nil {
+		return SignedBSM{}, fmt.Errorf("v2v: nil signer")
+	}
+	payload, err := b.Encode()
+	if err != nil {
+		return SignedBSM{}, err
+	}
+	sig, err := signer.Sign(payload)
+	if err != nil {
+		return SignedBSM{}, err
+	}
+	return SignedBSM{Payload: payload, PubKey: signer.PublicKey(), Sig: sig}, nil
+}
+
+// VerifyAndDecode checks the signature and returns the beacon. Tampered
+// payloads, wrong keys, and malformed frames are all rejected.
+func (s SignedBSM) VerifyAndDecode() (BSM, error) {
+	if !vdapcrypto.VerifySignature(s.PubKey, s.Payload, s.Sig) {
+		return BSM{}, fmt.Errorf("v2v: signature verification failed")
+	}
+	return DecodeBSM(s.Payload)
+}
+
+// Encode serializes the signed frame: len-prefixed payload, key, sig.
+func (s SignedBSM) Encode() ([]byte, error) {
+	if len(s.Payload) == 0 || len(s.PubKey) == 0 || len(s.Sig) == 0 {
+		return nil, fmt.Errorf("v2v: incomplete signed frame")
+	}
+	total := 3*2 + len(s.Payload) + len(s.PubKey) + len(s.Sig)
+	out := make([]byte, 0, total)
+	for _, part := range [][]byte{s.Payload, s.PubKey, s.Sig} {
+		if len(part) > 0xFFFF {
+			return nil, fmt.Errorf("v2v: frame part too large (%d bytes)", len(part))
+		}
+		var l [2]byte
+		binary.LittleEndian.PutUint16(l[:], uint16(len(part)))
+		out = append(out, l[:]...)
+		out = append(out, part...)
+	}
+	return out, nil
+}
+
+// DecodeSignedBSM parses the wire form of a signed frame (it does not
+// verify; call VerifyAndDecode on the result).
+func DecodeSignedBSM(data []byte) (SignedBSM, error) {
+	var parts [3][]byte
+	off := 0
+	for i := range parts {
+		if off+2 > len(data) {
+			return SignedBSM{}, fmt.Errorf("v2v: truncated signed frame")
+		}
+		l := int(binary.LittleEndian.Uint16(data[off : off+2]))
+		off += 2
+		if off+l > len(data) {
+			return SignedBSM{}, fmt.Errorf("v2v: truncated signed frame part %d", i)
+		}
+		parts[i] = data[off : off+l]
+		off += l
+	}
+	if off != len(data) {
+		return SignedBSM{}, fmt.Errorf("v2v: %d trailing bytes in signed frame", len(data)-off)
+	}
+	return SignedBSM{Payload: parts[0], PubKey: parts[1], Sig: parts[2]}, nil
+}

@@ -1,0 +1,113 @@
+package v2v
+
+import (
+	"testing"
+
+	"repro/internal/vdapcrypto"
+)
+
+func TestSignedBSMRoundTrip(t *testing.T) {
+	signer, err := vdapcrypto.NewSigner()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := testBSM()
+	signed, err := SignBSM(b, signer)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wire, err := signed.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	parsed, err := DecodeSignedBSM(wire)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := parsed.VerifyAndDecode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != b {
+		t.Fatalf("round trip mismatch: %+v", got)
+	}
+}
+
+func TestSignedBSMRejectsTampering(t *testing.T) {
+	signer, _ := vdapcrypto.NewSigner()
+	signed, err := SignBSM(testBSM(), signer)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Tamper with the position bytes inside the payload.
+	tampered := signed
+	tampered.Payload = append([]byte(nil), signed.Payload...)
+	tampered.Payload[42] ^= 0xFF
+	if _, err := tampered.VerifyAndDecode(); err == nil {
+		t.Fatal("tampered beacon verified")
+	}
+	// Swap in a different key.
+	other, _ := vdapcrypto.NewSigner()
+	wrongKey := signed
+	wrongKey.PubKey = other.PublicKey()
+	if _, err := wrongKey.VerifyAndDecode(); err == nil {
+		t.Fatal("wrong-key beacon verified")
+	}
+	// Corrupt the signature.
+	badSig := signed
+	badSig.Sig = append([]byte(nil), signed.Sig...)
+	badSig.Sig[4] ^= 0xFF
+	if _, err := badSig.VerifyAndDecode(); err == nil {
+		t.Fatal("bad-signature beacon verified")
+	}
+	// Garbage public key bytes.
+	garbage := signed
+	garbage.PubKey = []byte{1, 2, 3}
+	if _, err := garbage.VerifyAndDecode(); err == nil {
+		t.Fatal("garbage-key beacon verified")
+	}
+}
+
+func TestSignedBSMWireErrors(t *testing.T) {
+	if _, err := DecodeSignedBSM(nil); err == nil {
+		t.Fatal("nil decoded")
+	}
+	if _, err := DecodeSignedBSM([]byte{5, 0, 1}); err == nil {
+		t.Fatal("truncated part decoded")
+	}
+	signer, _ := vdapcrypto.NewSigner()
+	signed, _ := SignBSM(testBSM(), signer)
+	wire, _ := signed.Encode()
+	if _, err := DecodeSignedBSM(append(wire, 0xAA)); err == nil {
+		t.Fatal("trailing bytes accepted")
+	}
+	if _, err := (SignedBSM{}).Encode(); err == nil {
+		t.Fatal("empty frame encoded")
+	}
+	if _, err := SignBSM(testBSM(), nil); err == nil {
+		t.Fatal("nil signer accepted")
+	}
+	bad := testBSM()
+	bad.Pseudonym = "short"
+	if _, err := SignBSM(bad, signer); err == nil {
+		t.Fatal("invalid beacon signed")
+	}
+}
+
+func TestSignerKeysUnlinkableAcrossEpochs(t *testing.T) {
+	// Two epochs, two signers: same vehicle, different keys — verifiers
+	// cannot link them.
+	s1, _ := vdapcrypto.NewSigner()
+	s2, _ := vdapcrypto.NewSigner()
+	if string(s1.PublicKey()) == string(s2.PublicKey()) {
+		t.Fatal("fresh signers share a key")
+	}
+	b := testBSM()
+	signed1, _ := SignBSM(b, s1)
+	// Epoch-2 verifiers reject epoch-1 signatures under the new key.
+	cross := signed1
+	cross.PubKey = s2.PublicKey()
+	if _, err := cross.VerifyAndDecode(); err == nil {
+		t.Fatal("cross-epoch signature verified")
+	}
+}

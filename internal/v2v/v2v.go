@@ -1,0 +1,164 @@
+// Package v2v implements the vehicle-to-vehicle beaconing layer under
+// OpenVDAP's collaboration features: DSRC basic safety messages (BSMs)
+// carrying pseudonymous position/speed beacons in a compact binary wire
+// format, and a neighbor table that ages entries out — how a vehicle
+// discovers which peers are in convoy range before sharing results or
+// accepting migrations.
+package v2v
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"sort"
+	"time"
+)
+
+// BSM is one basic safety message.
+type BSM struct {
+	// Pseudonym identifies the sender unlinkably (16 bytes hex = 32 chars).
+	Pseudonym string
+	// At is the send time.
+	At time.Duration
+	// X, Y position in meters; SpeedMS and HeadingDeg motion state.
+	X, Y       float64
+	SpeedMS    float64
+	HeadingDeg float64
+}
+
+// wire format: magic(2) | pseudonym(32) | atNanos(8) | x(8) | y(8) |
+// speed(8) | heading(8) — 74 bytes total.
+const (
+	bsmMagic0 = 0xB5
+	bsmMagic1 = 0x4D
+	bsmSize   = 2 + 32 + 8 + 8 + 8 + 8 + 8
+)
+
+// Encode serializes the message.
+func (b BSM) Encode() ([]byte, error) {
+	if len(b.Pseudonym) != 32 {
+		return nil, fmt.Errorf("v2v: pseudonym must be 32 chars, got %d", len(b.Pseudonym))
+	}
+	if b.At < 0 {
+		return nil, fmt.Errorf("v2v: negative timestamp")
+	}
+	out := make([]byte, 0, bsmSize)
+	out = append(out, bsmMagic0, bsmMagic1)
+	out = append(out, b.Pseudonym...)
+	var buf [8]byte
+	put := func(v uint64) {
+		binary.LittleEndian.PutUint64(buf[:], v)
+		out = append(out, buf[:]...)
+	}
+	put(uint64(b.At))
+	put(math.Float64bits(b.X))
+	put(math.Float64bits(b.Y))
+	put(math.Float64bits(b.SpeedMS))
+	put(math.Float64bits(b.HeadingDeg))
+	return out, nil
+}
+
+// DecodeBSM parses a wire message.
+func DecodeBSM(data []byte) (BSM, error) {
+	if len(data) != bsmSize {
+		return BSM{}, fmt.Errorf("v2v: BSM must be %d bytes, got %d", bsmSize, len(data))
+	}
+	if data[0] != bsmMagic0 || data[1] != bsmMagic1 {
+		return BSM{}, fmt.Errorf("v2v: bad magic 0x%02X%02X", data[0], data[1])
+	}
+	b := BSM{Pseudonym: string(data[2:34])}
+	get := func(off int) uint64 { return binary.LittleEndian.Uint64(data[off : off+8]) }
+	b.At = time.Duration(get(34))
+	if b.At < 0 {
+		return BSM{}, fmt.Errorf("v2v: negative timestamp")
+	}
+	b.X = math.Float64frombits(get(42))
+	b.Y = math.Float64frombits(get(50))
+	b.SpeedMS = math.Float64frombits(get(58))
+	b.HeadingDeg = math.Float64frombits(get(66))
+	for _, v := range []float64{b.X, b.Y, b.SpeedMS, b.HeadingDeg} {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return BSM{}, fmt.Errorf("v2v: non-finite field")
+		}
+	}
+	return b, nil
+}
+
+// Neighbor is one table entry.
+type Neighbor struct {
+	BSM
+	// LastSeen is when the latest beacon arrived.
+	LastSeen time.Duration
+}
+
+// NeighborTable tracks peers from their beacons, aging silent ones out.
+type NeighborTable struct {
+	ttl     time.Duration
+	rangeM  float64
+	entries map[string]Neighbor
+}
+
+// NewNeighborTable builds a table. ttl is the silence timeout; rangeM the
+// admission radius (beacons from farther away are ignored — DSRC would
+// not have delivered them).
+func NewNeighborTable(ttl time.Duration, rangeM float64) (*NeighborTable, error) {
+	if ttl <= 0 {
+		return nil, fmt.Errorf("v2v: TTL must be positive, got %v", ttl)
+	}
+	if rangeM <= 0 {
+		return nil, fmt.Errorf("v2v: range must be positive, got %v", rangeM)
+	}
+	return &NeighborTable{ttl: ttl, rangeM: rangeM, entries: make(map[string]Neighbor)}, nil
+}
+
+// Observe ingests a beacon heard at virtual time now by a vehicle at
+// (selfX, selfY). It reports whether the beacon was admitted.
+func (nt *NeighborTable) Observe(b BSM, now time.Duration, selfX, selfY float64) bool {
+	dx, dy := b.X-selfX, b.Y-selfY
+	if math.Hypot(dx, dy) > nt.rangeM {
+		return false
+	}
+	cur, ok := nt.entries[b.Pseudonym]
+	if ok && cur.At > b.At {
+		return false // stale out-of-order beacon
+	}
+	nt.entries[b.Pseudonym] = Neighbor{BSM: b, LastSeen: now}
+	return true
+}
+
+// Sweep drops entries silent for longer than the TTL and returns how many
+// were removed.
+func (nt *NeighborTable) Sweep(now time.Duration) int {
+	removed := 0
+	for p, n := range nt.entries {
+		if now-n.LastSeen > nt.ttl {
+			delete(nt.entries, p)
+			removed++
+		}
+	}
+	return removed
+}
+
+// Neighbors returns live entries at virtual time now, nearest first
+// relative to (selfX, selfY).
+func (nt *NeighborTable) Neighbors(now time.Duration, selfX, selfY float64) []Neighbor {
+	var out []Neighbor
+	for _, n := range nt.entries {
+		if now-n.LastSeen > nt.ttl {
+			continue
+		}
+		out = append(out, n)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		di := math.Hypot(out[i].X-selfX, out[i].Y-selfY)
+		dj := math.Hypot(out[j].X-selfX, out[j].Y-selfY)
+		if di != dj {
+			return di < dj
+		}
+		return out[i].Pseudonym < out[j].Pseudonym
+	})
+	return out
+}
+
+// Len returns the raw entry count (including not-yet-swept stale ones).
+func (nt *NeighborTable) Len() int { return len(nt.entries) }

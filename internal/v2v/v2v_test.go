@@ -1,0 +1,195 @@
+package v2v
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func pseudo(c byte) string { return strings.Repeat(string(c), 32) }
+
+func testBSM() BSM {
+	return BSM{
+		Pseudonym:  pseudo('a'),
+		At:         3 * time.Second,
+		X:          1234.5,
+		Y:          -6.25,
+		SpeedMS:    15.6464,
+		HeadingDeg: 90,
+	}
+}
+
+func TestBSMRoundTrip(t *testing.T) {
+	b := testBSM()
+	wire, err := b.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(wire) != bsmSize {
+		t.Fatalf("wire size = %d, want %d", len(wire), bsmSize)
+	}
+	got, err := DecodeBSM(wire)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != b {
+		t.Fatalf("round trip: %+v != %+v", got, b)
+	}
+}
+
+func TestBSMEncodeValidation(t *testing.T) {
+	b := testBSM()
+	b.Pseudonym = "short"
+	if _, err := b.Encode(); err == nil {
+		t.Fatal("short pseudonym encoded")
+	}
+	b = testBSM()
+	b.At = -time.Second
+	if _, err := b.Encode(); err == nil {
+		t.Fatal("negative time encoded")
+	}
+}
+
+func TestBSMDecodeErrors(t *testing.T) {
+	if _, err := DecodeBSM(nil); err == nil {
+		t.Fatal("nil decoded")
+	}
+	wire, _ := testBSM().Encode()
+	if _, err := DecodeBSM(wire[:10]); err == nil {
+		t.Fatal("short frame decoded")
+	}
+	bad := append([]byte(nil), wire...)
+	bad[0] = 0
+	if _, err := DecodeBSM(bad); err == nil {
+		t.Fatal("bad magic decoded")
+	}
+	// NaN injection must be rejected.
+	nanB := testBSM()
+	nanB.X = math.NaN()
+	nanWire, err := nanB.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := DecodeBSM(nanWire); err == nil {
+		t.Fatal("NaN field decoded")
+	}
+}
+
+func TestBSMRoundTripProperty(t *testing.T) {
+	if err := quick.Check(func(x, y, speed, heading float64, atMS uint32) bool {
+		for _, v := range []float64{x, y, speed, heading} {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return true
+			}
+		}
+		b := BSM{
+			Pseudonym: pseudo('z'),
+			At:        time.Duration(atMS) * time.Millisecond,
+			X:         x, Y: y, SpeedMS: speed, HeadingDeg: heading,
+		}
+		wire, err := b.Encode()
+		if err != nil {
+			return false
+		}
+		got, err := DecodeBSM(wire)
+		return err == nil && got == b
+	}, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func newTable(t *testing.T) *NeighborTable {
+	t.Helper()
+	nt, err := NewNeighborTable(2*time.Second, 300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return nt
+}
+
+func TestNewNeighborTableValidation(t *testing.T) {
+	if _, err := NewNeighborTable(0, 300); err == nil {
+		t.Fatal("zero TTL accepted")
+	}
+	if _, err := NewNeighborTable(time.Second, 0); err == nil {
+		t.Fatal("zero range accepted")
+	}
+}
+
+func TestObserveAdmitsInRange(t *testing.T) {
+	nt := newTable(t)
+	b := testBSM()
+	b.X, b.Y = 100, 0
+	if !nt.Observe(b, time.Second, 0, 0) {
+		t.Fatal("in-range beacon rejected")
+	}
+	far := testBSM()
+	far.Pseudonym = pseudo('b')
+	far.X = 5000
+	if nt.Observe(far, time.Second, 0, 0) {
+		t.Fatal("out-of-range beacon admitted")
+	}
+	if nt.Len() != 1 {
+		t.Fatalf("Len = %d", nt.Len())
+	}
+}
+
+func TestObserveRejectsStaleOutOfOrder(t *testing.T) {
+	nt := newTable(t)
+	fresh := testBSM()
+	fresh.At = 5 * time.Second
+	fresh.X = 10
+	if !nt.Observe(fresh, 5*time.Second, 0, 0) {
+		t.Fatal("fresh beacon rejected")
+	}
+	stale := fresh
+	stale.At = 3 * time.Second
+	stale.X = 999 // would corrupt position if admitted
+	if nt.Observe(stale, 6*time.Second, 0, 0) {
+		t.Fatal("out-of-order beacon admitted")
+	}
+	ns := nt.Neighbors(6*time.Second, 0, 0)
+	if len(ns) != 1 || ns[0].X != 10 {
+		t.Fatalf("neighbors = %+v", ns)
+	}
+}
+
+func TestNeighborExpiry(t *testing.T) {
+	nt := newTable(t)
+	b := testBSM()
+	b.X = 10
+	nt.Observe(b, time.Second, 0, 0)
+	if len(nt.Neighbors(2*time.Second, 0, 0)) != 1 {
+		t.Fatal("live neighbor missing")
+	}
+	if len(nt.Neighbors(10*time.Second, 0, 0)) != 0 {
+		t.Fatal("silent neighbor still listed")
+	}
+	if removed := nt.Sweep(10 * time.Second); removed != 1 {
+		t.Fatalf("swept %d", removed)
+	}
+	if nt.Len() != 0 {
+		t.Fatal("entry survived sweep")
+	}
+}
+
+func TestNeighborsSortedByDistance(t *testing.T) {
+	nt := newTable(t)
+	for i, x := range []float64{250, 50, 150} {
+		b := testBSM()
+		b.Pseudonym = pseudo(byte('a' + i))
+		b.X = x
+		if !nt.Observe(b, time.Second, 0, 0) {
+			t.Fatalf("beacon %d rejected", i)
+		}
+	}
+	ns := nt.Neighbors(time.Second, 0, 0)
+	if len(ns) != 3 {
+		t.Fatalf("neighbors = %d", len(ns))
+	}
+	if ns[0].X != 50 || ns[1].X != 150 || ns[2].X != 250 {
+		t.Fatalf("not sorted by distance: %v %v %v", ns[0].X, ns[1].X, ns[2].X)
+	}
+}

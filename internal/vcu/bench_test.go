@@ -1,0 +1,54 @@
+package vcu
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+	"repro/internal/tasks"
+)
+
+func BenchmarkGreedyEFTPlanALPR(b *testing.B) {
+	m, err := DefaultVCU()
+	if err != nil {
+		b.Fatal(err)
+	}
+	s, err := NewDSF(m, GreedyEFT{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	dag := tasks.ALPR()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Plan(dag, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkHEFTPlanRandom24(b *testing.B) {
+	rng := sim.NewRNG(1)
+	dag, err := tasks.RandomDAG("bench", tasks.RandomDAGConfig{MinTasks: 24, MaxTasks: 24}, rng)
+	if err != nil {
+		b.Fatal(err)
+	}
+	m, _ := DefaultVCU()
+	s, _ := NewDSF(m, HEFT{})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Plan(dag, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkRunCommitALPR(b *testing.B) {
+	m, _ := DefaultVCU()
+	s, _ := NewDSF(m, GreedyEFT{})
+	dag := tasks.ALPR()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Run(dag, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

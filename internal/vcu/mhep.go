@@ -1,0 +1,130 @@
+package vcu
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/hardware"
+)
+
+// MHEP is the multi-level heterogeneous computing platform: the registry
+// of devices DSF schedules onto. 1stHEP devices are installed at build
+// time; 2ndHEP devices join and leave dynamically (plug-and-play phones,
+// the legacy controller).
+type MHEP struct {
+	devices map[string]*Device
+	storage *hardware.Storage
+}
+
+// NewMHEP returns an empty platform with the default VCU SSD attached.
+func NewMHEP() *MHEP {
+	return &MHEP{devices: make(map[string]*Device), storage: hardware.DefaultSSD()}
+}
+
+// DefaultVCU builds the paper's reference on-board configuration: an i7
+// CPU, a TX2-class GPU, the FPGA fabric, and the DNN ASIC on the PCIe
+// interconnect as 1stHEP.
+func DefaultVCU() (*MHEP, error) {
+	m := NewMHEP()
+	for _, name := range []string{
+		hardware.DeviceI76700,
+		hardware.DeviceTX2MaxP,
+		hardware.DeviceVCUFPGA,
+		hardware.DeviceVCUASIC,
+	} {
+		p, err := hardware.Lookup(name)
+		if err != nil {
+			return nil, err
+		}
+		if err := m.AddDevice(p, FirstLevel, PCIeIO()); err != nil {
+			return nil, err
+		}
+	}
+	return m, nil
+}
+
+// Storage returns the VCU's SSD model.
+func (m *MHEP) Storage() *hardware.Storage { return m.storage }
+
+// AddDevice registers a processor. Names must be unique.
+func (m *MHEP) AddDevice(p *hardware.Processor, tier Tier, io IO) error {
+	if p == nil {
+		return fmt.Errorf("vcu: nil processor")
+	}
+	if _, exists := m.devices[p.Name]; exists {
+		return fmt.Errorf("vcu: device %q already registered", p.Name)
+	}
+	d, err := NewDevice(p, tier, io)
+	if err != nil {
+		return err
+	}
+	m.devices[p.Name] = d
+	return nil
+}
+
+// RemoveDevice unplugs a 2ndHEP device. 1stHEP devices are installed
+// hardware and cannot be removed.
+func (m *MHEP) RemoveDevice(name string) error {
+	d, ok := m.devices[name]
+	if !ok {
+		return fmt.Errorf("vcu: unknown device %q", name)
+	}
+	if d.tier == FirstLevel {
+		return fmt.Errorf("vcu: device %q is 1stHEP hardware and cannot be removed", name)
+	}
+	delete(m.devices, name)
+	return nil
+}
+
+// SetOnline marks a device reachable or unreachable (e.g. a phone whose
+// owner started a call; a device in a fault state).
+func (m *MHEP) SetOnline(name string, online bool) error {
+	d, ok := m.devices[name]
+	if !ok {
+		return fmt.Errorf("vcu: unknown device %q", name)
+	}
+	d.online = online
+	return nil
+}
+
+// Device returns the named device.
+func (m *MHEP) Device(name string) (*Device, error) {
+	d, ok := m.devices[name]
+	if !ok {
+		return nil, fmt.Errorf("vcu: unknown device %q", name)
+	}
+	return d, nil
+}
+
+// Devices returns all registered devices sorted by name (stable iteration
+// keeps scheduling deterministic).
+func (m *MHEP) Devices() []*Device {
+	out := make([]*Device, 0, len(m.devices))
+	for _, d := range m.devices {
+		out = append(out, d)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name() < out[j].Name() })
+	return out
+}
+
+// OnlineDevices returns the devices currently available for scheduling.
+func (m *MHEP) OnlineDevices() []*Device {
+	var out []*Device
+	for _, d := range m.Devices() {
+		if d.online {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// Profiles snapshots every device (DSF's periodic resource collection).
+func (m *MHEP) Profiles(now, horizon time.Duration) []ResourceProfile {
+	devs := m.Devices()
+	out := make([]ResourceProfile, 0, len(devs))
+	for _, d := range devs {
+		out = append(out, d.Profile(now, horizon))
+	}
+	return out
+}

@@ -1,0 +1,113 @@
+package vcu
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/hardware"
+	"repro/internal/tasks"
+)
+
+// This file implements DSF's task partitioner (paper §IV-B2: "DSF divides
+// the original applications into some sub-tasks by fine-grained and tries
+// to match the tasks with the computing resources"; §III-B: "dividing the
+// complex task into small sub-tasks that could be simultaneously executed
+// on multiple less power-saving processors").
+
+// mergeGFLOPFraction is the reduction step's cost relative to the original
+// task (combining shard outputs is cheap but not free).
+const mergeGFLOPFraction = 0.02
+
+// PartitionDataParallel splits a single task into `shards` independent
+// shards plus a merge step that depends on all of them. Shard inputs and
+// work divide evenly; the merge runs as General-class work.
+func PartitionDataParallel(t *tasks.Task, shards int) (*tasks.DAG, error) {
+	if t == nil {
+		return nil, fmt.Errorf("vcu: nil task")
+	}
+	if err := t.Validate(); err != nil {
+		return nil, err
+	}
+	if shards < 1 {
+		return nil, fmt.Errorf("vcu: shard count must be >= 1, got %d", shards)
+	}
+	if shards == 1 {
+		cp := *t
+		cp.Deps = append([]string(nil), t.Deps...)
+		return &tasks.DAG{Name: t.ID, Tasks: []*tasks.Task{&cp}}, nil
+	}
+	dag := &tasks.DAG{Name: fmt.Sprintf("%s-x%d", t.ID, shards)}
+	shardIDs := make([]string, 0, shards)
+	for i := 0; i < shards; i++ {
+		id := fmt.Sprintf("%s-shard-%d", t.ID, i)
+		shardIDs = append(shardIDs, id)
+		dag.Tasks = append(dag.Tasks, &tasks.Task{
+			ID:          id,
+			Name:        fmt.Sprintf("%s (shard %d/%d)", t.Name, i+1, shards),
+			Class:       t.Class,
+			GFLOP:       t.GFLOP / float64(shards),
+			InputBytes:  t.InputBytes / float64(shards),
+			OutputBytes: t.OutputBytes, // each shard emits a partial result
+			MemoryMB:    t.MemoryMB / float64(shards),
+		})
+	}
+	dag.Tasks = append(dag.Tasks, &tasks.Task{
+		ID:          t.ID + "-merge",
+		Name:        t.Name + " (merge)",
+		Class:       hardware.General,
+		GFLOP:       t.GFLOP * mergeGFLOPFraction,
+		InputBytes:  t.OutputBytes * float64(shards),
+		OutputBytes: t.OutputBytes,
+		MemoryMB:    64,
+		Deps:        shardIDs,
+	})
+	if err := dag.Validate(); err != nil {
+		return nil, fmt.Errorf("vcu: partitioned DAG invalid: %w", err)
+	}
+	return dag, nil
+}
+
+// PartitionChoice is one evaluated shard count.
+type PartitionChoice struct {
+	Shards   int
+	Makespan time.Duration
+	EnergyJ  float64
+}
+
+// AutoPartition evaluates shard counts 1..maxShards for a task against the
+// scheduler's current state and returns the plan with the smallest
+// makespan, its DAG, and the full comparison. Nothing is committed.
+func (s *DSF) AutoPartition(t *tasks.Task, maxShards int, now time.Duration) (*Plan, *tasks.DAG, []PartitionChoice, error) {
+	if maxShards < 1 {
+		return nil, nil, nil, fmt.Errorf("vcu: maxShards must be >= 1, got %d", maxShards)
+	}
+	var (
+		bestPlan *Plan
+		bestDAG  *tasks.DAG
+		choices  []PartitionChoice
+	)
+	for shards := 1; shards <= maxShards; shards++ {
+		dag, err := PartitionDataParallel(t, shards)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		plan, err := s.Plan(dag, now)
+		if err != nil {
+			// A shard count that cannot be placed (e.g. memory) is simply
+			// not a candidate.
+			continue
+		}
+		choices = append(choices, PartitionChoice{
+			Shards:   shards,
+			Makespan: plan.Makespan,
+			EnergyJ:  plan.EnergyJ,
+		})
+		if bestPlan == nil || plan.Makespan < bestPlan.Makespan {
+			bestPlan, bestDAG = plan, dag
+		}
+	}
+	if bestPlan == nil {
+		return nil, nil, nil, &UnplaceableError{DAG: t.ID, Task: t.ID}
+	}
+	return bestPlan, bestDAG, choices, nil
+}

@@ -1,0 +1,117 @@
+package vcu
+
+import (
+	"testing"
+
+	"repro/internal/tasks"
+)
+
+func TestPartitionDataParallelStructure(t *testing.T) {
+	task := tasks.VehicleDetectionDNN()
+	dag, err := PartitionDataParallel(task, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dag.Tasks) != 5 { // 4 shards + merge
+		t.Fatalf("tasks = %d, want 5", len(dag.Tasks))
+	}
+	if err := dag.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Work is conserved up to the merge overhead.
+	total := dag.TotalGFLOP()
+	want := task.GFLOP * (1 + mergeGFLOPFraction)
+	if total < want*0.999 || total > want*1.001 {
+		t.Fatalf("total work = %v, want %v", total, want)
+	}
+	// Merge depends on every shard.
+	merge, ok := dag.Get(task.ID + "-merge")
+	if !ok || len(merge.Deps) != 4 {
+		t.Fatalf("merge = %+v", merge)
+	}
+}
+
+func TestPartitionSingleShardIsIdentity(t *testing.T) {
+	task := tasks.InceptionV3()
+	dag, err := PartitionDataParallel(task, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dag.Tasks) != 1 || dag.Tasks[0].GFLOP != task.GFLOP {
+		t.Fatalf("identity partition = %+v", dag.Tasks)
+	}
+	// The copy must not alias the original.
+	dag.Tasks[0].GFLOP = 0
+	if task.GFLOP == 0 {
+		t.Fatal("partition aliases input task")
+	}
+}
+
+func TestPartitionValidation(t *testing.T) {
+	if _, err := PartitionDataParallel(nil, 2); err == nil {
+		t.Fatal("nil task accepted")
+	}
+	if _, err := PartitionDataParallel(tasks.InceptionV3(), 0); err == nil {
+		t.Fatal("zero shards accepted")
+	}
+	if _, err := PartitionDataParallel(&tasks.Task{}, 2); err == nil {
+		t.Fatal("invalid task accepted")
+	}
+}
+
+// TestAutoPartitionSpeedsUpHeavyDNN is §III-B's claim: splitting a heavy
+// task across the VCU's heterogeneous processors beats any single device.
+func TestAutoPartitionSpeedsUpHeavyDNN(t *testing.T) {
+	s := newDSF(t, GreedyEFT{})
+	task := tasks.VehicleDetectionDNN()
+	best, dag, choices, err := s.AutoPartition(task, 6, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(choices) == 0 {
+		t.Fatal("no choices evaluated")
+	}
+	var single PartitionChoice
+	found := false
+	for _, c := range choices {
+		if c.Shards == 1 {
+			single, found = c, true
+		}
+	}
+	if !found {
+		t.Fatal("single-shard baseline missing")
+	}
+	if best.Makespan >= single.Makespan {
+		t.Fatalf("partitioning did not help: best %v vs single %v", best.Makespan, single.Makespan)
+	}
+	if len(dag.Tasks) < 2 {
+		t.Fatalf("best DAG has %d tasks; expected a real split", len(dag.Tasks))
+	}
+	// At least 1.5x speedup from using multiple accelerators at once.
+	if float64(single.Makespan)/float64(best.Makespan) < 1.5 {
+		t.Fatalf("speedup only %.2fx", float64(single.Makespan)/float64(best.Makespan))
+	}
+}
+
+func TestAutoPartitionValidation(t *testing.T) {
+	s := newDSF(t, GreedyEFT{})
+	if _, _, _, err := s.AutoPartition(tasks.InceptionV3(), 0, 0); err == nil {
+		t.Fatal("zero maxShards accepted")
+	}
+}
+
+// TestAutoPartitionCommittable: the chosen DAG commits cleanly.
+func TestAutoPartitionCommittable(t *testing.T) {
+	s := newDSF(t, GreedyEFT{})
+	_, dag, _, err := s.AutoPartition(tasks.VehicleDetectionDNN(), 4, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	committed, err := s.Run(dag, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(committed.Assignments) != len(dag.Tasks) {
+		t.Fatal("commit dropped tasks")
+	}
+}

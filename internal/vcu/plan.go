@@ -1,0 +1,191 @@
+package vcu
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/tasks"
+)
+
+// Assignment places one task on one device at a planned time.
+type Assignment struct {
+	TaskID string
+	Device string
+	// Start and Finish are absolute virtual times.
+	Start  time.Duration
+	Finish time.Duration
+	// TransferWait is time spent waiting on cross-device input movement.
+	TransferWait time.Duration
+	// EnergyJ is the active energy this task costs on its device.
+	EnergyJ float64
+}
+
+// Plan is a complete placement of a DAG.
+type Plan struct {
+	DAG         string
+	Policy      string
+	Assignments []Assignment
+	// Makespan is finish of the last task minus planning time.
+	Makespan time.Duration
+	// EnergyJ is the summed active energy across assignments.
+	EnergyJ float64
+}
+
+// Assignment returns the placement for a task ID.
+func (p *Plan) Assignment(taskID string) (Assignment, bool) {
+	for _, a := range p.Assignments {
+		if a.TaskID == taskID {
+			return a, true
+		}
+	}
+	return Assignment{}, false
+}
+
+// planner tracks tentative device occupancy while a policy builds a plan,
+// leaving the real executors untouched until Commit.
+type planner struct {
+	now      time.Duration
+	devices  []*Device
+	byName   map[string]*Device
+	slotFree map[string][]time.Duration
+	finished map[string]Assignment // taskID -> placed assignment
+}
+
+func newPlanner(devices []*Device, now time.Duration) *planner {
+	p := &planner{
+		now:      now,
+		devices:  devices,
+		byName:   make(map[string]*Device, len(devices)),
+		slotFree: make(map[string][]time.Duration, len(devices)),
+		finished: make(map[string]Assignment),
+	}
+	for _, d := range devices {
+		p.byName[d.Name()] = d
+		slots := d.Processor().Slots
+		free := make([]time.Duration, slots)
+		for i := range free {
+			free[i] = d.Executor().EarliestStart(now)
+		}
+		p.slotFree[d.Name()] = free
+	}
+	return p
+}
+
+// capable reports whether dev can run t at all.
+func capable(dev *Device, t *tasks.Task) bool {
+	if !dev.Online() {
+		return false
+	}
+	if t.Pinned != "" && t.Pinned != dev.Name() {
+		return false
+	}
+	proc := dev.Processor()
+	if !proc.CanRun(t.Class) {
+		return false
+	}
+	return proc.MemoryMB >= t.MemoryMB
+}
+
+// candidates returns the devices that can run t.
+func (p *planner) candidates(t *tasks.Task) []*Device {
+	var out []*Device
+	for _, d := range p.devices {
+		if capable(d, t) {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// tryPlace computes (without committing) when t would start and finish on
+// dev, given already-placed dependencies.
+func (p *planner) tryPlace(dag *tasks.DAG, t *tasks.Task, dev *Device) (start, finish, transferWait time.Duration, err error) {
+	exec, err := dev.Processor().ExecTime(t.Class, t.GFLOP)
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	ready := p.now
+	for _, depID := range t.Deps {
+		dep, ok := p.finished[depID]
+		if !ok {
+			return 0, 0, 0, fmt.Errorf("vcu: dependency %s of %s not yet placed", depID, t.ID)
+		}
+		depTask, _ := dag.Get(depID)
+		depDev := p.byName[dep.Device]
+		arrive := dep.Finish + TransferTime(depDev, dev, depTask.OutputBytes)
+		if arrive > ready {
+			ready = arrive
+		}
+	}
+	slot := earliestSlot(p.slotFree[dev.Name()])
+	start = p.slotFree[dev.Name()][slot]
+	if ready > start {
+		transferWait = 0
+		start = ready
+	}
+	if start < p.now {
+		start = p.now
+	}
+	// TransferWait is the portion of waiting attributable to data arrival
+	// beyond device availability.
+	if avail := p.slotFree[dev.Name()][slot]; ready > avail {
+		transferWait = ready - maxDuration(avail, p.now)
+		if transferWait < 0 {
+			transferWait = 0
+		}
+	}
+	return start, start + exec, transferWait, nil
+}
+
+// place commits t to dev inside the tentative plan.
+func (p *planner) place(dag *tasks.DAG, t *tasks.Task, dev *Device) (Assignment, error) {
+	start, finish, wait, err := p.tryPlace(dag, t, dev)
+	if err != nil {
+		return Assignment{}, err
+	}
+	slot := earliestSlot(p.slotFree[dev.Name()])
+	p.slotFree[dev.Name()][slot] = finish
+	a := Assignment{
+		TaskID:       t.ID,
+		Device:       dev.Name(),
+		Start:        start,
+		Finish:       finish,
+		TransferWait: wait,
+		EnergyJ:      dev.Processor().EnergyJ(finish - start),
+	}
+	p.finished[t.ID] = a
+	return a, nil
+}
+
+func earliestSlot(free []time.Duration) int {
+	best := 0
+	for i := 1; i < len(free); i++ {
+		if free[i] < free[best] {
+			best = i
+		}
+	}
+	return best
+}
+
+func maxDuration(a, b time.Duration) time.Duration {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// finishPlan assembles plan-level statistics.
+func finishPlan(dagName, policy string, now time.Duration, assignments []Assignment) *Plan {
+	plan := &Plan{DAG: dagName, Policy: policy, Assignments: assignments}
+	var last time.Duration
+	for _, a := range assignments {
+		if a.Finish > last {
+			last = a.Finish
+		}
+		plan.EnergyJ += a.EnergyJ
+	}
+	if last > now {
+		plan.Makespan = last - now
+	}
+	return plan
+}

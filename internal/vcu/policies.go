@@ -1,0 +1,315 @@
+package vcu
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/tasks"
+)
+
+// Policy chooses device placements for a DAG. Implementations must not
+// mutate executors — they plan against tentative state only.
+type Policy interface {
+	// Name identifies the policy in reports and benchmarks.
+	Name() string
+	// Plan places every task of the DAG onto the given devices.
+	Plan(dag *tasks.DAG, devices []*Device, now time.Duration) (*Plan, error)
+}
+
+// Policies returns every built-in policy, in ablation order.
+func Policies() []Policy {
+	return []Policy{RoundRobin{}, GreedyEFT{}, HEFT{}, PowerAware{Slack: 2}}
+}
+
+// RoundRobin is the naive baseline: capable devices take turns.
+type RoundRobin struct{}
+
+// Name implements Policy.
+func (RoundRobin) Name() string { return "round-robin" }
+
+// Plan implements Policy.
+func (RoundRobin) Plan(dag *tasks.DAG, devices []*Device, now time.Duration) (*Plan, error) {
+	order, err := validatePlanInput(dag, devices)
+	if err != nil {
+		return nil, err
+	}
+	p := newPlanner(devices, now)
+	next := 0
+	var assignments []Assignment
+	for _, t := range order {
+		cands := p.candidates(t)
+		if len(cands) == 0 {
+			return nil, &UnplaceableError{DAG: dag.Name, Task: t.ID}
+		}
+		dev := cands[next%len(cands)]
+		next++
+		a, err := p.place(dag, t, dev)
+		if err != nil {
+			return nil, err
+		}
+		assignments = append(assignments, a)
+	}
+	return finishPlan(dag.Name, RoundRobin{}.Name(), now, assignments), nil
+}
+
+// GreedyEFT places each ready task on the device with the earliest finish
+// time — the locally optimal heuristic.
+type GreedyEFT struct{}
+
+// Name implements Policy.
+func (GreedyEFT) Name() string { return "greedy-eft" }
+
+// Plan implements Policy.
+func (GreedyEFT) Plan(dag *tasks.DAG, devices []*Device, now time.Duration) (*Plan, error) {
+	order, err := validatePlanInput(dag, devices)
+	if err != nil {
+		return nil, err
+	}
+	p := newPlanner(devices, now)
+	var assignments []Assignment
+	for _, t := range order {
+		dev, err := bestEFT(p, dag, t)
+		if err != nil {
+			return nil, err
+		}
+		a, err := p.place(dag, t, dev)
+		if err != nil {
+			return nil, err
+		}
+		assignments = append(assignments, a)
+	}
+	return finishPlan(dag.Name, GreedyEFT{}.Name(), now, assignments), nil
+}
+
+// HEFT is Heterogeneous Earliest Finish Time: tasks ranked by upward rank
+// (critical-path distance to the DAG exit using mean costs), then placed
+// EFT-greedily in rank order.
+type HEFT struct{}
+
+// Name implements Policy.
+func (HEFT) Name() string { return "heft" }
+
+// Plan implements Policy.
+func (HEFT) Plan(dag *tasks.DAG, devices []*Device, now time.Duration) (*Plan, error) {
+	if _, err := validatePlanInput(dag, devices); err != nil {
+		return nil, err
+	}
+	ranks, err := upwardRanks(dag, devices)
+	if err != nil {
+		return nil, err
+	}
+	// Order by decreasing rank; ties by declaration order for determinism.
+	pos := make(map[string]int, len(dag.Tasks))
+	for i, t := range dag.Tasks {
+		pos[t.ID] = i
+	}
+	order := append([]*tasks.Task(nil), dag.Tasks...)
+	sort.SliceStable(order, func(i, j int) bool {
+		ri, rj := ranks[order[i].ID], ranks[order[j].ID]
+		if ri != rj {
+			return ri > rj
+		}
+		return pos[order[i].ID] < pos[order[j].ID]
+	})
+	p := newPlanner(devices, now)
+	var assignments []Assignment
+	for _, t := range order {
+		dev, err := bestEFT(p, dag, t)
+		if err != nil {
+			return nil, err
+		}
+		a, err := p.place(dag, t, dev)
+		if err != nil {
+			return nil, err
+		}
+		assignments = append(assignments, a)
+	}
+	return finishPlan(dag.Name, HEFT{}.Name(), now, assignments), nil
+}
+
+// PowerAware minimizes task energy subject to not stretching the task's
+// finish beyond Slack times its best achievable finish — the knob the
+// paper's energy-vs-latency discussion motivates (§III-B).
+type PowerAware struct {
+	// Slack >= 1 bounds the acceptable latency stretch. Zero means 2.
+	Slack float64
+}
+
+// Name implements Policy.
+func (PowerAware) Name() string { return "power-aware" }
+
+// Plan implements Policy.
+func (pa PowerAware) Plan(dag *tasks.DAG, devices []*Device, now time.Duration) (*Plan, error) {
+	slack := pa.Slack
+	if slack == 0 {
+		slack = 2
+	}
+	if slack < 1 {
+		return nil, fmt.Errorf("vcu: power-aware slack %v must be >= 1", slack)
+	}
+	order, err := validatePlanInput(dag, devices)
+	if err != nil {
+		return nil, err
+	}
+	p := newPlanner(devices, now)
+	var assignments []Assignment
+	for _, t := range order {
+		cands := p.candidates(t)
+		if len(cands) == 0 {
+			return nil, &UnplaceableError{DAG: dag.Name, Task: t.ID}
+		}
+		// First find the best achievable finish.
+		var bestFinish time.Duration = -1
+		for _, dev := range cands {
+			_, finish, _, err := p.tryPlace(dag, t, dev)
+			if err != nil {
+				continue
+			}
+			if bestFinish < 0 || finish < bestFinish {
+				bestFinish = finish
+			}
+		}
+		if bestFinish < 0 {
+			return nil, &UnplaceableError{DAG: dag.Name, Task: t.ID}
+		}
+		deadline := now + time.Duration(float64(bestFinish-now)*slack)
+		// Then pick minimum energy among devices meeting the deadline.
+		var chosen *Device
+		var chosenEnergy float64
+		var chosenFinish time.Duration
+		for _, dev := range cands {
+			start, finish, _, err := p.tryPlace(dag, t, dev)
+			if err != nil {
+				continue
+			}
+			if finish > deadline {
+				continue
+			}
+			energy := dev.Processor().EnergyJ(finish - start)
+			if chosen == nil || energy < chosenEnergy ||
+				(energy == chosenEnergy && finish < chosenFinish) {
+				chosen, chosenEnergy, chosenFinish = dev, energy, finish
+			}
+		}
+		if chosen == nil {
+			return nil, &UnplaceableError{DAG: dag.Name, Task: t.ID}
+		}
+		a, err := p.place(dag, t, chosen)
+		if err != nil {
+			return nil, err
+		}
+		assignments = append(assignments, a)
+	}
+	return finishPlan(dag.Name, pa.Name(), now, assignments), nil
+}
+
+// UnplaceableError reports a task no online device can run.
+type UnplaceableError struct {
+	DAG  string
+	Task string
+}
+
+// Error implements error.
+func (e *UnplaceableError) Error() string {
+	return fmt.Sprintf("vcu: no capable device for task %s of DAG %s", e.Task, e.DAG)
+}
+
+func validatePlanInput(dag *tasks.DAG, devices []*Device) ([]*tasks.Task, error) {
+	if dag == nil {
+		return nil, fmt.Errorf("vcu: nil DAG")
+	}
+	if err := dag.Validate(); err != nil {
+		return nil, err
+	}
+	if len(devices) == 0 {
+		return nil, fmt.Errorf("vcu: no devices to schedule onto")
+	}
+	return dag.TopoOrder()
+}
+
+// bestEFT returns the capable device with the earliest finish for t.
+func bestEFT(p *planner, dag *tasks.DAG, t *tasks.Task) (*Device, error) {
+	cands := p.candidates(t)
+	if len(cands) == 0 {
+		return nil, &UnplaceableError{DAG: dag.Name, Task: t.ID}
+	}
+	var best *Device
+	var bestFinish time.Duration
+	for _, dev := range cands {
+		_, finish, _, err := p.tryPlace(dag, t, dev)
+		if err != nil {
+			continue
+		}
+		if best == nil || finish < bestFinish {
+			best, bestFinish = dev, finish
+		}
+	}
+	if best == nil {
+		return nil, &UnplaceableError{DAG: dag.Name, Task: t.ID}
+	}
+	return best, nil
+}
+
+// upwardRanks computes HEFT ranks with mean execution and transfer costs.
+func upwardRanks(dag *tasks.DAG, devices []*Device) (map[string]float64, error) {
+	meanExec := func(t *tasks.Task) (float64, error) {
+		var sum float64
+		n := 0
+		for _, d := range devices {
+			if !capable(d, t) {
+				continue
+			}
+			et, err := d.Processor().ExecTime(t.Class, t.GFLOP)
+			if err != nil {
+				continue
+			}
+			sum += et.Seconds()
+			n++
+		}
+		if n == 0 {
+			return 0, &UnplaceableError{DAG: dag.Name, Task: t.ID}
+		}
+		return sum / float64(n), nil
+	}
+	meanTransfer := func(t *tasks.Task) float64 {
+		if len(devices) < 2 {
+			return 0
+		}
+		// Mean pairwise transfer of t's output across distinct devices.
+		var sum float64
+		n := 0
+		for i, a := range devices {
+			for j, b := range devices {
+				if i == j {
+					continue
+				}
+				sum += TransferTime(a, b, t.OutputBytes).Seconds()
+				n++
+			}
+		}
+		return sum / float64(n)
+	}
+
+	order, err := dag.TopoOrder()
+	if err != nil {
+		return nil, err
+	}
+	ranks := make(map[string]float64, len(order))
+	// Walk in reverse topological order so successors are ranked first.
+	for i := len(order) - 1; i >= 0; i-- {
+		t := order[i]
+		w, err := meanExec(t)
+		if err != nil {
+			return nil, err
+		}
+		var maxSucc float64
+		for _, succID := range dag.Successors(t.ID) {
+			if v := meanTransfer(t) + ranks[succID]; v > maxSucc {
+				maxSucc = v
+			}
+		}
+		ranks[t.ID] = w + maxSucc
+	}
+	return ranks, nil
+}

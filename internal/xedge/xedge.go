@@ -1,0 +1,250 @@
+// Package xedge models the external computing entities OpenVDAP offloads
+// to (paper §IV): XEdge servers running on RSUs, base stations, and traffic
+// signals, plus neighboring vehicles reachable over DSRC. Each site owns
+// real executors (multi-tenant queueing included) and an access network
+// path; reachability follows the vehicle's position.
+package xedge
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/geo"
+	"repro/internal/hardware"
+	"repro/internal/network"
+)
+
+// SiteKind classifies offload destinations.
+type SiteKind int
+
+const (
+	// RSU is a roadside-unit XEdge server (DSRC/5G access, small coverage).
+	RSU SiteKind = iota + 1
+	// BaseStationEdge is an XEdge server co-located with a cellular tower.
+	BaseStationEdge
+	// NeighborVehicle is another CAV sharing compute over DSRC.
+	NeighborVehicle
+	// CloudSite is the remote datacenter behind the WAN.
+	CloudSite
+)
+
+var siteKindNames = map[SiteKind]string{
+	RSU: "rsu", BaseStationEdge: "base-station-edge",
+	NeighborVehicle: "neighbor-vehicle", CloudSite: "cloud",
+}
+
+// String returns the lower-case kind name.
+func (k SiteKind) String() string {
+	if s, ok := siteKindNames[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("site-kind(%d)", int(k))
+}
+
+// Site is one offload destination: compute executors behind a network path.
+type Site struct {
+	name      string
+	kind      SiteKind
+	station   geo.Station // zero Station (Radius 0) means position-independent
+	access    network.Path
+	execs     []*hardware.Executor
+	available bool
+}
+
+// New assembles a site from processors and an access path.
+func New(name string, kind SiteKind, station geo.Station, access network.Path, procs ...*hardware.Processor) (*Site, error) {
+	if name == "" {
+		return nil, fmt.Errorf("xedge: site has no name")
+	}
+	if len(procs) == 0 {
+		return nil, fmt.Errorf("xedge: site %s has no processors", name)
+	}
+	if len(access.Links) == 0 {
+		return nil, fmt.Errorf("xedge: site %s has no access path", name)
+	}
+	s := &Site{name: name, kind: kind, station: station, access: access, available: true}
+	for _, p := range procs {
+		exec, err := hardware.NewExecutor(p)
+		if err != nil {
+			return nil, fmt.Errorf("site %s: %w", name, err)
+		}
+		s.execs = append(s.execs, exec)
+	}
+	return s, nil
+}
+
+// NewRSU builds the standard RSU configuration: a Xeon plus an edge GPU,
+// reached over DSRC, covering the given station.
+func NewRSU(station geo.Station) (*Site, error) {
+	xeon, err := hardware.Lookup(hardware.DeviceEdgeXeon)
+	if err != nil {
+		return nil, err
+	}
+	gpu, err := hardware.Lookup(hardware.DeviceEdgeGPU)
+	if err != nil {
+		return nil, err
+	}
+	dsrc, err := network.LookupLink("dsrc")
+	if err != nil {
+		return nil, err
+	}
+	path := network.Path{Name: "vehicle-rsu", Links: []network.LinkSpec{dsrc}}
+	return New(station.ID, RSU, station, path, xeon, gpu)
+}
+
+// NewBaseStationEdge builds an XEdge server at a cellular tower, reached
+// over LTE.
+func NewBaseStationEdge(station geo.Station) (*Site, error) {
+	xeon, err := hardware.Lookup(hardware.DeviceEdgeXeon)
+	if err != nil {
+		return nil, err
+	}
+	gpu, err := hardware.Lookup(hardware.DeviceEdgeGPU)
+	if err != nil {
+		return nil, err
+	}
+	lte, err := network.LookupLink("lte")
+	if err != nil {
+		return nil, err
+	}
+	path := network.Path{Name: "vehicle-bs", Links: []network.LinkSpec{lte}}
+	return New(station.ID, BaseStationEdge, station, path, xeon, gpu)
+}
+
+// NewNeighborVehicle builds a peer CAV's shareable compute (one TX2-class
+// GPU) reached over DSRC. The neighbor is modeled as staying in convoy
+// range (position-independent reachability).
+func NewNeighborVehicle(name string) (*Site, error) {
+	gpu, err := hardware.Lookup(hardware.DeviceTX2MaxP)
+	if err != nil {
+		return nil, err
+	}
+	dsrc, err := network.LookupLink("dsrc")
+	if err != nil {
+		return nil, err
+	}
+	path := network.Path{Name: "vehicle-neighbor", Links: []network.LinkSpec{dsrc}}
+	return New(name, NeighborVehicle, geo.Station{}, path, gpu)
+}
+
+// NewCloud builds the remote-cloud site: a large node behind LTE + WAN.
+func NewCloud() (*Site, error) {
+	node, err := hardware.Lookup(hardware.DeviceCloudNode)
+	if err != nil {
+		return nil, err
+	}
+	lte, err := network.LookupLink("lte")
+	if err != nil {
+		return nil, err
+	}
+	wan, err := network.LookupLink("wan")
+	if err != nil {
+		return nil, err
+	}
+	path := network.Path{Name: "vehicle-cloud", Links: []network.LinkSpec{lte, wan}}
+	return New("cloud", CloudSite, geo.Station{}, path, node)
+}
+
+// Name returns the site name.
+func (s *Site) Name() string { return s.name }
+
+// Kind returns the site kind.
+func (s *Site) Kind() SiteKind { return s.kind }
+
+// Access returns the network path from the vehicle to this site.
+func (s *Site) Access() network.Path { return s.access }
+
+// Station returns the coverage anchor (zero for position-independent sites).
+func (s *Site) Station() geo.Station { return s.station }
+
+// SetAvailable marks the site up or down (maintenance, backhaul cut). An
+// unavailable site is unreachable from everywhere.
+func (s *Site) SetAvailable(up bool) { s.available = up }
+
+// Available reports whether the site is serving.
+func (s *Site) Available() bool { return s.available }
+
+// Reachable reports whether a vehicle at p can use this site.
+func (s *Site) Reachable(p geo.Point) bool {
+	if !s.available {
+		return false
+	}
+	if s.station.Radius <= 0 {
+		return true
+	}
+	return s.station.Covers(p)
+}
+
+// bestExec picks the executor with the earliest finish for the work.
+func (s *Site) bestExec(now time.Duration, class hardware.Class, gflop float64) (*hardware.Executor, time.Duration, error) {
+	var best *hardware.Executor
+	var bestFinish time.Duration
+	for _, e := range s.execs {
+		finish, err := e.EstimateFinish(now, class, gflop)
+		if err != nil {
+			continue
+		}
+		if best == nil || finish < bestFinish {
+			best, bestFinish = e, finish
+		}
+	}
+	if best == nil {
+		return nil, 0, fmt.Errorf("xedge: site %s cannot run %v work", s.name, class)
+	}
+	return best, bestFinish, nil
+}
+
+// EstimateExec predicts completion of the compute portion only.
+func (s *Site) EstimateExec(now time.Duration, class hardware.Class, gflop float64) (time.Duration, error) {
+	_, finish, err := s.bestExec(now, class, gflop)
+	return finish, err
+}
+
+// Submit reserves the best executor for the work.
+func (s *Site) Submit(now time.Duration, class hardware.Class, gflop float64) (start, finish time.Duration, err error) {
+	exec, _, err := s.bestExec(now, class, gflop)
+	if err != nil {
+		return 0, 0, err
+	}
+	return exec.Submit(now, class, gflop)
+}
+
+// Preload occupies the site with background tenant work: n tasks of the
+// given class and size submitted at time 0, raising queueing delay for
+// subsequent vehicles (multi-tenancy).
+func (s *Site) Preload(n int, class hardware.Class, gflop float64) error {
+	for i := 0; i < n; i++ {
+		if _, _, err := s.Submit(0, class, gflop); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Utilization aggregates executor utilization over the horizon.
+func (s *Site) Utilization(horizon time.Duration) float64 {
+	if len(s.execs) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, e := range s.execs {
+		sum += e.Utilization(horizon)
+	}
+	return sum / float64(len(s.execs))
+}
+
+// PlaceAlongRoad instantiates RSU sites for every RSU station on the road.
+func PlaceAlongRoad(road *geo.Road) ([]*Site, error) {
+	if road == nil {
+		return nil, fmt.Errorf("xedge: nil road")
+	}
+	var sites []*Site
+	for _, st := range road.StationsOfKind(geo.RSU) {
+		s, err := NewRSU(st)
+		if err != nil {
+			return nil, err
+		}
+		sites = append(sites, s)
+	}
+	return sites, nil
+}

@@ -1,0 +1,200 @@
+package xedge
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/geo"
+	"repro/internal/hardware"
+	"repro/internal/network"
+)
+
+func rsuStation() geo.Station {
+	return geo.Station{ID: "rsu-0", Kind: geo.RSU, Pos: geo.Point{X: 500}, Radius: 300}
+}
+
+func TestNewValidation(t *testing.T) {
+	xeon, _ := hardware.Lookup(hardware.DeviceEdgeXeon)
+	dsrc, _ := network.LookupLink("dsrc")
+	path := network.Path{Name: "p", Links: []network.LinkSpec{dsrc}}
+	if _, err := New("", RSU, geo.Station{}, path, xeon); err == nil {
+		t.Fatal("empty name accepted")
+	}
+	if _, err := New("x", RSU, geo.Station{}, path); err == nil {
+		t.Fatal("no processors accepted")
+	}
+	if _, err := New("x", RSU, geo.Station{}, network.Path{}, xeon); err == nil {
+		t.Fatal("empty path accepted")
+	}
+	if _, err := New("x", RSU, geo.Station{}, path, &hardware.Processor{}); err == nil {
+		t.Fatal("invalid processor accepted")
+	}
+}
+
+func TestNewRSUConfiguration(t *testing.T) {
+	s, err := NewRSU(rsuStation())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Kind() != RSU || s.Name() != "rsu-0" {
+		t.Fatalf("site = %s/%s", s.Name(), s.Kind())
+	}
+	if s.Access().Links[0].Tech != network.DSRC {
+		t.Fatal("RSU not reached over DSRC")
+	}
+}
+
+func TestReachability(t *testing.T) {
+	s, _ := NewRSU(rsuStation())
+	if !s.Reachable(geo.Point{X: 400}) {
+		t.Fatal("in-coverage point unreachable")
+	}
+	if s.Reachable(geo.Point{X: 900}) {
+		t.Fatal("out-of-coverage point reachable")
+	}
+	c, _ := NewCloud()
+	if !c.Reachable(geo.Point{X: 1e9}) {
+		t.Fatal("cloud should be position-independent")
+	}
+	n, _ := NewNeighborVehicle("buddy")
+	if !n.Reachable(geo.Point{X: 123}) {
+		t.Fatal("neighbor should be reachable in convoy")
+	}
+}
+
+func TestSubmitAndEstimateAgree(t *testing.T) {
+	s, _ := NewRSU(rsuStation())
+	est, err := s.EstimateExec(0, hardware.DNNInference, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, finish, err := s.Submit(0, hardware.DNNInference, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est != finish {
+		t.Fatalf("estimate %v != submit finish %v", est, finish)
+	}
+}
+
+func TestSubmitPicksFasterDevice(t *testing.T) {
+	s, _ := NewRSU(rsuStation())
+	// DNN work should land on the GPU (420 GF) not the Xeon (150 GF):
+	// 100 GFLOP -> ~238ms on GPU.
+	_, finish, err := s.Submit(0, hardware.DNNInference, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if finish > 300*time.Millisecond {
+		t.Fatalf("DNN work took %v; expected GPU-speed (<300ms)", finish)
+	}
+}
+
+func TestSubmitUnsupportedClass(t *testing.T) {
+	n, _ := NewNeighborVehicle("buddy")
+	// The TX2 has no Crypto entry but has General fallback, so use an
+	// impossible class via a site with only an ASIC.
+	asic, _ := hardware.Lookup(hardware.DeviceVCUASIC)
+	dsrc, _ := network.LookupLink("dsrc")
+	s, err := New("asic-site", RSU, geo.Station{}, network.Path{Name: "p", Links: []network.LinkSpec{dsrc}}, asic)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := s.Submit(0, hardware.Crypto, 1); err == nil {
+		t.Fatal("unsupported class accepted")
+	}
+	_ = n
+}
+
+func TestPreloadRaisesQueueing(t *testing.T) {
+	fresh, _ := NewRSU(rsuStation())
+	busy, _ := NewRSU(rsuStation())
+	if err := busy.Preload(64, hardware.DNNInference, 500); err != nil {
+		t.Fatal(err)
+	}
+	ef, _ := fresh.EstimateExec(0, hardware.DNNInference, 100)
+	eb, _ := busy.EstimateExec(0, hardware.DNNInference, 100)
+	if eb <= ef {
+		t.Fatalf("preloaded site not slower: %v vs %v", eb, ef)
+	}
+	if busy.Utilization(time.Second) <= fresh.Utilization(time.Second) {
+		t.Fatal("preload did not raise utilization")
+	}
+}
+
+func TestPlaceAlongRoad(t *testing.T) {
+	road, _ := geo.NewRoad(10000)
+	road.PlaceStations(4, geo.RSU, 300, 0, "rsu")
+	road.PlaceStations(2, geo.BaseStation, 1500, 0, "bs")
+	sites, err := PlaceAlongRoad(road)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sites) != 4 {
+		t.Fatalf("placed %d sites, want 4 (RSUs only)", len(sites))
+	}
+	if _, err := PlaceAlongRoad(nil); err == nil {
+		t.Fatal("nil road accepted")
+	}
+}
+
+func TestSiteKindString(t *testing.T) {
+	if RSU.String() != "rsu" || CloudSite.String() != "cloud" || SiteKind(42).String() != "site-kind(42)" {
+		t.Fatal("kind names wrong")
+	}
+}
+
+func TestCloudPath(t *testing.T) {
+	c, err := NewCloud()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c.Access().Links) != 2 {
+		t.Fatalf("cloud path has %d hops, want 2 (LTE + WAN)", len(c.Access().Links))
+	}
+	if c.Access().RTT() <= 100*time.Millisecond {
+		t.Fatalf("cloud RTT = %v, want > 100ms", c.Access().RTT())
+	}
+}
+
+func TestSiteAvailability(t *testing.T) {
+	s, err := NewRSU(rsuStation())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !s.Available() {
+		t.Fatal("new site unavailable")
+	}
+	in := geo.Point{X: 400}
+	if !s.Reachable(in) {
+		t.Fatal("in-coverage point unreachable")
+	}
+	s.SetAvailable(false)
+	if s.Reachable(in) {
+		t.Fatal("down site reachable")
+	}
+	s.SetAvailable(true)
+	if !s.Reachable(in) {
+		t.Fatal("restored site unreachable")
+	}
+}
+
+func TestNewBaseStationEdge(t *testing.T) {
+	st := geo.Station{ID: "bs-0", Kind: geo.BaseStation, Pos: geo.Point{X: 1000}, Radius: 900}
+	s, err := NewBaseStationEdge(st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Kind() != BaseStationEdge {
+		t.Fatalf("kind = %v", s.Kind())
+	}
+	if s.Access().Links[0].Tech != network.LTE {
+		t.Fatal("base-station edge not reached over LTE")
+	}
+	if s.Station().ID != "bs-0" {
+		t.Fatalf("station = %+v", s.Station())
+	}
+	if !s.Reachable(geo.Point{X: 1500}) || s.Reachable(geo.Point{X: 5000}) {
+		t.Fatal("coverage wrong")
+	}
+}
