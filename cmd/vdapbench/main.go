@@ -14,6 +14,8 @@ import (
 	"time"
 
 	"repro/internal/experiments"
+	"repro/internal/telemetry"
+	"repro/internal/trace"
 )
 
 func main() {
@@ -22,15 +24,24 @@ func main() {
 		seed     = flag.Int64("seed", 42, "random seed")
 		duration = flag.Duration("duration", 5*time.Minute, "figure-2 stream duration")
 		dir      = flag.String("dir", "", "DDI scratch directory (default: temp)")
+		traceOut = flag.String("trace", "", "write a Chrome trace_event JSON file (supported by -exp arch)")
 	)
 	flag.Parse()
-	if err := run(*exp, *seed, *duration, *dir); err != nil {
+	if err := run(*exp, *seed, *duration, *dir, *traceOut); err != nil {
 		fmt.Fprintln(os.Stderr, "vdapbench:", err)
 		os.Exit(1)
 	}
 }
 
-func run(exp string, seed int64, duration time.Duration, dir string) error {
+func run(exp string, seed int64, duration time.Duration, dir, traceOut string) error {
+	// With -trace, instrument-aware experiments report spans and metrics;
+	// virtual-time determinism makes the file byte-identical per seed.
+	var tracer *trace.Tracer
+	var metrics *telemetry.Registry
+	if traceOut != "" {
+		tracer = trace.New(nil)
+		metrics = telemetry.NewRegistry()
+	}
 	runners := map[string]func() error{
 		"table1": func() error {
 			rows, err := experiments.RunTable1()
@@ -73,7 +84,18 @@ func run(exp string, seed int64, duration time.Duration, dir string) error {
 			return nil
 		},
 		"arch": func() error {
-			rows, err := experiments.RunArchComparison()
+			var rows []experiments.ArchRow
+			var err error
+			if tracer != nil {
+				ddiDir, mkErr := os.MkdirTemp("", "vdapbench-arch-ddi-*")
+				if mkErr != nil {
+					return mkErr
+				}
+				defer os.RemoveAll(ddiDir)
+				rows, err = experiments.RunArchComparisonTraced(tracer, metrics, ddiDir)
+			} else {
+				rows, err = experiments.RunArchComparison()
+			}
 			if err != nil {
 				return err
 			}
@@ -154,17 +176,34 @@ func run(exp string, seed int64, duration time.Duration, dir string) error {
 			return nil
 		},
 	}
-	if exp == "all" {
-		for _, name := range []string{"table1", "fig2", "fig3", "dsf", "elastic", "arch", "compress", "retrain", "pbeam", "collab", "commute", "fleet", "hdmap", "ddi"} {
-			if err := runners[name](); err != nil {
-				return fmt.Errorf("%s: %w", name, err)
+	runSelected := func() error {
+		if exp == "all" {
+			for _, name := range []string{"table1", "fig2", "fig3", "dsf", "elastic", "arch", "compress", "retrain", "pbeam", "collab", "commute", "fleet", "hdmap", "ddi"} {
+				if err := runners[name](); err != nil {
+					return fmt.Errorf("%s: %w", name, err)
+				}
 			}
+			return nil
 		}
-		return nil
+		r, ok := runners[exp]
+		if !ok {
+			return fmt.Errorf("unknown experiment %q", exp)
+		}
+		return r()
 	}
-	r, ok := runners[exp]
-	if !ok {
-		return fmt.Errorf("unknown experiment %q", exp)
+	if err := runSelected(); err != nil {
+		return err
 	}
-	return r()
+	if traceOut != "" {
+		out, err := tracer.ChromeTrace()
+		if err != nil {
+			return fmt.Errorf("render trace: %w", err)
+		}
+		if err := os.WriteFile(traceOut, out, 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "vdapbench: wrote %d spans over components %v to %s\n",
+			tracer.SpanCount(), tracer.Components(), traceOut)
+	}
+	return nil
 }

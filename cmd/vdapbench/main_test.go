@@ -1,6 +1,10 @@
 package main
 
 import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
 	"testing"
 	"time"
 )
@@ -12,7 +16,7 @@ func TestRunEachExperiment(t *testing.T) {
 	for _, exp := range fast {
 		exp := exp
 		t.Run(exp, func(t *testing.T) {
-			if err := run(exp, 7, 4*time.Second, t.TempDir()); err != nil {
+			if err := run(exp, 7, 4*time.Second, t.TempDir(), ""); err != nil {
 				t.Fatalf("run(%s): %v", exp, err)
 			}
 		})
@@ -20,19 +24,64 @@ func TestRunEachExperiment(t *testing.T) {
 }
 
 func TestRunFig2Short(t *testing.T) {
-	if err := run("fig2", 7, 4*time.Second, ""); err != nil {
+	if err := run("fig2", 7, 4*time.Second, "", ""); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunDDI(t *testing.T) {
-	if err := run("ddi", 7, time.Second, t.TempDir()); err != nil {
+	if err := run("ddi", 7, time.Second, t.TempDir(), ""); err != nil {
 		t.Fatal(err)
 	}
 }
 
+// TestRunArchTraced checks the -trace path: the arch experiment must emit
+// a valid Chrome trace covering the five component lanes, byte-identical
+// across same-seed runs.
+func TestRunArchTraced(t *testing.T) {
+	once := func() []byte {
+		t.Helper()
+		out := filepath.Join(t.TempDir(), "out.json")
+		if err := run("arch", 7, time.Second, "", out); err != nil {
+			t.Fatal(err)
+		}
+		data, err := os.ReadFile(out)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return data
+	}
+	first, second := once(), once()
+	if !bytes.Equal(first, second) {
+		t.Fatal("trace output differs across identical runs")
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name string         `json:"name"`
+			Ph   string         `json:"ph"`
+			Args map[string]any `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(first, &doc); err != nil {
+		t.Fatalf("trace not valid JSON: %v", err)
+	}
+	lanes := map[string]bool{}
+	for _, ev := range doc.TraceEvents {
+		if ev.Ph == "M" && ev.Name == "thread_name" {
+			if n, ok := ev.Args["name"].(string); ok {
+				lanes[n] = true
+			}
+		}
+	}
+	for _, comp := range []string{"vcu", "offload", "network", "xedge", "cloud", "ddi"} {
+		if !lanes[comp] {
+			t.Fatalf("component %q missing from trace lanes %v", comp, lanes)
+		}
+	}
+}
+
 func TestRunUnknownExperiment(t *testing.T) {
-	if err := run("warp-drive", 1, time.Second, ""); err == nil {
+	if err := run("warp-drive", 1, time.Second, "", ""); err == nil {
 		t.Fatal("unknown experiment accepted")
 	}
 }

@@ -30,9 +30,10 @@ func main() {
 		speedMPH = flag.Float64("speed", 35, "vehicle cruise speed, MPH")
 		seed     = flag.Int64("seed", 1, "simulation seed")
 		tick     = flag.Duration("tick", 250*time.Millisecond, "wall-clock per virtual second")
+		traceOut = flag.String("trace", "", "write a Chrome trace_event JSON file at shutdown")
 	)
 	flag.Parse()
-	if err := run(*listen, *dataDir, *speedMPH, *seed, *tick); err != nil {
+	if err := run(*listen, *dataDir, *speedMPH, *seed, *tick, *traceOut); err != nil {
 		log.Fatal("vdapd: ", err)
 	}
 }
@@ -81,7 +82,21 @@ func buildPlatform(dataDir string, speedMPH float64, seed int64) (*core.Platform
 	return p, nil
 }
 
-func run(listen, dataDir string, speedMPH float64, seed int64, tick time.Duration) error {
+// dumpTrace writes the platform's recorded spans as Chrome trace_event
+// JSON (open in chrome://tracing or Perfetto).
+func dumpTrace(p *core.Platform, path string) error {
+	out, err := p.Tracer().ChromeTrace()
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, out, 0o644); err != nil {
+		return err
+	}
+	log.Printf("wrote %d spans to %s", p.Tracer().SpanCount(), path)
+	return nil
+}
+
+func run(listen, dataDir string, speedMPH float64, seed int64, tick time.Duration, traceOut string) error {
 	if dataDir == "" {
 		tmp, err := os.MkdirTemp("", "vdapd-*")
 		if err != nil {
@@ -104,6 +119,10 @@ func run(listen, dataDir string, speedMPH float64, seed int64, tick time.Duratio
 	go func() { errCh <- srv.ListenAndServe() }()
 	log.Printf("libvdap API on http://%s/api/v1/status (virtual time advances 1s per %v)", listen, tick)
 
+	if traceOut != "" {
+		log.Printf("will write Chrome trace to %s at shutdown (live: GET /api/v1/trace)", traceOut)
+	}
+
 	stop := make(chan os.Signal, 1)
 	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
 	ticker := time.NewTicker(tick)
@@ -120,6 +139,11 @@ func run(listen, dataDir string, speedMPH float64, seed int64, tick time.Duratio
 		case <-stop:
 			log.Printf("shutting down at virtual time %v", p.Engine().Now())
 			fmt.Println(p.Report())
+			if traceOut != "" {
+				if err := dumpTrace(p, traceOut); err != nil {
+					log.Printf("trace dump: %v", err)
+				}
+			}
 			return srv.Close()
 		}
 	}

@@ -21,6 +21,7 @@ import (
 	"repro/internal/offload"
 	"repro/internal/sim"
 	"repro/internal/telemetry"
+	"repro/internal/trace"
 	"repro/internal/vcu"
 	"repro/internal/xedge"
 )
@@ -52,6 +53,13 @@ type Config struct {
 	PseudonymRotation time.Duration
 	// NeighborVehicles adds peer CAVs as offload destinations.
 	NeighborVehicles int
+	// TraceCapacity caps retained spans (memory bound). Non-positive means
+	// trace.DefaultSpanLimit.
+	TraceCapacity int
+	// MetricsReservoir, when positive, bounds every histogram to k
+	// deterministically-sampled values (exact count/sum/min/max are kept).
+	// Zero keeps all samples.
+	MetricsReservoir int
 }
 
 // DefaultConfig returns a sensible single-vehicle scenario: a 20 km
@@ -91,6 +99,7 @@ type Platform struct {
 	registry *libvdap.Registry
 	api      *libvdap.Server
 	metrics  *telemetry.Registry
+	tracer   *trace.Tracer
 	firewall *edgeos.Firewall
 
 	stopCollect func()
@@ -194,6 +203,19 @@ func New(cfg Config) (*Platform, error) {
 	}
 	api.AttachElastic(elastic)
 
+	metrics := telemetry.NewRegistry()
+	if cfg.MetricsReservoir > 0 {
+		metrics.EnableReservoir(cfg.MetricsReservoir, cfg.Seed)
+	}
+	tracer := trace.New(engine.Now)
+	tracer.SetSpanLimit(cfg.TraceCapacity)
+	dsf.Instrument(tracer, metrics)
+	eng.Instrument(tracer, metrics)
+	elastic.Instrument(tracer, metrics)
+	data.Instrument(tracer, metrics)
+	api.AttachTelemetry(metrics)
+	api.AttachTracer(tracer)
+
 	return &Platform{
 		cfg:      cfg,
 		engine:   engine,
@@ -211,7 +233,8 @@ func New(cfg Config) (*Platform, error) {
 		cloud:    cl,
 		registry: registry,
 		api:      api,
-		metrics:  telemetry.NewRegistry(),
+		metrics:  metrics,
+		tracer:   tracer,
 		firewall: edgeos.DefaultVehicleFirewall(),
 	}, nil
 }
@@ -301,6 +324,10 @@ func (p *Platform) InvokeService(name string) (edgeos.InvocationResult, error) {
 // Metrics exposes the platform's telemetry registry.
 func (p *Platform) Metrics() *telemetry.Registry { return p.metrics }
 
+// Tracer exposes the platform's span recorder; every subsystem on the
+// request path reports into it in virtual time.
+func (p *Platform) Tracer() *trace.Tracer { return p.tracer }
+
 // Firewall returns the vehicle's default-deny inbound firewall.
 func (p *Platform) Firewall() *edgeos.Firewall { return p.firewall }
 
@@ -319,14 +346,12 @@ func (p *Platform) StartCollection(interval time.Duration) error {
 		return fmt.Errorf("core: collection already running")
 	}
 	stop, err := p.engine.Every(interval, func() {
-		recs, err := p.data.Collect(p.engine.Now())
-		if err != nil {
+		// Collect reports ddi.collections / ddi.records_collected itself.
+		if _, err := p.data.Collect(p.engine.Now()); err != nil {
 			// Collection failures should not kill the simulation; the
 			// store surfaces them on the next explicit access.
 			p.metrics.Add("ddi.collect_errors", 1)
-			return
 		}
-		p.metrics.Add("ddi.records_collected", float64(len(recs)))
 	})
 	if err != nil {
 		return err

@@ -11,6 +11,7 @@ import (
 	"repro/internal/geo"
 	"repro/internal/network"
 	"repro/internal/tasks"
+	"repro/internal/trace"
 )
 
 func newPlatform(t *testing.T) *Platform {
@@ -295,5 +296,112 @@ func TestPlatformFirewall(t *testing.T) {
 	}
 	if !strings.Contains(p.Report(), "firewall") {
 		t.Fatal("report missing firewall section")
+	}
+}
+
+// TestEndToEndTraceSpanTree is the observability E2E: the quickstart
+// offload scenario must produce the expected span tree (service invocation
+// wrapping pipeline choice, per-destination estimates, and execution), and
+// both exporters must be byte-identical across same-seed runs.
+func TestEndToEndTraceSpanTree(t *testing.T) {
+	run := func() (string, string) {
+		p := newPlatform(t)
+		svc := &edgeos.Service{
+			Name:     "kidnapper-search",
+			Priority: edgeos.PriorityInteractive,
+			Deadline: 5 * time.Second,
+			DAG:      tasks.ALPR(),
+			Image:    []byte("a3-mobile-v1"),
+		}
+		if err := p.InstallService(svc); err != nil {
+			t.Fatal(err)
+		}
+		if err := p.StartCollection(time.Second); err != nil {
+			t.Fatal(err)
+		}
+		// By t=60s the vehicle (35 MPH) is ~940 m in — inside the first
+		// RSU's 400 m coverage — so XEdge estimates are evaluated too.
+		if err := p.Engine().RunUntil(60 * time.Second); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := p.InvokeService("kidnapper-search"); err != nil {
+			t.Fatal(err)
+		}
+		tree := p.Tracer().RenderTree()
+		chrome, err := p.Tracer().ChromeTrace()
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		// Structure: an edgeos.invoke root holding the pipeline choice,
+		// whose estimates nest under it, and the execution.
+		var invoke *trace.Span
+		for _, r := range p.Tracer().Roots() {
+			if r.Name == "edgeos.invoke" {
+				invoke = r
+			}
+		}
+		if invoke == nil {
+			t.Fatalf("no edgeos.invoke root in:\n%s", tree)
+		}
+		childNames := map[string]int{}
+		for _, c := range invoke.Children {
+			childNames[c.Name]++
+		}
+		if childNames["edgeos.choose"] != 1 {
+			t.Fatalf("edgeos.invoke children = %v, want one edgeos.choose", childNames)
+		}
+		if childNames["offload.execute"] != 1 {
+			t.Fatalf("edgeos.invoke children = %v, want one offload.execute", childNames)
+		}
+		var choose *trace.Span
+		for _, c := range invoke.Children {
+			if c.Name == "edgeos.choose" {
+				choose = c
+			}
+		}
+		estimates := 0
+		for _, c := range choose.Children {
+			if c.Name == "offload.estimate" {
+				estimates++
+			}
+		}
+		// ALPR has three pipelines evaluated over onboard + 11 sites.
+		if estimates < 3 {
+			t.Fatalf("edgeos.choose holds %d offload.estimate spans, want >= 3:\n%s", estimates, tree)
+		}
+		for _, want := range []string{"vcu.plan", "network.uplink", "network.downlink", "xedge.exec", "cloud.exec", "ddi.collect"} {
+			if !strings.Contains(tree, want) {
+				t.Fatalf("span %q missing from tree:\n%s", want, tree)
+			}
+		}
+		comps := p.Tracer().Components()
+		for _, want := range []string{"cloud", "ddi", "edgeos", "network", "offload", "vcu", "xedge"} {
+			found := false
+			for _, c := range comps {
+				if c == want {
+					found = true
+				}
+			}
+			if !found {
+				t.Fatalf("component %q missing from %v", want, comps)
+			}
+		}
+		return tree, string(chrome)
+	}
+	tree1, chrome1 := run()
+	tree2, chrome2 := run()
+	if tree1 != tree2 {
+		t.Fatal("RenderTree differs across same-seed runs")
+	}
+	if chrome1 != chrome2 {
+		t.Fatal("ChromeTrace differs across same-seed runs")
+	}
+	var doc map[string]any
+	if err := json.Unmarshal([]byte(chrome1), &doc); err != nil {
+		t.Fatalf("chrome trace not valid JSON: %v", err)
+	}
+	if _, ok := doc["traceEvents"]; !ok {
+		t.Fatal("chrome trace missing traceEvents")
 	}
 }

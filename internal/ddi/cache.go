@@ -4,6 +4,8 @@ import (
 	"container/list"
 	"fmt"
 	"time"
+
+	"repro/internal/telemetry"
 )
 
 // MemCache is the in-memory tier (the paper's Redis role): bounded
@@ -18,6 +20,19 @@ type MemCache struct {
 
 	hits   int
 	misses int
+
+	reg *telemetry.Registry
+}
+
+// SetTelemetry mirrors hit/miss/eviction outcomes into a registry under
+// `ddi.cache.*` counters (nil detaches).
+func (c *MemCache) SetTelemetry(reg *telemetry.Registry) { c.reg = reg }
+
+// count bumps a counter when a registry is attached.
+func (c *MemCache) count(name string) {
+	if c.reg != nil {
+		c.reg.Add(name, 1)
+	}
 }
 
 type cacheEntry struct {
@@ -71,6 +86,7 @@ func (c *MemCache) evictOldest() {
 	if ok {
 		delete(c.entries, entry.rec.ID)
 	}
+	c.count("ddi.cache.evictions")
 }
 
 // Get returns a live cached record, counting hit/miss statistics.
@@ -78,6 +94,7 @@ func (c *MemCache) Get(id uint64, now time.Duration) (Record, bool) {
 	el, ok := c.entries[id]
 	if !ok {
 		c.misses++
+		c.count("ddi.cache.misses")
 		return Record{}, false
 	}
 	entry, valid := el.Value.(*cacheEntry)
@@ -85,10 +102,13 @@ func (c *MemCache) Get(id uint64, now time.Duration) (Record, bool) {
 		c.lru.Remove(el)
 		delete(c.entries, id)
 		c.misses++
+		c.count("ddi.cache.misses")
+		c.count("ddi.cache.expirations")
 		return Record{}, false
 	}
 	c.lru.MoveToFront(el)
 	c.hits++
+	c.count("ddi.cache.hits")
 	return entry.rec, true
 }
 
@@ -102,6 +122,7 @@ func (c *MemCache) Sweep(now time.Duration) int {
 			c.lru.Remove(el)
 			delete(c.entries, entry.rec.ID)
 			removed++
+			c.count("ddi.cache.expirations")
 		}
 		el = prev
 	}

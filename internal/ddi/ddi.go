@@ -9,6 +9,8 @@ import (
 	"repro/internal/hardware"
 	"repro/internal/sensors"
 	"repro/internal/sim"
+	"repro/internal/telemetry"
+	"repro/internal/trace"
 )
 
 // memHitLatency is the in-memory tier's access cost — the Redis-role
@@ -30,6 +32,18 @@ type DDI struct {
 	mob       geo.Mobility
 	uploads   int
 	downloads int
+
+	tracer  *trace.Tracer
+	metrics *telemetry.Registry
+}
+
+// Instrument attaches a tracer and metrics registry (either may be nil).
+// Service-layer calls then emit `ddi` spans; the cache tiers mirror their
+// hit/miss/eviction outcomes as `ddi.cache.*` counters.
+func (d *DDI) Instrument(tr *trace.Tracer, reg *telemetry.Registry) {
+	d.tracer = tr
+	d.metrics = reg
+	d.cache.SetTelemetry(reg)
 }
 
 // Options configures New.
@@ -99,6 +113,23 @@ func (d *DDI) Store() *DiskStore { return d.store }
 // weather, traffic, and any pending social events are sampled, stored, and
 // cached. It returns the stored records.
 func (d *DDI) Collect(now time.Duration) ([]Record, error) {
+	span := d.tracer.StartSpanAt("ddi", "ddi.collect", now)
+	recs, err := d.collect(now)
+	if err != nil {
+		span.SetAttr(trace.String("error", err.Error()))
+	} else {
+		span.SetAttr(trace.Int("records", len(recs)))
+	}
+	span.FinishAt(now)
+	if err == nil && d.metrics != nil {
+		d.metrics.Add("ddi.collections", 1)
+		d.metrics.Add("ddi.records_collected", float64(len(recs)))
+	}
+	return recs, err
+}
+
+// collect is the uninstrumented body of Collect.
+func (d *DDI) collect(now time.Duration) ([]Record, error) {
 	pos := d.mob.PositionAt(now)
 	speedKPH := d.mob.SpeedMS * 3.6
 
@@ -166,6 +197,12 @@ func (d *DDI) Upload(now time.Duration, source Source, x, y float64, payload []b
 	rec.ID = id
 	d.cache.Put(rec, now)
 	d.uploads++
+	d.tracer.SpanAt("ddi", "ddi.upload", now, now,
+		trace.String("source", string(source)), trace.Int("bytes", rec.SizeBytes()))
+	if d.metrics != nil {
+		d.metrics.Add("ddi.uploads", 1)
+		d.metrics.Add("ddi.bytes_stored", float64(rec.SizeBytes()))
+	}
 	return rec, nil
 }
 
@@ -174,7 +211,15 @@ func (d *DDI) Upload(now time.Duration, source Source, x, y float64, payload []b
 // access cost.
 func (d *DDI) DownloadByID(now time.Duration, id uint64) (Record, time.Duration, error) {
 	d.downloads++
+	if d.metrics != nil {
+		d.metrics.Add("ddi.downloads", 1)
+	}
 	if rec, ok := d.cache.Get(id, now); ok {
+		d.tracer.SpanAt("ddi", "ddi.get", now, now+memHitLatency,
+			trace.String("tier", "mem"))
+		if d.metrics != nil {
+			d.metrics.ObserveDuration("ddi.read_ms", memHitLatency)
+		}
 		return rec, memHitLatency, nil
 	}
 	rec, ok := d.store.Get(id)
@@ -186,6 +231,13 @@ func (d *DDI) DownloadByID(now time.Duration, id uint64) (Record, time.Duration,
 		return Record{}, 0, err
 	}
 	d.cache.Put(rec, now) // promote
+	d.tracer.SpanAt("ddi", "ddi.get", now, now+memHitLatency+readTime,
+		trace.String("tier", "disk"), trace.Int("bytes", rec.SizeBytes()))
+	if d.metrics != nil {
+		d.metrics.Add("ddi.disk_reads", 1)
+		d.metrics.ObserveDuration("ddi.read_ms", memHitLatency+readTime)
+		d.metrics.ObserveDuration("ddi.disk_read_ms", readTime)
+	}
 	return rec, memHitLatency + readTime, nil
 }
 
@@ -203,6 +255,14 @@ func (d *DDI) Download(now time.Duration, q Query) ([]Record, time.Duration, err
 	latency, err := d.ssd.ReadTime(bytes / 1e6)
 	if err != nil {
 		return nil, 0, err
+	}
+	d.tracer.SpanAt("ddi", "ddi.query", now, now+latency,
+		trace.Int("records", len(recs)), trace.F64("bytes", bytes))
+	if d.metrics != nil {
+		d.metrics.Add("ddi.downloads", 1)
+		d.metrics.Add("ddi.disk_reads", 1)
+		d.metrics.ObserveDuration("ddi.read_ms", latency)
+		d.metrics.ObserveDuration("ddi.disk_read_ms", latency)
 	}
 	return recs, latency, nil
 }

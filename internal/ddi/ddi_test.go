@@ -9,6 +9,8 @@ import (
 	"repro/internal/geo"
 	"repro/internal/sensors"
 	"repro/internal/sim"
+	"repro/internal/telemetry"
+	"repro/internal/trace"
 )
 
 func newDDI(t *testing.T) *DDI {
@@ -245,5 +247,66 @@ func TestFaultInjectionReachesStoredData(t *testing.T) {
 	}
 	if !foundDTC {
 		t.Fatal("injected overheat never surfaced a DTC in stored data")
+	}
+}
+
+func TestInstrumentWiresCacheCountersIntoRegistry(t *testing.T) {
+	d := newDDI(t)
+	reg := telemetry.NewRegistry()
+	tr := trace.New(nil)
+	d.Instrument(tr, reg)
+
+	rec, err := d.Upload(0, SourceUser, 0, 0, []byte(`{"k":"v"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Hit, hit, then TTL-expired miss with disk fallback.
+	if _, _, err := d.DownloadByID(time.Second, rec.ID); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := d.DownloadByID(2*time.Second, rec.ID); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := d.DownloadByID(10*time.Minute, rec.ID); err != nil {
+		t.Fatal(err)
+	}
+	if got := reg.Counter("ddi.cache.hits"); got != 2 {
+		t.Fatalf("ddi.cache.hits = %v, want 2", got)
+	}
+	if got := reg.Counter("ddi.cache.misses"); got != 1 {
+		t.Fatalf("ddi.cache.misses = %v, want 1", got)
+	}
+	if got := reg.Counter("ddi.cache.expirations"); got != 1 {
+		t.Fatalf("ddi.cache.expirations = %v, want 1", got)
+	}
+	if got := reg.Counter("ddi.uploads"); got != 1 {
+		t.Fatalf("ddi.uploads = %v, want 1", got)
+	}
+	if got := reg.Counter("ddi.downloads"); got != 3 {
+		t.Fatalf("ddi.downloads = %v, want 3", got)
+	}
+	if got := reg.Counter("ddi.disk_reads"); got != 1 {
+		t.Fatalf("ddi.disk_reads = %v, want 1", got)
+	}
+	if h := reg.Histogram("ddi.read_ms"); h == nil || h.Count() != 3 {
+		t.Fatalf("ddi.read_ms histogram = %+v", h)
+	}
+	if tr.SpanCount() == 0 {
+		t.Fatal("no ddi spans recorded")
+	}
+}
+
+func TestCacheEvictionCounter(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	c, err := NewMemCache(2, time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.SetTelemetry(reg)
+	for id := uint64(1); id <= 4; id++ {
+		c.Put(Record{ID: id, Source: SourceUser, At: 1, Payload: []byte("x")}, 0)
+	}
+	if got := reg.Counter("ddi.cache.evictions"); got != 2 {
+		t.Fatalf("ddi.cache.evictions = %v, want 2", got)
 	}
 }

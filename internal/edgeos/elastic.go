@@ -6,6 +6,8 @@ import (
 	"time"
 
 	"repro/internal/offload"
+	"repro/internal/telemetry"
+	"repro/internal/trace"
 )
 
 // Objective selects what Elastic Management optimizes.
@@ -68,6 +70,17 @@ type ElasticManager struct {
 	objective Objective
 	services  map[string]*Service
 	stats     map[string]*ElasticStats
+
+	tracer  *trace.Tracer
+	metrics *telemetry.Registry
+}
+
+// Instrument attaches a tracer and metrics registry (either may be nil).
+// Invocations then emit `edgeos` spans wrapping the offload engine's own
+// spans, plus `edgeos.*` metrics.
+func (m *ElasticManager) Instrument(tr *trace.Tracer, reg *telemetry.Registry) {
+	m.tracer = tr
+	m.metrics = reg
 }
 
 // NewElasticManager builds the module over an offload engine.
@@ -186,8 +199,12 @@ func (m *ElasticManager) evaluate(s *Service, p Pipeline, now time.Duration) Cho
 // feasible options as candidates. The boolean reports whether any
 // candidate exists.
 func (m *ElasticManager) Choose(name string, now time.Duration) (Choice, []Choice, bool, error) {
+	span := m.tracer.StartSpanAt("edgeos", "edgeos.choose", now,
+		trace.String("service", name))
+	defer span.FinishAt(now)
 	s, err := m.Service(name)
 	if err != nil {
+		span.SetAttr(trace.String("error", err.Error()))
 		return Choice{}, nil, false, err
 	}
 	if s.state == Stopped || s.state == Compromised {
@@ -214,9 +231,14 @@ func (m *ElasticManager) Choose(name string, now time.Duration) (Choice, []Choic
 		return ci.Estimate.Total < cj.Estimate.Total
 	})
 	best := choices[0]
+	span.SetAttr(trace.Int("pipelines", len(pipelines)))
 	if !best.Estimate.Feasible || !best.MeetsDeadline {
+		span.SetAttr(trace.Bool("viable", false))
 		return best, choices, false, nil
 	}
+	span.SetAttr(trace.Bool("viable", true),
+		trace.String("pipeline", best.Pipeline.Name),
+		trace.String("dest", best.Estimate.Dest))
 	return best, choices, true, nil
 }
 
@@ -225,6 +247,37 @@ func (m *ElasticManager) Choose(name string, now time.Duration) (Choice, []Choic
 // service with no viable pipeline is hung up and the invocation reports
 // HungUp without executing; a later successful Choose resumes it.
 func (m *ElasticManager) Invoke(name string, now time.Duration) (InvocationResult, error) {
+	span := m.tracer.StartSpanAt("edgeos", "edgeos.invoke", now,
+		trace.String("service", name))
+	res, err := m.invoke(name, now)
+	switch {
+	case err != nil:
+		span.SetAttr(trace.String("error", err.Error()))
+		span.FinishAt(now)
+	case res.HungUp:
+		span.SetAttr(trace.Bool("hungup", true))
+		span.FinishAt(now)
+	default:
+		span.SetAttr(trace.String("pipeline", res.Pipeline),
+			trace.String("dest", res.Dest))
+		span.FinishAt(res.Completed)
+	}
+	if err == nil && m.metrics != nil {
+		m.metrics.Add("edgeos.invocations", 1)
+		m.metrics.Add("edgeos.service."+name+".invocations", 1)
+		if res.HungUp {
+			m.metrics.Add("edgeos.hangups", 1)
+		} else {
+			m.metrics.ObserveDuration("edgeos.invoke_ms", res.Latency)
+			m.metrics.Add("edgeos.pipeline."+res.Pipeline, 1)
+			m.metrics.Observe("edgeos.energy_j", res.EnergyJ)
+		}
+	}
+	return res, err
+}
+
+// invoke is the uninstrumented body of Invoke.
+func (m *ElasticManager) invoke(name string, now time.Duration) (InvocationResult, error) {
 	s, err := m.Service(name)
 	if err != nil {
 		return InvocationResult{}, err

@@ -11,6 +11,8 @@ import (
 	"repro/internal/offload"
 	"repro/internal/sim"
 	"repro/internal/tasks"
+	"repro/internal/telemetry"
+	"repro/internal/trace"
 	"repro/internal/vcu"
 	"repro/internal/xedge"
 )
@@ -192,6 +194,24 @@ type ArchRow struct {
 // RunArchComparison contrasts the paper's three computing architectures
 // (§III): in-vehicle only, edge-based, cloud-based, per workload and speed.
 func RunArchComparison() ([]ArchRow, error) {
+	return runArchComparison(nil, nil, "")
+}
+
+// RunArchComparisonTraced is RunArchComparison with every subsystem
+// reporting into the given tracer and registry. The numbers are identical
+// to the untraced run; the trace additionally includes a DDI stage (one
+// collection round plus hot/cold reads in ddiDir) so all five component
+// lanes — vcu, offload, network, xedge/cloud, ddi — appear.
+func RunArchComparisonTraced(tr *trace.Tracer, reg *telemetry.Registry, ddiDir string) ([]ArchRow, error) {
+	return runArchComparison(tr, reg, ddiDir)
+}
+
+func runArchComparison(tr *trace.Tracer, reg *telemetry.Registry, ddiDir string) ([]ArchRow, error) {
+	if ddiDir != "" {
+		if err := runArchDDIStage(tr, reg, ddiDir); err != nil {
+			return nil, err
+		}
+	}
 	workloads := []*tasks.DAG{
 		{Name: "lane-detection", Tasks: []*tasks.Task{tasks.LaneDetection()}},
 		{Name: "vehicle-detect-haar", Tasks: []*tasks.Task{tasks.VehicleDetectionHaar()}},
@@ -226,6 +246,8 @@ func RunArchComparison() ([]ArchRow, error) {
 			if err != nil {
 				return nil, err
 			}
+			dsf.Instrument(tr, reg)
+			eng.Instrument(tr, reg)
 			onboard := eng.EstimateOnboard(dag.Clone(), 0)
 			edge := eng.EstimateSite(dag.Clone(), rsu, 0, 0)
 			cloudEst := eng.EstimateSite(dag.Clone(), cl, 0, 0)
@@ -248,6 +270,37 @@ func RunArchComparison() ([]ArchRow, error) {
 		}
 	}
 	return rows, nil
+}
+
+// runArchDDIStage exercises the data tier for the traced arch run: one
+// collection round, a cache-hit read, and a TTL-expired disk read.
+func runArchDDIStage(tr *trace.Tracer, reg *telemetry.Registry, dir string) error {
+	road, err := geo.NewRoad(20000)
+	if err != nil {
+		return err
+	}
+	d, err := ddi.New(ddi.Options{Dir: dir, Mobility: geo.Mobility{Road: road, SpeedMS: 15}}, sim.NewRNG(1))
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	d.Instrument(tr, reg)
+	recs, err := d.Collect(time.Second)
+	if err != nil {
+		return err
+	}
+	if len(recs) == 0 {
+		return fmt.Errorf("experiments: DDI stage collected nothing")
+	}
+	// Hot read inside the TTL, then the same record after expiry (disk
+	// path with promotion).
+	if _, _, err := d.DownloadByID(2*time.Second, recs[0].ID); err != nil {
+		return err
+	}
+	if _, _, err := d.DownloadByID(10*time.Minute, recs[0].ID); err != nil {
+		return err
+	}
+	return nil
 }
 
 // ArchTable renders E6.

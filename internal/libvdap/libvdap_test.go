@@ -1,6 +1,9 @@
 package libvdap
 
 import (
+	"encoding/json"
+	"io"
+	"net/http"
 	"net/http/httptest"
 	"strings"
 	"testing"
@@ -13,6 +16,8 @@ import (
 	"repro/internal/offload"
 	"repro/internal/sim"
 	"repro/internal/tasks"
+	"repro/internal/telemetry"
+	"repro/internal/trace"
 	"repro/internal/vcu"
 	"repro/internal/xedge"
 )
@@ -356,5 +361,97 @@ func TestServiceEndpoints(t *testing.T) {
 	}
 	if _, err := client.Invoke("ghost"); err == nil {
 		t.Fatal("unknown service invoked")
+	}
+}
+
+func TestMetricsAndTraceEndpoints(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	reg.Add("vcu.plans", 2)
+	reg.Observe("offload.total_ms", 120)
+	tr := trace.New(func() time.Duration { return time.Second })
+	sp := tr.StartSpan("offload", "offload.decide")
+	tr.SpanAt("network", "network.uplink", time.Second, 2*time.Second)
+	sp.Finish()
+
+	srv, err := NewServer(nil, nil, nil, nil, func() time.Duration { return 0 })
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv.AttachTelemetry(reg)
+	srv.AttachTracer(tr)
+	ts := httptest.NewServer(srv)
+	t.Cleanup(ts.Close)
+
+	get := func(path string) (int, string, string) {
+		t.Helper()
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return resp.StatusCode, string(body), resp.Header.Get("Content-Type")
+	}
+
+	for _, path := range []string{"/api/v1/metrics", "/v1/metrics"} {
+		code, body, ctype := get(path)
+		if code != http.StatusOK {
+			t.Fatalf("GET %s = %d", path, code)
+		}
+		if !strings.HasPrefix(ctype, "application/json") {
+			t.Fatalf("GET %s content-type = %q", path, ctype)
+		}
+		var snap telemetry.Snapshot
+		if err := json.Unmarshal([]byte(body), &snap); err != nil {
+			t.Fatalf("GET %s not a Snapshot: %v", path, err)
+		}
+		if snap.Counters["vcu.plans"] != 2 || snap.Histograms["offload.total_ms"].Count != 1 {
+			t.Fatalf("GET %s snapshot = %s", path, body)
+		}
+	}
+	if code, body, _ := get("/v1/metrics?format=text"); code != http.StatusOK || !strings.Contains(body, "vcu.plans") {
+		t.Fatalf("text metrics = %d:\n%s", code, body)
+	}
+
+	for _, path := range []string{"/api/v1/trace", "/v1/trace"} {
+		code, body, ctype := get(path)
+		if code != http.StatusOK {
+			t.Fatalf("GET %s = %d", path, code)
+		}
+		if !strings.HasPrefix(ctype, "application/json") {
+			t.Fatalf("GET %s content-type = %q", path, ctype)
+		}
+		var doc map[string]any
+		if err := json.Unmarshal([]byte(body), &doc); err != nil {
+			t.Fatalf("GET %s not JSON: %v", path, err)
+		}
+		if _, ok := doc["traceEvents"]; !ok {
+			t.Fatalf("GET %s missing traceEvents: %s", path, body)
+		}
+	}
+	if code, body, _ := get("/v1/trace?format=tree"); code != http.StatusOK || !strings.Contains(body, "offload.decide") {
+		t.Fatalf("tree trace = %d:\n%s", code, body)
+	}
+}
+
+func TestMetricsAndTraceDetachedReturn503(t *testing.T) {
+	srv, err := NewServer(nil, nil, nil, nil, func() time.Duration { return 0 })
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv)
+	t.Cleanup(ts.Close)
+	for _, path := range []string{"/v1/metrics", "/v1/trace"} {
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusServiceUnavailable {
+			t.Fatalf("GET %s = %d, want 503", path, resp.StatusCode)
+		}
 	}
 }

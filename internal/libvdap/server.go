@@ -9,6 +9,8 @@ import (
 
 	"repro/internal/ddi"
 	"repro/internal/edgeos"
+	"repro/internal/telemetry"
+	"repro/internal/trace"
 	"repro/internal/vcu"
 )
 
@@ -25,6 +27,8 @@ type Server struct {
 	store    *ddi.DDI
 	sharing  *edgeos.DataSharing
 	elastic  *edgeos.ElasticManager
+	metrics  *telemetry.Registry
+	tracer   *trace.Tracer
 	clock    Clock
 	mux      *http.ServeMux
 }
@@ -51,6 +55,14 @@ func NewServer(registry *Registry, mhep *vcu.MHEP, store *ddi.DDI, sharing *edge
 // by the given elastic manager.
 func (s *Server) AttachElastic(m *edgeos.ElasticManager) { s.elastic = m }
 
+// AttachTelemetry backs GET /api/v1/metrics (alias /v1/metrics) with the
+// given registry.
+func (s *Server) AttachTelemetry(reg *telemetry.Registry) { s.metrics = reg }
+
+// AttachTracer backs GET /api/v1/trace (alias /v1/trace) with the given
+// tracer.
+func (s *Server) AttachTracer(tr *trace.Tracer) { s.tracer = tr }
+
 // ServeHTTP implements http.Handler.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
 
@@ -69,6 +81,50 @@ func (s *Server) routes() {
 	s.mux.HandleFunc("GET /api/v1/sharing/fetch", s.handleFetch)
 	s.mux.HandleFunc("GET /api/v1/services", s.handleListServices)
 	s.mux.HandleFunc("POST /api/v1/services/{name}/invoke", s.handleInvokeService)
+	s.mux.HandleFunc("GET /api/v1/metrics", s.handleMetrics)
+	s.mux.HandleFunc("GET /v1/metrics", s.handleMetrics)
+	s.mux.HandleFunc("GET /api/v1/trace", s.handleTrace)
+	s.mux.HandleFunc("GET /v1/trace", s.handleTrace)
+}
+
+// handleMetrics serves the telemetry snapshot. The default is the JSON
+// Snapshot shape; ?format=text renders the sorted human-readable table.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if s.metrics == nil {
+		writeErr(w, http.StatusServiceUnavailable, fmt.Errorf("telemetry not attached"))
+		return
+	}
+	if r.URL.Query().Get("format") == "text" {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		w.WriteHeader(http.StatusOK)
+		fmt.Fprint(w, s.metrics.Render())
+		return
+	}
+	writeJSON(w, http.StatusOK, s.metrics.Snapshot())
+}
+
+// handleTrace serves the recorded span forest. The default is Chrome
+// trace_event JSON (load in chrome://tracing or Perfetto); ?format=tree
+// renders the indented text tree.
+func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
+	if s.tracer == nil {
+		writeErr(w, http.StatusServiceUnavailable, fmt.Errorf("tracer not attached"))
+		return
+	}
+	if r.URL.Query().Get("format") == "tree" {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		w.WriteHeader(http.StatusOK)
+		fmt.Fprint(w, s.tracer.RenderTree())
+		return
+	}
+	out, err := s.tracer.ChromeTrace()
+	if err != nil {
+		writeErr(w, http.StatusInternalServerError, err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	w.Write(out)
 }
 
 // ServiceInfo summarizes one EdgeOSv service over the API.

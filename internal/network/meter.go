@@ -1,0 +1,54 @@
+package network
+
+import (
+	"time"
+
+	"repro/internal/telemetry"
+)
+
+// Meter records link-layer activity into a telemetry registry under
+// `network.*` metric names. A nil *Meter is inert, so callers on the
+// offload path can carry one unconditionally.
+type Meter struct {
+	reg *telemetry.Registry
+}
+
+// NewMeter wraps a registry (nil registry yields an inert meter).
+func NewMeter(reg *telemetry.Registry) *Meter {
+	if reg == nil {
+		return nil
+	}
+	return &Meter{reg: reg}
+}
+
+// RecordTransfer accounts one reliable transfer over a path: totals, a
+// latency histogram, per-path counters, and the worst per-hop loss seen.
+func (m *Meter) RecordTransfer(p Path, sizeBytes float64, d Direction, dur time.Duration) {
+	if m == nil {
+		return
+	}
+	m.reg.Add("network.transfers", 1)
+	if d == Downlink {
+		m.reg.Add("network.bytes_down", sizeBytes)
+	} else {
+		m.reg.Add("network.bytes_up", sizeBytes)
+	}
+	m.reg.ObserveDuration("network.transfer_ms", dur)
+	if p.Name != "" {
+		m.reg.Add("network.path."+p.Name+".transfers", 1)
+		m.reg.Add("network.path."+p.Name+".bytes", sizeBytes)
+	}
+	m.reg.Observe("network.loss", WorstLoss(p))
+}
+
+// WorstLoss returns the highest per-hop loss probability along the path —
+// the figure the mobility-degradation model raises with speed.
+func WorstLoss(p Path) float64 {
+	var worst float64
+	for _, l := range p.Links {
+		if l.BaseLoss > worst {
+			worst = l.BaseLoss
+		}
+	}
+	return worst
+}

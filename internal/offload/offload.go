@@ -15,6 +15,8 @@ import (
 	"repro/internal/geo"
 	"repro/internal/network"
 	"repro/internal/tasks"
+	"repro/internal/telemetry"
+	"repro/internal/trace"
 	"repro/internal/vcu"
 	"repro/internal/xedge"
 )
@@ -61,6 +63,28 @@ type Engine struct {
 	// remaining budget are infeasible, forcing on-board execution.
 	budgetBytes float64
 	spentBytes  float64
+
+	tracer  *trace.Tracer
+	metrics *telemetry.Registry
+	meter   *network.Meter
+}
+
+// Instrument attaches a tracer and metrics registry (either may be nil).
+// Estimation, decisions, and executions then emit `offload`, `network`,
+// `xedge`, and `cloud` spans plus matching metrics.
+func (e *Engine) Instrument(tr *trace.Tracer, reg *telemetry.Registry) {
+	e.tracer = tr
+	e.metrics = reg
+	e.meter = network.NewMeter(reg)
+}
+
+// siteComponent maps a destination kind to its trace component lane:
+// `cloud` for the remote tier, `xedge` for every edge-side site.
+func siteComponent(kind xedge.SiteKind) string {
+	if kind == xedge.CloudSite {
+		return "cloud"
+	}
+	return "xedge"
 }
 
 // SetBandwidthBudget caps total uplink bytes Execute may spend. Zero or
@@ -147,11 +171,17 @@ func (e *Engine) mobilityAdjustedPath(p network.Path) network.Path {
 
 // EstimateOnboard predicts full local execution via the DSF plan.
 func (e *Engine) EstimateOnboard(dag *tasks.DAG, now time.Duration) Estimate {
+	span := e.tracer.StartSpanAt("offload", "offload.estimate", now,
+		trace.String("dag", dag.Name), trace.String("dest", OnboardName))
 	plan, err := e.dsf.Plan(dag, now)
 	if err != nil {
+		span.SetAttr(trace.Bool("feasible", false), trace.String("reason", err.Error()))
+		span.FinishAt(now)
 		return Estimate{Dest: OnboardName, Kind: OnboardName, SplitAfter: len(dag.Tasks),
 			Feasible: false, Reason: err.Error()}
 	}
+	span.SetAttr(trace.Bool("feasible", true), trace.Dur("total", plan.Makespan))
+	span.FinishAt(now + plan.Makespan)
 	return Estimate{
 		Dest: OnboardName, Kind: OnboardName, SplitAfter: len(dag.Tasks),
 		Compute:        plan.Makespan,
@@ -166,6 +196,16 @@ func (e *Engine) EstimateOnboard(dag *tasks.DAG, now time.Duration) Estimate {
 // splitAfter 0 offloads everything.
 func (e *Engine) EstimateSite(dag *tasks.DAG, site *xedge.Site, splitAfter int, now time.Duration) Estimate {
 	est := Estimate{Dest: site.Name(), Kind: site.Kind().String(), SplitAfter: splitAfter}
+	span := e.tracer.StartSpanAt("offload", "offload.estimate", now,
+		trace.String("dag", dag.Name), trace.String("dest", site.Name()),
+		trace.String("kind", est.Kind), trace.Int("split", splitAfter))
+	defer func() {
+		span.SetAttr(trace.Bool("feasible", est.Feasible))
+		if est.Reason != "" {
+			span.SetAttr(trace.String("reason", est.Reason))
+		}
+		span.FinishAt(now + est.Total)
+	}()
 	order, err := dag.TopoOrder()
 	if err != nil {
 		est.Reason = err.Error()
@@ -209,6 +249,9 @@ func (e *Engine) EstimateSite(dag *tasks.DAG, site *xedge.Site, splitAfter int, 
 	est.Uplink = up
 	est.BytesSent = upBytes
 	est.VehicleEnergyJ += RadioPowerW * up.Seconds()
+	e.tracer.SpanAt("network", "network.uplink", cursor, cursor+up,
+		trace.String("path", path.Name), trace.F64("bytes", upBytes),
+		trace.F64("loss", network.WorstLoss(path)))
 	cursor += up
 
 	// Remote compute: topo-order submission estimate on site executors.
@@ -235,6 +278,9 @@ func (e *Engine) EstimateSite(dag *tasks.DAG, site *xedge.Site, splitAfter int, 
 		}
 	}
 	est.Compute += remoteDone - computeStart
+	comp := siteComponent(site.Kind())
+	e.tracer.SpanAt(comp, comp+".exec", computeStart, remoteDone,
+		trace.String("site", site.Name()), trace.Int("tasks", len(remote)))
 
 	// Downlink: results of sink tasks return to the vehicle.
 	var downBytes float64
@@ -250,6 +296,8 @@ func (e *Engine) EstimateSite(dag *tasks.DAG, site *xedge.Site, splitAfter int, 
 	}
 	est.Downlink = down
 	est.Total = (remoteDone - now) + down
+	e.tracer.SpanAt("network", "network.downlink", remoteDone, remoteDone+down,
+		trace.String("path", path.Name), trace.F64("bytes", downBytes))
 	if !e.withinBudget(est.BytesSent) {
 		est.Reason = fmt.Sprintf("bandwidth budget exhausted (%.0f B needed, %.0f B left)",
 			est.BytesSent, e.budgetBytes-e.spentBytes)
@@ -323,14 +371,33 @@ func (e *Engine) Estimates(dag *tasks.DAG, now time.Duration) ([]Estimate, error
 
 // Decide returns the best feasible estimate and the full comparison.
 func (e *Engine) Decide(dag *tasks.DAG, now time.Duration) (Estimate, []Estimate, error) {
+	span := e.tracer.StartSpanAt("offload", "offload.decide", now)
+	if dag != nil {
+		span.SetAttr(trace.String("dag", dag.Name))
+	}
+	defer span.FinishAt(now)
 	all, err := e.Estimates(dag, now)
 	if err != nil {
+		span.SetAttr(trace.String("error", err.Error()))
 		return Estimate{}, nil, err
+	}
+	span.SetAttr(trace.Int("candidates", len(all)))
+	if e.metrics != nil {
+		e.metrics.Add("offload.decisions", 1)
+		e.metrics.Observe("offload.candidates", float64(len(all)))
 	}
 	for _, est := range all {
 		if est.Feasible {
+			span.SetAttr(trace.String("chosen", est.Dest), trace.Dur("predicted", est.Total))
+			if e.metrics != nil {
+				e.metrics.Add("offload.decision."+est.Kind, 1)
+			}
 			return est, all, nil
 		}
+	}
+	span.SetAttr(trace.String("chosen", "none"))
+	if e.metrics != nil {
+		e.metrics.Add("offload.decision.none", 1)
 	}
 	return Estimate{}, all, fmt.Errorf("offload: no feasible destination for %s", dag.Name)
 }
@@ -339,6 +406,33 @@ func (e *Engine) Decide(dag *tasks.DAG, now time.Duration) (Estimate, []Estimate
 // remote destinations reserve site executors. It returns the realized
 // completion time.
 func (e *Engine) Execute(dag *tasks.DAG, est Estimate, now time.Duration) (time.Duration, error) {
+	span := e.tracer.StartSpanAt("offload", "offload.execute", now,
+		trace.String("dest", est.Dest), trace.String("kind", est.Kind))
+	if dag != nil {
+		span.SetAttr(trace.String("dag", dag.Name))
+	}
+	done, err := e.execute(dag, est, now)
+	if err != nil {
+		span.SetAttr(trace.String("error", err.Error()))
+		span.FinishAt(now)
+		return done, err
+	}
+	span.FinishAt(done)
+	if e.metrics != nil {
+		e.metrics.Add("offload.executions", 1)
+		e.metrics.Add("offload.execution."+est.Kind, 1)
+		e.metrics.ObserveDuration("offload.total_ms", done-now)
+		if est.Dest != OnboardName {
+			e.metrics.Add("offload.bytes_sent", est.BytesSent)
+			e.metrics.ObserveDuration("offload.uplink_ms", est.Uplink)
+			e.metrics.ObserveDuration("offload.downlink_ms", est.Downlink)
+		}
+	}
+	return done, nil
+}
+
+// execute is the uninstrumented body of Execute.
+func (e *Engine) execute(dag *tasks.DAG, est Estimate, now time.Duration) (time.Duration, error) {
 	if !est.Feasible {
 		return 0, fmt.Errorf("offload: cannot execute infeasible estimate for %s", est.Dest)
 	}
@@ -375,9 +469,16 @@ func (e *Engine) Execute(dag *tasks.DAG, est Estimate, now time.Duration) (time.
 		}
 		now += plan.Makespan
 	}
+	path := e.mobilityAdjustedPath(site.Access())
+	e.tracer.SpanAt("network", "network.uplink", now, now+est.Uplink,
+		trace.String("path", path.Name), trace.F64("bytes", est.BytesSent),
+		trace.F64("loss", network.WorstLoss(path)))
+	e.meter.RecordTransfer(path, est.BytesSent, network.Uplink, est.Uplink)
 	now += est.Uplink
+	comp := siteComponent(site.Kind())
 	finishOf := make(map[string]time.Duration)
 	var last time.Duration = now
+	var downBytes float64
 	for _, t := range order[est.SplitAfter:] {
 		ready := now
 		for _, dep := range t.Deps {
@@ -385,7 +486,7 @@ func (e *Engine) Execute(dag *tasks.DAG, est Estimate, now time.Duration) (time.
 				ready = f
 			}
 		}
-		_, finish, err := site.Submit(ready, t.Class, t.GFLOP)
+		start, finish, err := site.Submit(ready, t.Class, t.GFLOP)
 		if err != nil {
 			return 0, err
 		}
@@ -393,7 +494,21 @@ func (e *Engine) Execute(dag *tasks.DAG, est Estimate, now time.Duration) (time.
 		if finish > last {
 			last = finish
 		}
+		if len(dag.Successors(t.ID)) == 0 {
+			downBytes += t.OutputBytes
+		}
+		e.tracer.SpanAt(comp, comp+".task", start, finish,
+			trace.String("task", t.ID), trace.String("site", site.Name()),
+			trace.Dur("queue_wait", start-ready))
+		if e.metrics != nil {
+			e.metrics.Add(comp+".submits", 1)
+			e.metrics.ObserveDuration(comp+".exec_ms", finish-start)
+			e.metrics.ObserveDuration(comp+".queue_wait_ms", start-ready)
+		}
 	}
+	e.tracer.SpanAt("network", "network.downlink", last, last+est.Downlink,
+		trace.String("path", path.Name), trace.F64("bytes", downBytes))
+	e.meter.RecordTransfer(path, downBytes, network.Downlink, est.Downlink)
 	return last + est.Downlink, nil
 }
 

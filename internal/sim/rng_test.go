@@ -177,3 +177,14 @@ func TestRNGForkIndependence(t *testing.T) {
 		t.Fatalf("fork stream matched parent on %d/100 draws", same)
 	}
 }
+
+func TestRNGCloneContinuesSameStream(t *testing.T) {
+	a := NewRNG(7)
+	a.Uint64()
+	b := a.Clone()
+	for i := 0; i < 50; i++ {
+		if av, bv := a.Uint64(), b.Uint64(); av != bv {
+			t.Fatalf("clone diverged at draw %d: %x != %x", i, av, bv)
+		}
+	}
+}

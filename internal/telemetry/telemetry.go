@@ -1,17 +1,24 @@
 // Package telemetry is a small virtual-time metrics library used by the
 // platform's reporting: counters, gauges, and quantile histograms keyed by
-// name, with deterministic text rendering. It exists so experiments and
-// long-running scenarios can summarize behavior without each component
-// hand-rolling aggregation.
+// name, with deterministic text rendering and a JSON-marshalable snapshot.
+// It exists so experiments and long-running scenarios can summarize
+// behavior without each component hand-rolling aggregation.
+//
+// Metric names follow a `component.metric` scheme (for example
+// `ddi.cache.hits`, `offload.uplink_ms`); histogram names carry their unit
+// as a suffix.
 package telemetry
 
 import (
 	"fmt"
+	"hash/fnv"
 	"math"
 	"sort"
 	"strings"
 	"sync"
 	"time"
+
+	"repro/internal/sim"
 )
 
 // Registry holds named metrics. It is safe for concurrent use (the REST
@@ -21,6 +28,11 @@ type Registry struct {
 	counters   map[string]float64
 	gauges     map[string]float64
 	histograms map[string]*Histogram
+
+	// reservoirK, when positive, bounds every histogram created afterwards
+	// to a deterministic reservoir of k samples (fleet-scale mode).
+	reservoirK    int
+	reservoirSeed int64
 }
 
 // NewRegistry returns an empty registry.
@@ -30,6 +42,18 @@ func NewRegistry() *Registry {
 		gauges:     make(map[string]float64),
 		histograms: make(map[string]*Histogram),
 	}
+}
+
+// EnableReservoir switches histogram creation to bounded deterministic
+// reservoirs of k samples. Each histogram derives its own RNG from seed and
+// its name, so quantile summaries are reproducible regardless of metric
+// creation order. Histograms that already exist keep their mode. k <= 0
+// disables the mode for subsequently created histograms.
+func (r *Registry) EnableReservoir(k int, seed int64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.reservoirK = k
+	r.reservoirSeed = seed
 }
 
 // Add increments a counter.
@@ -67,10 +91,21 @@ func (r *Registry) Observe(name string, value float64) {
 	defer r.mu.Unlock()
 	h, ok := r.histograms[name]
 	if !ok {
-		h = &Histogram{}
+		if r.reservoirK > 0 {
+			h = NewReservoirHistogram(r.reservoirK, sim.NewRNG(r.reservoirSeed^int64(hashName(name))))
+		} else {
+			h = &Histogram{}
+		}
 		r.histograms[name] = h
 	}
 	h.Observe(value)
+}
+
+// hashName derives a stable per-metric seed component.
+func hashName(name string) uint32 {
+	h := fnv.New32a()
+	h.Write([]byte(name))
+	return h.Sum32()
 }
 
 // ObserveDuration records a duration sample in milliseconds.
@@ -78,7 +113,8 @@ func (r *Registry) ObserveDuration(name string, d time.Duration) {
 	r.Observe(name, float64(d)/float64(time.Millisecond))
 }
 
-// Histogram returns the named histogram snapshot (nil if absent).
+// Histogram returns an isolated copy of the named histogram (nil if
+// absent). The copy keeps collecting independently if observed into.
 func (r *Registry) Histogram(name string) *Histogram {
 	r.mu.Lock()
 	defer r.mu.Unlock()
@@ -86,68 +122,196 @@ func (r *Registry) Histogram(name string) *Histogram {
 	if !ok {
 		return nil
 	}
-	cp := &Histogram{samples: append([]float64(nil), h.samples...), sorted: false}
-	return cp
+	return h.clone()
 }
 
-// Histogram stores raw samples (scenario scale keeps this cheap) and
-// answers quantile queries.
+// Histogram stores samples — raw, or a bounded deterministic reservoir
+// (Vitter's Algorithm R) when built by NewReservoirHistogram — and answers
+// quantile queries. Count, Sum, Min, and Max are always exact; quantiles of
+// a reservoir histogram are estimates over its k retained samples.
+//
+// The zero value is a valid unbounded histogram. Read methods never mutate
+// state, so concurrent readers of a shared *Histogram are safe as long as
+// no Observe runs concurrently (the Registry serializes its own).
 type Histogram struct {
 	samples []float64
-	sorted  bool
+	count   int
+	sum     float64
+	min     float64
+	max     float64
+	limit   int      // 0 = keep every sample
+	rng     *sim.RNG // reservoir replacement source when limit > 0
+}
+
+// NewReservoirHistogram returns a histogram retaining at most k samples,
+// replacing uniformly at random from the given deterministic source.
+func NewReservoirHistogram(k int, rng *sim.RNG) *Histogram {
+	if k <= 0 || rng == nil {
+		return &Histogram{}
+	}
+	return &Histogram{limit: k, rng: rng}
+}
+
+// clone returns an independent deep copy.
+func (h *Histogram) clone() *Histogram {
+	cp := *h
+	cp.samples = append([]float64(nil), h.samples...)
+	if h.rng != nil {
+		cp.rng = h.rng.Clone()
+	}
+	return &cp
 }
 
 // Observe adds a sample.
 func (h *Histogram) Observe(v float64) {
-	h.samples = append(h.samples, v)
-	h.sorted = false
-}
-
-// Count returns the number of samples.
-func (h *Histogram) Count() int { return len(h.samples) }
-
-// Sum returns the sample total.
-func (h *Histogram) Sum() float64 {
-	var s float64
-	for _, v := range h.samples {
-		s += v
+	if h.count == 0 || v < h.min {
+		h.min = v
 	}
-	return s
+	if h.count == 0 || v > h.max {
+		h.max = v
+	}
+	h.count++
+	h.sum += v
+	if h.limit <= 0 || len(h.samples) < h.limit {
+		h.samples = append(h.samples, v)
+		return
+	}
+	// Algorithm R: the n-th sample replaces a random slot with
+	// probability k/n, keeping the reservoir uniform over all samples.
+	if j := h.rng.Intn(h.count); j < h.limit {
+		h.samples[j] = v
+	}
 }
+
+// Count returns the number of observed samples (not just retained ones).
+func (h *Histogram) Count() int { return h.count }
+
+// Sum returns the exact sample total.
+func (h *Histogram) Sum() float64 { return h.sum }
 
 // Mean returns the average (0 with no samples).
 func (h *Histogram) Mean() float64 {
-	if len(h.samples) == 0 {
+	if h.count == 0 {
 		return 0
 	}
-	return h.Sum() / float64(len(h.samples))
+	return h.sum / float64(h.count)
 }
 
+// Retained returns how many samples back quantile queries (equal to Count
+// for unbounded histograms, at most the reservoir size otherwise).
+func (h *Histogram) Retained() int { return len(h.samples) }
+
 // Quantile returns the q-quantile (0 <= q <= 1) by nearest-rank; NaN with
-// no samples.
+// no samples. It sorts a private copy, leaving sample order untouched, so
+// holders of histogram copies never see their samples reordered.
 func (h *Histogram) Quantile(q float64) float64 {
 	if len(h.samples) == 0 {
 		return math.NaN()
 	}
-	if !h.sorted {
-		sort.Float64s(h.samples)
-		h.sorted = true
-	}
+	sorted := append([]float64(nil), h.samples...)
+	sort.Float64s(sorted)
+	return quantileOf(sorted, q)
+}
+
+// quantileOf answers a nearest-rank query over pre-sorted samples.
+func quantileOf(sorted []float64, q float64) float64 {
 	if q <= 0 {
-		return h.samples[0]
+		return sorted[0]
 	}
 	if q >= 1 {
-		return h.samples[len(h.samples)-1]
+		return sorted[len(sorted)-1]
 	}
-	idx := int(math.Ceil(q*float64(len(h.samples)))) - 1
+	idx := int(math.Ceil(q*float64(len(sorted)))) - 1
 	if idx < 0 {
 		idx = 0
 	}
-	return h.samples[idx]
+	return sorted[idx]
 }
 
-// Max returns the largest sample (NaN with none).
-func (h *Histogram) Max() float64 { return h.Quantile(1) }
+// Min returns the smallest sample ever observed (NaN with none).
+func (h *Histogram) Min() float64 {
+	if h.count == 0 {
+		return math.NaN()
+	}
+	return h.min
+}
+
+// Max returns the largest sample ever observed (NaN with none).
+func (h *Histogram) Max() float64 {
+	if h.count == 0 {
+		return math.NaN()
+	}
+	return h.max
+}
+
+// HistogramSummary is a JSON-marshalable digest of one histogram. Min and
+// Max are exact; quantiles come from the retained samples.
+type HistogramSummary struct {
+	Count    int     `json:"count"`
+	Retained int     `json:"retained"`
+	Sum      float64 `json:"sum"`
+	Mean     float64 `json:"mean"`
+	Min      float64 `json:"min"`
+	P50      float64 `json:"p50"`
+	P90      float64 `json:"p90"`
+	P95      float64 `json:"p95"`
+	P99      float64 `json:"p99"`
+	Max      float64 `json:"max"`
+}
+
+// Summary digests the histogram, sorting the retained samples once. An
+// empty histogram summarizes to all zeros (not NaN), keeping the result
+// JSON-marshalable.
+func (h *Histogram) Summary() HistogramSummary {
+	if h.count == 0 {
+		return HistogramSummary{}
+	}
+	sorted := append([]float64(nil), h.samples...)
+	sort.Float64s(sorted)
+	return HistogramSummary{
+		Count:    h.count,
+		Retained: len(h.samples),
+		Sum:      h.sum,
+		Mean:     h.Mean(),
+		Min:      h.min,
+		P50:      quantileOf(sorted, 0.50),
+		P90:      quantileOf(sorted, 0.90),
+		P95:      quantileOf(sorted, 0.95),
+		P99:      quantileOf(sorted, 0.99),
+		Max:      h.max,
+	}
+}
+
+// Snapshot is the full registry state, ready for json.Marshal (the
+// `/v1/metrics` payload).
+type Snapshot struct {
+	Counters   map[string]float64          `json:"counters"`
+	Gauges     map[string]float64          `json:"gauges"`
+	Histograms map[string]HistogramSummary `json:"histograms"`
+}
+
+// Snapshot copies every metric into a self-contained, JSON-marshalable
+// struct. Maps are freshly allocated; mutating the snapshot cannot touch
+// the registry.
+func (r *Registry) Snapshot() Snapshot {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	snap := Snapshot{
+		Counters:   make(map[string]float64, len(r.counters)),
+		Gauges:     make(map[string]float64, len(r.gauges)),
+		Histograms: make(map[string]HistogramSummary, len(r.histograms)),
+	}
+	for n, v := range r.counters {
+		snap.Counters[n] = v
+	}
+	for n, v := range r.gauges {
+		snap.Gauges[n] = v
+	}
+	for n, h := range r.histograms {
+		snap.Histograms[n] = h.Summary()
+	}
+	return snap
+}
 
 // Render produces a deterministic multi-line summary of every metric,
 // sorted by name.
@@ -177,9 +341,9 @@ func (r *Registry) Render() string {
 	}
 	sort.Strings(names)
 	for _, n := range names {
-		h := r.histograms[n]
+		s := r.histograms[n].Summary()
 		fmt.Fprintf(&b, "hist    %-40s n=%d mean=%.2f p50=%.2f p95=%.2f max=%.2f\n",
-			n, h.Count(), h.Mean(), h.Quantile(0.5), h.Quantile(0.95), h.Max())
+			n, s.Count, s.Mean, s.P50, s.P95, s.Max)
 	}
 	return b.String()
 }

@@ -1,6 +1,7 @@
 package telemetry
 
 import (
+	"encoding/json"
 	"math"
 	"strings"
 	"sync"
@@ -152,5 +153,141 @@ func TestRegistryConcurrency(t *testing.T) {
 	}
 	if r.Histogram("h").Count() != 4000 {
 		t.Fatal("histogram lost samples")
+	}
+}
+
+func TestQuantileDoesNotMutateSampleOrder(t *testing.T) {
+	// Regression: Quantile used to sort.Float64s the live sample slice,
+	// reordering samples under every holder of the histogram.
+	h := &Histogram{}
+	for _, v := range []float64{5, 1, 4, 2, 3} {
+		h.Observe(v)
+	}
+	if got := h.Quantile(0.5); got != 3 {
+		t.Fatalf("p50 = %v, want 3", got)
+	}
+	if got := h.samples; got[0] != 5 || got[4] != 3 {
+		t.Fatalf("Quantile reordered samples: %v", got)
+	}
+}
+
+func TestObserveRenderRace(t *testing.T) {
+	// Regression companion for the Quantile fix: hammer Observe and the
+	// quantile-reading paths concurrently under -race.
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 300; i++ {
+				r.Observe("h", float64(g*1000+i))
+				r.Add("c", 1)
+			}
+		}(g)
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				_ = r.Render()
+				_ = r.Snapshot()
+				if h := r.Histogram("h"); h != nil {
+					_ = h.Quantile(0.95)
+					_ = h.Summary()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if got := r.Histogram("h").Count(); got != 1200 {
+		t.Fatalf("histogram count = %d, want 1200", got)
+	}
+}
+
+func TestReservoirBoundsMemoryKeepsExactAggregates(t *testing.T) {
+	r := NewRegistry()
+	r.EnableReservoir(64, 42)
+	const n = 10000
+	for i := 1; i <= n; i++ {
+		r.Observe("lat_ms", float64(i))
+	}
+	h := r.Histogram("lat_ms")
+	if h.Retained() != 64 {
+		t.Fatalf("retained = %d, want 64", h.Retained())
+	}
+	if h.Count() != n || h.Sum() != float64(n*(n+1)/2) {
+		t.Fatalf("exact aggregates lost: count=%d sum=%v", h.Count(), h.Sum())
+	}
+	if h.Min() != 1 || h.Max() != n {
+		t.Fatalf("min/max = %v/%v, want 1/%d", h.Min(), h.Max(), n)
+	}
+	// The reservoir is uniform: the median estimate should land well
+	// inside the bulk of the distribution.
+	p50 := h.Quantile(0.5)
+	if p50 < float64(n)*0.2 || p50 > float64(n)*0.8 {
+		t.Fatalf("reservoir p50 = %v implausible for uniform 1..%d", p50, n)
+	}
+}
+
+func TestReservoirDeterministicAcrossRuns(t *testing.T) {
+	run := func() Snapshot {
+		r := NewRegistry()
+		r.EnableReservoir(32, 7)
+		// Creation order differs between runs; per-name seeding must make
+		// that irrelevant.
+		r.Observe("b", 0)
+		for i := 0; i < 5000; i++ {
+			r.Observe("a", float64(i%997))
+			r.Observe("b", float64(i%131))
+		}
+		return r.Snapshot()
+	}
+	s1, s2 := run(), run()
+	j1, err := json.Marshal(s1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j2, err := json.Marshal(s2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(j1) != string(j2) {
+		t.Fatalf("reservoir snapshots differ across identical runs:\n%s\n%s", j1, j2)
+	}
+}
+
+func TestSnapshotGolden(t *testing.T) {
+	r := NewRegistry()
+	r.Add("ddi.cache.hits", 3)
+	r.Set("vcu.devices_online", 4)
+	for _, v := range []float64{10, 20, 30, 40} {
+		r.Observe("offload.total_ms", v)
+	}
+	got, err := json.Marshal(r.Snapshot())
+	if err != nil {
+		t.Fatal(err)
+	}
+	const golden = `{"counters":{"ddi.cache.hits":3},` +
+		`"gauges":{"vcu.devices_online":4},` +
+		`"histograms":{"offload.total_ms":{"count":4,"retained":4,"sum":100,"mean":25,"min":10,"p50":20,"p90":40,"p95":40,"p99":40,"max":40}}}`
+	if string(got) != golden {
+		t.Fatalf("snapshot JSON drifted:\n got: %s\nwant: %s", got, golden)
+	}
+}
+
+func TestSnapshotEmptyAndIsolated(t *testing.T) {
+	r := NewRegistry()
+	snap := r.Snapshot()
+	if len(snap.Counters) != 0 || len(snap.Gauges) != 0 || len(snap.Histograms) != 0 {
+		t.Fatalf("empty registry snapshot not empty: %+v", snap)
+	}
+	if _, err := json.Marshal(snap); err != nil {
+		t.Fatalf("empty snapshot not marshalable: %v", err)
+	}
+	r.Add("c", 1)
+	snap = r.Snapshot()
+	snap.Counters["c"] = 99
+	if got := r.Counter("c"); got != 1 {
+		t.Fatalf("snapshot mutation leaked into registry: %v", got)
 	}
 }

@@ -1,0 +1,279 @@
+// Package trace is a deterministic, virtual-time span tracer for the
+// OpenVDAP reproduction. Components open spans stamped from the simulation
+// clock; nested calls produce parent/child links automatically (the tracer
+// keeps an open-span stack, which is well-defined because the simulation
+// kernel is single-threaded). Two exporters render a finished trace: a
+// human-readable tree and Chrome trace_event JSON that opens directly in
+// chrome://tracing or Perfetto.
+//
+// Every method is nil-safe on both *Tracer and *Span, so instrumented
+// components carry an optional tracer without guarding each call site.
+// Because all timestamps come from the virtual clock and span identifiers
+// are assigned in creation order, two runs with the same seed export
+// byte-identical traces.
+package trace
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// Attr is one key-value annotation on a span. Values are pre-rendered to
+// strings so export is allocation-light and deterministic.
+type Attr struct {
+	Key   string
+	Value string
+}
+
+// String builds a string attribute.
+func String(key, value string) Attr { return Attr{Key: key, Value: value} }
+
+// Int builds an integer attribute.
+func Int(key string, v int) Attr { return Attr{Key: key, Value: fmt.Sprintf("%d", v)} }
+
+// F64 builds a float attribute with stable two-decimal rendering.
+func F64(key string, v float64) Attr { return Attr{Key: key, Value: fmt.Sprintf("%.2f", v)} }
+
+// Dur builds a duration attribute.
+func Dur(key string, d time.Duration) Attr { return Attr{Key: key, Value: d.String()} }
+
+// Bool builds a boolean attribute.
+func Bool(key string, v bool) Attr { return Attr{Key: key, Value: fmt.Sprintf("%v", v)} }
+
+// Span is one timed operation in the trace tree. Start and End are virtual
+// times. Fields are read by exporters under the tracer's lock; mutate only
+// through Span methods.
+type Span struct {
+	tracer    *Tracer
+	id        int
+	Name      string
+	Component string
+	Start     time.Duration
+	End       time.Duration
+	Attrs     []Attr
+	Parent    *Span
+	Children  []*Span
+	finished  bool
+}
+
+// DefaultSpanLimit bounds span memory for long runs: past it new spans are
+// dropped (and counted), keeping fleet-scale experiments O(limit).
+const DefaultSpanLimit = 200_000
+
+// Tracer collects spans stamped from a virtual clock.
+type Tracer struct {
+	mu      sync.Mutex
+	clock   func() time.Duration
+	roots   []*Span
+	stack   []*Span
+	nextID  int
+	limit   int
+	dropped int
+}
+
+// New returns a tracer reading virtual time from clock (typically
+// sim.Engine.Now). A nil clock stamps zero times; explicit-time calls still
+// work.
+func New(clock func() time.Duration) *Tracer {
+	if clock == nil {
+		clock = func() time.Duration { return 0 }
+	}
+	return &Tracer{clock: clock, limit: DefaultSpanLimit}
+}
+
+// SetSpanLimit changes the span cap. Non-positive restores the default.
+func (t *Tracer) SetSpanLimit(n int) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if n <= 0 {
+		n = DefaultSpanLimit
+	}
+	t.limit = n
+}
+
+// StartSpan opens a span at the current virtual time and makes it the
+// parent of spans started before it finishes.
+func (t *Tracer) StartSpan(component, name string, attrs ...Attr) *Span {
+	if t == nil {
+		return nil
+	}
+	return t.StartSpanAt(component, name, t.clock(), attrs...)
+}
+
+// StartSpanAt opens a span at an explicit virtual time (schedulers and
+// estimators time-stamp spans from computed timelines, not the live clock).
+func (t *Tracer) StartSpanAt(component, name string, start time.Duration, attrs ...Attr) *Span {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	s := t.newSpanLocked(component, name, start, attrs)
+	if s != nil {
+		t.stack = append(t.stack, s)
+	}
+	return s
+}
+
+// SpanAt records an already-bounded leaf span (start..end) under the
+// currently open span without becoming a parent itself.
+func (t *Tracer) SpanAt(component, name string, start, end time.Duration, attrs ...Attr) *Span {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	s := t.newSpanLocked(component, name, start, attrs)
+	if s != nil {
+		s.End = end
+		s.finished = true
+	}
+	return s
+}
+
+// newSpanLocked allocates a span under the cap and links it to the current
+// stack top. Callers hold t.mu.
+func (t *Tracer) newSpanLocked(component, name string, start time.Duration, attrs []Attr) *Span {
+	if t.nextID >= t.limit {
+		t.dropped++
+		return nil
+	}
+	t.nextID++
+	s := &Span{
+		tracer:    t,
+		id:        t.nextID,
+		Name:      name,
+		Component: component,
+		Start:     start,
+		End:       start,
+		Attrs:     attrs,
+	}
+	if n := len(t.stack); n > 0 {
+		parent := t.stack[n-1]
+		s.Parent = parent
+		parent.Children = append(parent.Children, s)
+	} else {
+		t.roots = append(t.roots, s)
+	}
+	return s
+}
+
+// Finish closes the span at the current virtual time.
+func (s *Span) Finish() {
+	if s == nil {
+		return
+	}
+	s.FinishAt(s.tracer.clock())
+}
+
+// FinishAt closes the span at an explicit virtual time and pops it from the
+// open-span stack (out-of-order finishes unwind through it).
+func (s *Span) FinishAt(end time.Duration) {
+	if s == nil {
+		return
+	}
+	t := s.tracer
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if s.finished {
+		return
+	}
+	if end < s.Start {
+		end = s.Start
+	}
+	s.End = end
+	s.finished = true
+	for i := len(t.stack) - 1; i >= 0; i-- {
+		if t.stack[i] == s {
+			t.stack = append(t.stack[:i], t.stack[i+1:]...)
+			break
+		}
+	}
+}
+
+// SetAttr appends attributes to an open or finished span.
+func (s *Span) SetAttr(attrs ...Attr) {
+	if s == nil {
+		return
+	}
+	s.tracer.mu.Lock()
+	defer s.tracer.mu.Unlock()
+	s.Attrs = append(s.Attrs, attrs...)
+}
+
+// ID returns the span's creation-order identifier (1-based).
+func (s *Span) ID() int {
+	if s == nil {
+		return 0
+	}
+	return s.id
+}
+
+// Roots returns the top-level spans in creation order.
+func (t *Tracer) Roots() []*Span {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]*Span, len(t.roots))
+	copy(out, t.roots)
+	return out
+}
+
+// SpanCount returns how many spans were recorded (dropped ones excluded).
+func (t *Tracer) SpanCount() int {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.nextID
+}
+
+// Dropped returns how many spans the cap discarded.
+func (t *Tracer) Dropped() int {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.dropped
+}
+
+// Reset discards all recorded spans (the open stack included) but keeps the
+// clock and cap.
+func (t *Tracer) Reset() {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.roots, t.stack, t.nextID, t.dropped = nil, nil, 0, 0
+}
+
+// Components returns the sorted set of component names present in the
+// trace.
+func (t *Tracer) Components() []string {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	seen := map[string]bool{}
+	var walk func(s *Span)
+	walk = func(s *Span) {
+		seen[s.Component] = true
+		for _, c := range s.Children {
+			walk(c)
+		}
+	}
+	for _, r := range t.roots {
+		walk(r)
+	}
+	return sortedKeys(seen)
+}

@@ -5,6 +5,8 @@ import (
 	"time"
 
 	"repro/internal/tasks"
+	"repro/internal/telemetry"
+	"repro/internal/trace"
 )
 
 // DSF is the Dynamic Scheduling Framework (paper §IV-B2): it keeps resource
@@ -18,6 +20,16 @@ type DSF struct {
 	// limits which devices the app may touch (resource isolation).
 	restrict map[string]map[string]bool
 	history  []*Plan
+
+	tracer  *trace.Tracer
+	metrics *telemetry.Registry
+}
+
+// Instrument attaches a tracer and metrics registry (either may be nil).
+// Planning and committing then emit `vcu` spans and `vcu.*` metrics.
+func (s *DSF) Instrument(tr *trace.Tracer, reg *telemetry.Registry) {
+	s.tracer = tr
+	s.metrics = reg
 }
 
 // NewDSF builds a scheduler over the platform with the given policy.
@@ -88,7 +100,20 @@ func (s *DSF) Plan(dag *tasks.DAG, now time.Duration) (*Plan, error) {
 	if len(devices) == 0 {
 		return nil, fmt.Errorf("vcu: no online devices available to app %s", dag.Name)
 	}
-	return s.policy.Plan(dag, devices, now)
+	plan, err := s.policy.Plan(dag, devices, now)
+	if err != nil {
+		return nil, err
+	}
+	if s.metrics != nil {
+		s.metrics.Add("vcu.plans", 1)
+		s.metrics.ObserveDuration("vcu.plan_makespan_ms", plan.Makespan)
+	}
+	s.tracer.SpanAt("vcu", "vcu.plan", now, now+plan.Makespan,
+		trace.String("dag", dag.Name),
+		trace.String("policy", s.policy.Name()),
+		trace.Int("tasks", len(plan.Assignments)),
+		trace.F64("energy_j", plan.EnergyJ))
+	return plan, nil
 }
 
 // Commit applies a plan to the real executors, reserving device time. The
@@ -99,6 +124,22 @@ func (s *DSF) Commit(dag *tasks.DAG, plan *Plan) (*Plan, error) {
 		return nil, fmt.Errorf("vcu: nil plan")
 	}
 	committed := &Plan{DAG: plan.DAG, Policy: plan.Policy}
+	var commitStart time.Duration
+	if len(plan.Assignments) > 0 {
+		commitStart = plan.Assignments[0].Start
+		for _, a := range plan.Assignments {
+			if a.Start < commitStart {
+				commitStart = a.Start
+			}
+		}
+	}
+	span := s.tracer.StartSpanAt("vcu", "vcu.commit", commitStart,
+		trace.String("dag", plan.DAG), trace.String("policy", plan.Policy))
+	committedOK := false
+	defer func() {
+		span.SetAttr(trace.Bool("ok", committedOK))
+		span.FinishAt(commitStart + committed.Makespan)
+	}()
 	finishOf := make(map[string]time.Duration, len(plan.Assignments))
 	for _, a := range plan.Assignments {
 		dev, err := s.mhep.Device(a.Device)
@@ -130,6 +171,16 @@ func (s *DSF) Commit(dag *tasks.DAG, plan *Plan) (*Plan, error) {
 			return nil, fmt.Errorf("commit %s on %s: %w", t.ID, dev.Name(), err)
 		}
 		finishOf[t.ID] = finish
+		s.tracer.SpanAt("vcu", "vcu.task", start, finish,
+			trace.String("task", t.ID),
+			trace.String("device", dev.Name()),
+			trace.Dur("queue_wait", start-ready))
+		if s.metrics != nil {
+			s.metrics.Add("vcu.tasks_committed", 1)
+			s.metrics.ObserveDuration("vcu.queue_wait_ms", start-ready)
+			s.metrics.ObserveDuration("vcu.task_exec_ms", finish-start)
+			s.metrics.Add("vcu.device."+dev.Name()+".tasks", 1)
+		}
 		committed.Assignments = append(committed.Assignments, Assignment{
 			TaskID:  t.ID,
 			Device:  dev.Name(),
@@ -151,6 +202,13 @@ func (s *DSF) Commit(dag *tasks.DAG, plan *Plan) (*Plan, error) {
 			committed.EnergyJ += a.EnergyJ
 		}
 		committed.Makespan = last - base
+		commitStart = base
+	}
+	committedOK = true
+	if s.metrics != nil {
+		s.metrics.Add("vcu.commits", 1)
+		s.metrics.ObserveDuration("vcu.makespan_ms", committed.Makespan)
+		s.metrics.Add("vcu.energy_j", committed.EnergyJ)
 	}
 	s.history = append(s.history, committed)
 	return committed, nil
