@@ -11,6 +11,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"time"
 
 	"repro/internal/experiments"
@@ -20,20 +21,22 @@ import (
 
 func main() {
 	var (
-		exp      = flag.String("exp", "all", "experiment: all|table1|fig2|fig3|dsf|elastic|arch|compress|retrain|pbeam|collab|commute|fleet|hdmap|ddi")
+		exp      = flag.String("exp", "all", "experiment: all|table1|fig2|fig3|dsf|elastic|arch|compress|retrain|pbeam|collab|commute|fleet|sweep|hdmap|ddi")
 		seed     = flag.Int64("seed", 42, "random seed")
 		duration = flag.Duration("duration", 5*time.Minute, "figure-2 stream duration")
 		dir      = flag.String("dir", "", "DDI scratch directory (default: temp)")
-		traceOut = flag.String("trace", "", "write a Chrome trace_event JSON file (supported by -exp arch)")
+		traceOut = flag.String("trace", "", "write a Chrome trace_event JSON file (supported by -exp arch and -exp sweep)")
+		reps     = flag.Int("reps", 8, "replications for -exp sweep")
+		parallel = flag.Int("parallel", runtime.GOMAXPROCS(0), "worker-pool size for -exp sweep (output is byte-identical at any level)")
 	)
 	flag.Parse()
-	if err := run(*exp, *seed, *duration, *dir, *traceOut); err != nil {
+	if err := run(*exp, *seed, *duration, *dir, *traceOut, *reps, *parallel); err != nil {
 		fmt.Fprintln(os.Stderr, "vdapbench:", err)
 		os.Exit(1)
 	}
 }
 
-func run(exp string, seed int64, duration time.Duration, dir, traceOut string) error {
+func run(exp string, seed int64, duration time.Duration, dir, traceOut string, reps, parallel int) error {
 	// With -trace, instrument-aware experiments report spans and metrics;
 	// virtual-time determinism makes the file byte-identical per seed.
 	var tracer *trace.Tracer
@@ -142,6 +145,24 @@ func run(exp string, seed int64, duration time.Duration, dir, traceOut string) e
 			fmt.Println(experiments.FleetTable(rows))
 			return nil
 		},
+		"sweep": func() error {
+			res, err := experiments.RunFleetSweep(experiments.SweepConfig{
+				Replications: reps,
+				Parallel:     parallel,
+				Seed:         seed,
+			})
+			if err != nil {
+				return err
+			}
+			fmt.Println(experiments.FleetSweepTable(res))
+			fmt.Printf("merged telemetry (%d replications, %d spans):\n", len(res.Rows), res.Trace.SpanCount())
+			fmt.Print(res.Metrics.Render())
+			if tracer != nil {
+				tracer.Merge(res.Trace)
+				metrics.Merge(res.Metrics)
+			}
+			return nil
+		},
 		"commute": func() error {
 			rows, err := experiments.RunCommute()
 			if err != nil {
@@ -178,7 +199,7 @@ func run(exp string, seed int64, duration time.Duration, dir, traceOut string) e
 	}
 	runSelected := func() error {
 		if exp == "all" {
-			for _, name := range []string{"table1", "fig2", "fig3", "dsf", "elastic", "arch", "compress", "retrain", "pbeam", "collab", "commute", "fleet", "hdmap", "ddi"} {
+			for _, name := range []string{"table1", "fig2", "fig3", "dsf", "elastic", "arch", "compress", "retrain", "pbeam", "collab", "commute", "fleet", "sweep", "hdmap", "ddi"} {
 				if err := runners[name](); err != nil {
 					return fmt.Errorf("%s: %w", name, err)
 				}

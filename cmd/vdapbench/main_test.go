@@ -12,11 +12,11 @@ import (
 // TestRunEachExperiment smoke-tests every experiment through the CLI entry
 // point with short parameters.
 func TestRunEachExperiment(t *testing.T) {
-	fast := []string{"table1", "fig3", "dsf", "elastic", "arch", "collab", "commute", "fleet", "hdmap", "compress", "retrain", "pbeam"}
+	fast := []string{"table1", "fig3", "dsf", "elastic", "arch", "collab", "commute", "fleet", "sweep", "hdmap", "compress", "retrain", "pbeam"}
 	for _, exp := range fast {
 		exp := exp
 		t.Run(exp, func(t *testing.T) {
-			if err := run(exp, 7, 4*time.Second, t.TempDir(), ""); err != nil {
+			if err := run(exp, 7, 4*time.Second, t.TempDir(), "", 4, 2); err != nil {
 				t.Fatalf("run(%s): %v", exp, err)
 			}
 		})
@@ -24,14 +24,62 @@ func TestRunEachExperiment(t *testing.T) {
 }
 
 func TestRunFig2Short(t *testing.T) {
-	if err := run("fig2", 7, 4*time.Second, "", ""); err != nil {
+	if err := run("fig2", 7, 4*time.Second, "", "", 4, 2); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunDDI(t *testing.T) {
-	if err := run("ddi", 7, time.Second, t.TempDir(), ""); err != nil {
+	if err := run("ddi", 7, time.Second, t.TempDir(), "", 4, 2); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// captureStdout runs f with os.Stdout redirected into a pipe and returns
+// everything it printed.
+func captureStdout(t *testing.T, f func() error) []byte {
+	t.Helper()
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	done := make(chan []byte, 1)
+	go func() {
+		var buf bytes.Buffer
+		buf.ReadFrom(r)
+		done <- buf.Bytes()
+	}()
+	ferr := f()
+	w.Close()
+	os.Stdout = old
+	out := <-done
+	r.Close()
+	if ferr != nil {
+		t.Fatal(ferr)
+	}
+	return out
+}
+
+// TestRunSweepDeterministicAcrossParallel: the acceptance criterion for the
+// parallel runner — a ≥8-replication sweep at -parallel 8 must be
+// byte-identical to the -parallel 1 run for the same seed.
+func TestRunSweepDeterministicAcrossParallel(t *testing.T) {
+	at := func(parallel int) []byte {
+		return captureStdout(t, func() error {
+			return run("sweep", 42, time.Second, "", "", 8, parallel)
+		})
+	}
+	serial := at(1)
+	for _, parallel := range []int{2, 8} {
+		if got := at(parallel); !bytes.Equal(serial, got) {
+			t.Fatalf("-parallel %d output differs from -parallel 1:\n--- serial ---\n%s\n--- parallel ---\n%s",
+				parallel, serial, got)
+		}
+	}
+	if len(serial) == 0 {
+		t.Fatal("sweep produced no output")
 	}
 }
 
@@ -42,7 +90,7 @@ func TestRunArchTraced(t *testing.T) {
 	once := func() []byte {
 		t.Helper()
 		out := filepath.Join(t.TempDir(), "out.json")
-		if err := run("arch", 7, time.Second, "", out); err != nil {
+		if err := run("arch", 7, time.Second, "", out, 4, 2); err != nil {
 			t.Fatal(err)
 		}
 		data, err := os.ReadFile(out)
@@ -81,7 +129,7 @@ func TestRunArchTraced(t *testing.T) {
 }
 
 func TestRunUnknownExperiment(t *testing.T) {
-	if err := run("warp-drive", 1, time.Second, "", ""); err == nil {
+	if err := run("warp-drive", 1, time.Second, "", "", 4, 2); err == nil {
 		t.Fatal("unknown experiment accepted")
 	}
 }

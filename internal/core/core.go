@@ -79,6 +79,12 @@ func DefaultConfig(dataDir string) Config {
 }
 
 // Platform is one running OpenVDAP vehicle node.
+//
+// Concurrency: the simulation state (kernel, road, VCU, offload engine,
+// sites, EdgeOSv modules) is owned by a single goroutine; only the
+// telemetry registry and tracer tolerate concurrent readers (the REST
+// tier). Replication harnesses that need many platforms at once build one
+// per worker and merge telemetry afterwards (see internal/runner).
 type Platform struct {
 	cfg Config
 

@@ -3,6 +3,11 @@
 // offloading engine, but the remote sites are shared objects, so one
 // vehicle's offloads raise queueing delay for everyone — the multi-tenant
 // contention the paper's edge architecture must survive.
+//
+// Concurrency: a Fleet and everything it owns (vehicles, engines, shared
+// sites, road) belong to a single goroutine. Replication harnesses run
+// one whole fleet per worker (see internal/runner) and merge telemetry
+// afterwards; two goroutines must never invoke the same fleet.
 package fleet
 
 import (
@@ -12,7 +17,10 @@ import (
 	"repro/internal/edgeos"
 	"repro/internal/geo"
 	"repro/internal/offload"
+	"repro/internal/sim"
 	"repro/internal/tasks"
+	"repro/internal/telemetry"
+	"repro/internal/trace"
 	"repro/internal/vcu"
 	"repro/internal/xedge"
 )
@@ -41,6 +49,13 @@ type Config struct {
 	RSUs         int
 	// SpeedMPH applies to every vehicle.
 	SpeedMPH float64
+	// SpeedJitterMPH, when positive, perturbs each vehicle's speed by a
+	// uniform draw in [-jitter, +jitter] MPH from the fleet's RNG, so
+	// replications with different seeds explore different traffic mixes.
+	SpeedJitterMPH float64
+	// RNG drives the fleet's random draws (speed jitter). Nil falls back
+	// to a fixed-seed stream, keeping construction deterministic.
+	RNG *sim.RNG
 	// Policy is each vehicle's DSF policy. Nil means GreedyEFT.
 	Policy vcu.Policy
 	// Service is installed on every vehicle. Nil means the ALPR
@@ -104,6 +119,10 @@ func New(cfg Config) (*Fleet, error) {
 	sites = append(sites, cl)
 
 	f := &Fleet{road: road, sites: sites}
+	rng := cfg.RNG
+	if rng == nil {
+		rng = sim.NewStream(1, 0)
+	}
 	spacing := cfg.RoadLengthM / float64(cfg.Vehicles)
 	for i := 0; i < cfg.Vehicles; i++ {
 		m, err := vcu.DefaultVCU()
@@ -114,7 +133,14 @@ func New(cfg Config) (*Fleet, error) {
 		if err != nil {
 			return nil, err
 		}
-		mob := geo.Mobility{Road: road, SpeedMS: geo.MPH(cfg.SpeedMPH), StartX: float64(i) * spacing}
+		speed := cfg.SpeedMPH
+		if cfg.SpeedJitterMPH > 0 {
+			speed += rng.Uniform(-cfg.SpeedJitterMPH, cfg.SpeedJitterMPH)
+			if speed < 5 {
+				speed = 5
+			}
+		}
+		mob := geo.Mobility{Road: road, SpeedMS: geo.MPH(speed), StartX: float64(i) * spacing}
 		eng, err := offload.NewEngine(dsf, mob, sites)
 		if err != nil {
 			return nil, err
@@ -144,6 +170,17 @@ func (f *Fleet) Vehicles() []*Vehicle {
 
 // Sites returns the shared infrastructure.
 func (f *Fleet) Sites() []*xedge.Site { return f.sites }
+
+// Instrument attaches a tracer and metrics registry to every vehicle's
+// offload engine and elastic manager (either may be nil). The instruments
+// share the fleet's single-goroutine ownership: replication harnesses give
+// each worker its own fleet, registry, and tracer, then merge.
+func (f *Fleet) Instrument(tr *trace.Tracer, reg *telemetry.Registry) {
+	for _, v := range f.vehicles {
+		v.Engine.Instrument(tr, reg)
+		v.Manager.Instrument(tr, reg)
+	}
+}
 
 // RoundResult aggregates one invocation round across the fleet.
 type RoundResult struct {

@@ -164,6 +164,13 @@ func (c *CellularChannel) dwellTime() time.Duration {
 
 // advanceTo rolls the outage-window schedule forward to virtual time t.
 func (c *CellularChannel) advanceTo(t time.Duration) {
+	// A non-positive dwell means the vehicle never crosses a cell boundary
+	// (parked, or a degenerate station layout): there is no schedule to
+	// advance, and stepping the loop by zero would spin forever once t
+	// reaches the far-future sentinel.
+	if c.dwell <= 0 {
+		return
+	}
 	for c.nextHandoffAt <= t {
 		// Outage duration: the logistic detached-fraction of one dwell,
 		// jittered ±25% so GOP boundaries don't phase-lock to outages.

@@ -177,3 +177,38 @@ func TestChannelStats(t *testing.T) {
 		t.Fatalf("lost = %d out of range", lost)
 	}
 }
+
+// TestZeroDwellChannelAtLargeTime: regression for the advanceTo infinite
+// loop — a parked vehicle (dwell 0) queried at a virtual time at or beyond
+// the far-future handoff sentinel must answer, not spin forever.
+func TestZeroDwellChannelAtLargeTime(t *testing.T) {
+	lte, err := LookupLink("lte")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ch, err := NewCellularChannel(lte, geo.Mobility{SpeedMS: 0}, 3.8, sim.NewRNG(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan bool, 1)
+	go func() {
+		// Past the MaxInt64/2 sentinel: the pre-fix loop advanced the
+		// schedule by a zero dwell forever here.
+		done <- ch.SendPacket(time.Duration(math.MaxInt64/2) + time.Hour)
+	}()
+	select {
+	case delivered := <-done:
+		if !delivered {
+			t.Fatal("parked vehicle lost a packet to a handoff outage")
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("zero-dwell channel spun forever in advanceTo")
+	}
+	if ch.InOutage(time.Duration(math.MaxInt64 - 1)) {
+		t.Fatal("parked vehicle reported a handoff outage")
+	}
+	sent, lost := ch.Stats()
+	if sent != 1 || lost != 0 {
+		t.Fatalf("stats = (%d, %d), want (1, 0)", sent, lost)
+	}
+}

@@ -25,6 +25,12 @@ import (
 // transfer time when estimating vehicle-side energy of offloading.
 const RadioPowerW = 2.5
 
+// DefaultLossBitrateMbps is the stream bitrate fed to the Figure-2 loss
+// model when adjusting cellular links for mobility: the paper's 3.8 Mbps
+// reference stream. Engines can override it per workload with
+// SetLossBitrate.
+const DefaultLossBitrateMbps = 3.8
+
 // OnboardName is the destination name for local execution.
 const OnboardName = "onboard"
 
@@ -53,10 +59,19 @@ type Estimate struct {
 }
 
 // Engine evaluates destinations for one vehicle.
+//
+// Concurrency: an Engine (with its DSF, sites, tracer, and registry) is
+// owned by a single goroutine. Replication harnesses that run many
+// engines concurrently must give each worker its own engine and world
+// (see internal/runner) and merge telemetry afterwards.
 type Engine struct {
 	dsf   *vcu.DSF
 	sites []*xedge.Site
 	mob   geo.Mobility
+
+	// lossBitrateMbps is the stream bitrate assumed by the mobility loss
+	// adjustment (DefaultLossBitrateMbps unless overridden).
+	lossBitrateMbps float64
 
 	// Bandwidth budget (the paper's "limited bandwidth consumption"):
 	// when budgetBytes > 0, offloads whose uplink payload exceeds the
@@ -128,8 +143,20 @@ func NewEngine(dsf *vcu.DSF, mob geo.Mobility, sites []*xedge.Site) (*Engine, er
 	if dsf == nil {
 		return nil, fmt.Errorf("offload: nil DSF")
 	}
-	return &Engine{dsf: dsf, sites: sites, mob: mob}, nil
+	return &Engine{dsf: dsf, sites: sites, mob: mob, lossBitrateMbps: DefaultLossBitrateMbps}, nil
 }
+
+// SetLossBitrate overrides the stream bitrate (Mbps) assumed by the
+// mobility loss adjustment. Non-positive restores the default.
+func (e *Engine) SetLossBitrate(mbps float64) {
+	if mbps <= 0 {
+		mbps = DefaultLossBitrateMbps
+	}
+	e.lossBitrateMbps = mbps
+}
+
+// LossBitrate returns the bitrate the mobility loss adjustment assumes.
+func (e *Engine) LossBitrate() float64 { return e.lossBitrateMbps }
 
 // AddSite registers another candidate destination.
 func (e *Engine) AddSite(s *xedge.Site) {
@@ -152,11 +179,15 @@ func (e *Engine) SetMobility(mob geo.Mobility) { e.mob = mob }
 // mobilityAdjustedPath raises cellular-link loss to the Figure-2 model's
 // expectation at the vehicle's current speed, shrinking effective goodput.
 func (e *Engine) mobilityAdjustedPath(p network.Path) network.Path {
+	bitrate := e.lossBitrateMbps
+	if bitrate <= 0 {
+		bitrate = DefaultLossBitrateMbps
+	}
 	adj := network.Path{Name: p.Name, Links: make([]network.LinkSpec, len(p.Links))}
 	copy(adj.Links, p.Links)
 	for i, l := range adj.Links {
 		if l.Tech == network.LTE || l.Tech == network.FiveG {
-			loss := network.ExpectedPacketLoss(e.mob.SpeedMS, 3.8)
+			loss := network.ExpectedPacketLoss(e.mob.SpeedMS, bitrate)
 			if loss > l.BaseLoss {
 				l.BaseLoss = loss
 				if l.BaseLoss > 0.95 {
@@ -299,8 +330,9 @@ func (e *Engine) EstimateSite(dag *tasks.DAG, site *xedge.Site, splitAfter int, 
 	e.tracer.SpanAt("network", "network.downlink", remoteDone, remoteDone+down,
 		trace.String("path", path.Name), trace.F64("bytes", downBytes))
 	if !e.withinBudget(est.BytesSent) {
+		remaining, _ := e.BandwidthRemaining()
 		est.Reason = fmt.Sprintf("bandwidth budget exhausted (%.0f B needed, %.0f B left)",
-			est.BytesSent, e.budgetBytes-e.spentBytes)
+			est.BytesSent, remaining)
 		return est
 	}
 	est.Feasible = true
@@ -446,7 +478,6 @@ func (e *Engine) execute(dag *tasks.DAG, est Estimate, now time.Duration) (time.
 	if !e.withinBudget(est.BytesSent) {
 		return 0, fmt.Errorf("offload: bandwidth budget exhausted for %s", est.Dest)
 	}
-	e.spentBytes += est.BytesSent
 	var site *xedge.Site
 	for _, s := range e.sites {
 		if s.Name() == est.Dest {
@@ -509,6 +540,9 @@ func (e *Engine) execute(dag *tasks.DAG, est Estimate, now time.Duration) (time.
 	e.tracer.SpanAt("network", "network.downlink", last, last+est.Downlink,
 		trace.String("path", path.Name), trace.F64("bytes", downBytes))
 	e.meter.RecordTransfer(path, downBytes, network.Downlink, est.Downlink)
+	// Charge the budget only once the execution has fully succeeded: a
+	// failed prefix plan or site submission must not burn bandwidth.
+	e.spentBytes += est.BytesSent
 	return last + est.Downlink, nil
 }
 

@@ -1,6 +1,7 @@
 package offload
 
 import (
+	"strings"
 	"testing"
 	"time"
 
@@ -375,6 +376,83 @@ func TestBandwidthBudgetAccounting(t *testing.T) {
 	}
 	if _, err := eng.Execute(dag, est, 2*time.Second); err != nil {
 		t.Fatalf("execute after clearing budget: %v", err)
+	}
+}
+
+// TestFailedExecuteDoesNotBurnBudget: regression for the charge-ordering
+// bug where execute spent the bandwidth budget before resolving the
+// destination, so a failed execution permanently burned budget.
+func TestFailedExecuteDoesNotBurnBudget(t *testing.T) {
+	eng, rsu, _ := testWorld(t, 0)
+	dag := tasks.ALPR()
+	est := eng.EstimateSite(dag, rsu, 0, 0)
+	if !est.Feasible {
+		t.Fatalf("estimate infeasible: %s", est.Reason)
+	}
+	eng.SetBandwidthBudget(est.BytesSent * 2)
+	bad := est
+	bad.Dest = "ghost" // destination resolution fails mid-execute
+	if _, err := eng.Execute(dag, bad, 0); err == nil {
+		t.Fatal("unknown destination executed")
+	}
+	if got := eng.BytesSpent(); got != 0 {
+		t.Fatalf("failed execute burned %.0f budget bytes", got)
+	}
+	// The budget is still intact, so the real offload must succeed and
+	// charge exactly once.
+	if _, err := eng.Execute(dag, est, 0); err != nil {
+		t.Fatalf("execute after failed attempt: %v", err)
+	}
+	if got := eng.BytesSpent(); got != est.BytesSent {
+		t.Fatalf("spent %.0f, want %.0f", got, est.BytesSent)
+	}
+}
+
+// TestLossAdjustmentRespondsToBitrate: regression for the hardcoded
+// 3.8 Mbps reference bitrate in the mobility loss adjustment — a heavier
+// stream must see more loss (longer cellular uplink), and resetting the
+// parameter must restore the default.
+func TestLossAdjustmentRespondsToBitrate(t *testing.T) {
+	eng, _, _ := testWorld(t, geo.MPH(70))
+	if eng.LossBitrate() != DefaultLossBitrateMbps {
+		t.Fatalf("default loss bitrate = %v, want %v", eng.LossBitrate(), DefaultLossBitrateMbps)
+	}
+	lte, _ := network.LookupLink("lte")
+	p := network.Path{Name: "lte-only", Links: []network.LinkSpec{lte}}
+	baseLoss := network.WorstLoss(eng.mobilityAdjustedPath(p))
+
+	dag := tasks.ALPR()
+	base := findEst(t, eng, dag, "cloud")
+	eng.SetLossBitrate(5.8)
+	if heavierLoss := network.WorstLoss(eng.mobilityAdjustedPath(p)); heavierLoss <= baseLoss {
+		t.Fatalf("5.8 Mbps loss %v not above 3.8 Mbps loss %v", heavierLoss, baseLoss)
+	}
+	heavier := findEst(t, eng, dag, "cloud")
+	if heavier.Uplink <= base.Uplink {
+		t.Fatalf("5.8 Mbps uplink (%v) not slower than 3.8 Mbps (%v)", heavier.Uplink, base.Uplink)
+	}
+	eng.SetLossBitrate(0) // restores the default
+	reset := findEst(t, eng, dag, "cloud")
+	if reset.Uplink != base.Uplink {
+		t.Fatalf("resetting bitrate did not restore baseline: %v vs %v", reset.Uplink, base.Uplink)
+	}
+}
+
+// TestBudgetReasonNeverNegative: the budget-exhausted Reason must clamp
+// remaining bytes at zero even if spending somehow overshot the budget.
+func TestBudgetReasonNeverNegative(t *testing.T) {
+	eng, rsu, _ := testWorld(t, 0)
+	eng.SetBandwidthBudget(10)
+	eng.spentBytes = 25 // overshoot (what the pre-fix charge bug produced)
+	est := eng.EstimateSite(tasks.ALPR(), rsu, 0, 0)
+	if est.Feasible {
+		t.Fatal("over-budget estimate feasible")
+	}
+	if !strings.HasSuffix(est.Reason, "0 B left)") {
+		t.Fatalf("reason %q does not clamp remaining budget at zero", est.Reason)
+	}
+	if strings.Contains(est.Reason, "-") {
+		t.Fatalf("reason %q prints a negative budget", est.Reason)
 	}
 }
 

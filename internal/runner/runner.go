@@ -1,0 +1,151 @@
+// Package runner is the platform's parallel replication driver: it executes
+// N independent replications (fleet runs, parameter-sweep points,
+// calibration trials) across a worker pool and merges their results
+// deterministically.
+//
+// The sharding model is "share nothing, merge after": every replication
+// gets its own Shard holding an RNG substream keyed by the replication
+// index (sim.NewStream), a private telemetry.Registry, and a private
+// trace.Tracer. Jobs must build their whole world (fleet, sites, engines)
+// inside the shard and draw all randomness from the shard's RNG. Because
+// nothing is shared, jobs run race-free at any -parallel level; because
+// every per-shard input is a pure function of (seed, index) and the merge
+// happens in index order after all workers exit, the merged output is
+// byte-identical no matter how many workers ran.
+package runner
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/sim"
+	"repro/internal/telemetry"
+	"repro/internal/trace"
+)
+
+// Shard is one replication's private world: everything a job may mutate.
+type Shard struct {
+	// Index is the replication number in [0, Replications).
+	Index int
+	// RNG is the replication's random substream, keyed by (Seed, Index).
+	RNG *sim.RNG
+	// Metrics is the replication-private registry, merged (in index order)
+	// into the report's registry after all workers finish.
+	Metrics *telemetry.Registry
+	// Tracer is the replication-private tracer, merged likewise.
+	Tracer *trace.Tracer
+}
+
+// Config parameterizes Run.
+type Config struct {
+	// Replications is the number of independent shards to execute (>= 1).
+	Replications int
+	// Parallel is the worker-pool size. Non-positive means GOMAXPROCS;
+	// values above Replications are clamped.
+	Parallel int
+	// Seed keys every shard's RNG substream.
+	Seed int64
+	// MetricsReservoir, when positive, bounds every shard histogram to k
+	// deterministically-sampled values (see telemetry.EnableReservoir).
+	MetricsReservoir int
+	// SpanLimit caps each shard tracer's retained spans. Non-positive
+	// keeps trace.DefaultSpanLimit.
+	SpanLimit int
+}
+
+// Report is the deterministic merge of all replications.
+type Report[T any] struct {
+	// Results holds each replication's result, ordered by index.
+	Results []T
+	// Metrics is every shard registry merged in index order: counters
+	// summed, gauges last-index-wins, histograms combined.
+	Metrics *telemetry.Registry
+	// Trace is every shard trace merged in index order.
+	Trace *trace.Tracer
+}
+
+// Run executes cfg.Replications independent jobs over a pool of
+// cfg.Parallel workers and merges the outcome. The job receives its own
+// Shard and must confine all mutation to it. Run returns the first failed
+// replication's error (lowest index, deterministically) and no report.
+func Run[T any](cfg Config, job func(*Shard) (T, error)) (*Report[T], error) {
+	if job == nil {
+		return nil, fmt.Errorf("runner: nil job")
+	}
+	n := cfg.Replications
+	if n < 1 {
+		return nil, fmt.Errorf("runner: need at least one replication, got %d", n)
+	}
+	workers := cfg.Parallel
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+
+	results := make([]T, n)
+	errs := make([]error, n)
+	shards := make([]*Shard, n)
+
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				sh := newShard(cfg, i)
+				shards[i] = sh
+				results[i], errs[i] = job(sh)
+			}
+		}()
+	}
+	wg.Wait()
+
+	for i, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("runner: replication %d: %w", i, err)
+		}
+	}
+
+	rep := &Report[T]{
+		Results: results,
+		Metrics: telemetry.NewRegistry(),
+		Trace:   trace.New(nil),
+	}
+	if cfg.SpanLimit > 0 {
+		rep.Trace.SetSpanLimit(cfg.SpanLimit)
+	}
+	// Merge strictly in index order: this is what makes the report
+	// independent of worker count and scheduling.
+	for _, sh := range shards {
+		rep.Metrics.Merge(sh.Metrics)
+		rep.Trace.Merge(sh.Tracer)
+	}
+	return rep, nil
+}
+
+// newShard builds replication i's private world from (cfg.Seed, i).
+func newShard(cfg Config, i int) *Shard {
+	reg := telemetry.NewRegistry()
+	if cfg.MetricsReservoir > 0 {
+		reg.EnableReservoir(cfg.MetricsReservoir, cfg.Seed+int64(i))
+	}
+	tr := trace.New(nil)
+	if cfg.SpanLimit > 0 {
+		tr.SetSpanLimit(cfg.SpanLimit)
+	}
+	return &Shard{
+		Index:   i,
+		RNG:     sim.NewStream(cfg.Seed, uint64(i)),
+		Metrics: reg,
+		Tracer:  tr,
+	}
+}

@@ -1,0 +1,158 @@
+package runner
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+)
+
+// sweepOnce runs a small synthetic workload — every shard draws from its
+// RNG, bumps metrics, and records spans — and returns the merged report.
+func sweepOnce(t *testing.T, parallel int) *Report[float64] {
+	t.Helper()
+	rep, err := Run(Config{Replications: 8, Parallel: parallel, Seed: 42},
+		func(sh *Shard) (float64, error) {
+			v := sh.RNG.Float64()
+			sh.Metrics.Add("job.runs", 1)
+			sh.Metrics.Add(fmt.Sprintf("job.shard.%d", sh.Index), 1)
+			sh.Metrics.Set("job.last_index", float64(sh.Index))
+			sh.Metrics.Observe("job.value", v)
+			span := sh.Tracer.StartSpanAt("runner", "job", 0)
+			sh.Tracer.SpanAt("runner", "draw", 0, time.Duration(sh.Index))
+			span.FinishAt(time.Duration(sh.Index + 1))
+			return v, nil
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rep
+}
+
+// TestRunDeterministicAcrossParallelLevels: the core guarantee — results,
+// merged metrics, and merged traces are identical at any worker count.
+func TestRunDeterministicAcrossParallelLevels(t *testing.T) {
+	serial := sweepOnce(t, 1)
+	for _, parallel := range []int{2, 4, 8, 16} {
+		got := sweepOnce(t, parallel)
+		for i := range serial.Results {
+			if serial.Results[i] != got.Results[i] {
+				t.Fatalf("parallel %d: result[%d] = %v, want %v",
+					parallel, i, got.Results[i], serial.Results[i])
+			}
+		}
+		if serial.Metrics.Render() != got.Metrics.Render() {
+			t.Fatalf("parallel %d: merged metrics differ", parallel)
+		}
+		if serial.Trace.RenderTree() != got.Trace.RenderTree() {
+			t.Fatalf("parallel %d: merged traces differ", parallel)
+		}
+	}
+}
+
+// TestRunMergesInIndexOrder: gauges are last-index-wins and counters sum.
+func TestRunMergesInIndexOrder(t *testing.T) {
+	rep := sweepOnce(t, 4)
+	if got := rep.Metrics.Counter("job.runs"); got != 8 {
+		t.Fatalf("job.runs = %v, want 8", got)
+	}
+	if got, ok := rep.Metrics.Gauge("job.last_index"); !ok || got != 7 {
+		t.Fatalf("job.last_index = %v (%v), want 7 (highest index wins)", got, ok)
+	}
+	if h := rep.Metrics.Histogram("job.value"); h == nil || h.Count() != 8 {
+		t.Fatal("merged histogram missing samples")
+	}
+	// Shard traces appear in index order: the "job" root spans finish at
+	// index+1.
+	roots := rep.Trace.Roots()
+	if len(roots) != 8 {
+		t.Fatalf("merged roots = %d, want 8", len(roots))
+	}
+	for i, r := range roots {
+		if r.End != time.Duration(i+1) {
+			t.Fatalf("root %d finishes at %v, want %v (index order)", i, r.End, time.Duration(i+1))
+		}
+	}
+}
+
+// TestRunShardRNGsAreIndependent: distinct replications draw distinct
+// streams keyed by index, not by worker or scheduling.
+func TestRunShardRNGsAreIndependent(t *testing.T) {
+	rep := sweepOnce(t, 3)
+	seen := map[float64]bool{}
+	for _, v := range rep.Results {
+		if seen[v] {
+			t.Fatalf("two replications drew the same value %v", v)
+		}
+		seen[v] = true
+	}
+}
+
+// TestRunErrorReporting: the lowest failing index is reported, with its
+// replication number, no matter the worker count.
+func TestRunErrorReporting(t *testing.T) {
+	_, err := Run(Config{Replications: 8, Parallel: 4, Seed: 1},
+		func(sh *Shard) (int, error) {
+			if sh.Index >= 5 {
+				return 0, fmt.Errorf("boom at %d", sh.Index)
+			}
+			return sh.Index, nil
+		})
+	if err == nil {
+		t.Fatal("failing job reported no error")
+	}
+	if !strings.Contains(err.Error(), "replication 5") {
+		t.Fatalf("error %q does not name the lowest failing replication", err)
+	}
+}
+
+// TestRunValidation: degenerate configs are rejected; parallel levels above
+// the replication count are clamped, not an error.
+func TestRunValidation(t *testing.T) {
+	if _, err := Run(Config{Replications: 0}, func(sh *Shard) (int, error) { return 0, nil }); err == nil {
+		t.Fatal("zero replications accepted")
+	}
+	var nilJob func(*Shard) (int, error)
+	if _, err := Run(Config{Replications: 1}, nilJob); err == nil {
+		t.Fatal("nil job accepted")
+	}
+	rep, err := Run(Config{Replications: 2, Parallel: 64, Seed: 9},
+		func(sh *Shard) (int, error) { return sh.Index, nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Results) != 2 || rep.Results[0] != 0 || rep.Results[1] != 1 {
+		t.Fatalf("results = %v, want [0 1]", rep.Results)
+	}
+}
+
+// TestRunReservoirAndSpanLimits: per-shard reservoir and span caps are
+// honored and still deterministic across parallel levels.
+func TestRunReservoirAndSpanLimits(t *testing.T) {
+	at := func(parallel int) string {
+		rep, err := Run(Config{
+			Replications: 4, Parallel: parallel, Seed: 7,
+			MetricsReservoir: 4, SpanLimit: 3,
+		}, func(sh *Shard) (int, error) {
+			for i := 0; i < 50; i++ {
+				sh.Metrics.Observe("v", sh.RNG.Float64())
+				sh.Tracer.SpanAt("c", "op", 0, 1)
+			}
+			return 0, nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		h := rep.Metrics.Histogram("v")
+		if h.Count() != 200 {
+			t.Fatalf("count = %d, want 200", h.Count())
+		}
+		if h.Retained() != 16 {
+			t.Fatalf("retained = %d, want 4 shards x 4 reservoir", h.Retained())
+		}
+		return rep.Metrics.Render() + rep.Trace.RenderTree()
+	}
+	if at(1) != at(4) {
+		t.Fatal("reservoir/span-capped run not deterministic across parallel levels")
+	}
+}

@@ -18,6 +18,19 @@ func NewRNG(seed int64) *RNG {
 	return r
 }
 
+// NewStream returns a generator for the stream-th independent substream of
+// seed. Replication harnesses key each worker's stream by its replication
+// index, so a replication draws the same values no matter which worker runs
+// it or how many workers exist — the basis of the deterministic-merge
+// guarantee.
+func NewStream(seed int64, stream uint64) *RNG {
+	r := &RNG{state: uint64(seed) ^ (stream+1)*0x9e3779b97f4a7c15}
+	// Warm up so adjacent (seed, stream) pairs diverge immediately.
+	r.Uint64()
+	r.Uint64()
+	return r
+}
+
 // Clone returns a copy that continues the same stream without perturbing
 // the original (snapshot semantics for copied consumers).
 func (r *RNG) Clone() *RNG {

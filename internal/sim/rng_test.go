@@ -188,3 +188,28 @@ func TestRNGCloneContinuesSameStream(t *testing.T) {
 		}
 	}
 }
+
+// TestNewStreamKeyedSubstreams: streams are deterministic functions of
+// (seed, index) and distinct streams diverge immediately.
+func TestNewStreamKeyedSubstreams(t *testing.T) {
+	a1, a2 := NewStream(42, 3), NewStream(42, 3)
+	for i := 0; i < 100; i++ {
+		if a1.Uint64() != a2.Uint64() {
+			t.Fatal("same (seed, stream) produced different values")
+		}
+	}
+	b, c := NewStream(42, 0), NewStream(42, 1)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if b.Uint64() == c.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Fatalf("adjacent streams collided on %d of 100 draws", same)
+	}
+	d, e := NewStream(1, 7), NewStream(2, 7)
+	if d.Uint64() == e.Uint64() {
+		t.Fatal("different seeds produced the same stream")
+	}
+}

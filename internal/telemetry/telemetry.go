@@ -101,6 +101,53 @@ func (r *Registry) Observe(name string, value float64) {
 	h.Observe(value)
 }
 
+// Merge folds src's metrics into r: counters add, gauges take src's value
+// (so merging shards in replication-index order deterministically keeps the
+// highest index's reading), and histograms combine — Count, Sum, Min, and
+// Max stay exact, while the retained samples become the union of both
+// sides' retained samples. Merging reservoir histograms may therefore
+// retain more than one reservoir's worth of samples; merged registries are
+// meant to be read, not observed into. src is only read, never mutated, and
+// may keep collecting afterwards. Merging a registry into itself is a
+// no-op.
+func (r *Registry) Merge(src *Registry) {
+	if r == nil || src == nil || r == src {
+		return
+	}
+	// Deep-copy src under its own lock first so the two locks are never
+	// held together (no ordering constraint between registries).
+	src.mu.Lock()
+	counters := make(map[string]float64, len(src.counters))
+	for n, v := range src.counters {
+		counters[n] = v
+	}
+	gauges := make(map[string]float64, len(src.gauges))
+	for n, v := range src.gauges {
+		gauges[n] = v
+	}
+	hists := make(map[string]*Histogram, len(src.histograms))
+	for n, h := range src.histograms {
+		hists[n] = h.clone()
+	}
+	src.mu.Unlock()
+
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for n, v := range counters {
+		r.counters[n] += v
+	}
+	for n, v := range gauges {
+		r.gauges[n] = v
+	}
+	for n, h := range hists {
+		if cur, ok := r.histograms[n]; ok {
+			cur.merge(h)
+		} else {
+			r.histograms[n] = h
+		}
+	}
+}
+
 // hashName derives a stable per-metric seed component.
 func hashName(name string) uint32 {
 	h := fnv.New32a()
@@ -160,6 +207,24 @@ func (h *Histogram) clone() *Histogram {
 		cp.rng = h.rng.Clone()
 	}
 	return &cp
+}
+
+// merge folds src's samples into h, keeping Count/Sum/Min/Max exact and
+// appending src's retained samples in order (see Registry.Merge for the
+// reservoir caveat). src must not be observed into concurrently.
+func (h *Histogram) merge(src *Histogram) {
+	if src == nil || src.count == 0 {
+		return
+	}
+	if h.count == 0 || src.min < h.min {
+		h.min = src.min
+	}
+	if h.count == 0 || src.max > h.max {
+		h.max = src.max
+	}
+	h.count += src.count
+	h.sum += src.sum
+	h.samples = append(h.samples, src.samples...)
 }
 
 // Observe adds a sample.

@@ -291,3 +291,98 @@ func TestSnapshotEmptyAndIsolated(t *testing.T) {
 		t.Fatalf("snapshot mutation leaked into registry: %v", got)
 	}
 }
+
+// TestRegistryMerge: counters add, gauges take the source's value, and
+// histogram Count/Sum/Min/Max stay exact across a merge.
+func TestRegistryMerge(t *testing.T) {
+	a, b := NewRegistry(), NewRegistry()
+	a.Add("hits", 2)
+	b.Add("hits", 3)
+	b.Add("only.b", 1)
+	a.Set("depth", 4)
+	b.Set("depth", 9)
+	for _, v := range []float64{1, 2, 3} {
+		a.Observe("lat_ms", v)
+	}
+	for _, v := range []float64{10, 0.5} {
+		b.Observe("lat_ms", v)
+	}
+	b.Observe("only.b_ms", 7)
+
+	a.Merge(b)
+	if got := a.Counter("hits"); got != 5 {
+		t.Fatalf("merged counter = %v, want 5", got)
+	}
+	if got := a.Counter("only.b"); got != 1 {
+		t.Fatalf("source-only counter = %v, want 1", got)
+	}
+	if got, _ := a.Gauge("depth"); got != 9 {
+		t.Fatalf("merged gauge = %v, want source value 9", got)
+	}
+	h := a.Histogram("lat_ms")
+	if h.Count() != 5 || h.Sum() != 16.5 || h.Min() != 0.5 || h.Max() != 10 {
+		t.Fatalf("merged histogram = count %d sum %v min %v max %v",
+			h.Count(), h.Sum(), h.Min(), h.Max())
+	}
+	if a.Histogram("only.b_ms") == nil {
+		t.Fatal("source-only histogram missing after merge")
+	}
+	// Source untouched.
+	if b.Counter("hits") != 3 || b.Histogram("lat_ms").Count() != 2 {
+		t.Fatal("merge mutated the source registry")
+	}
+	// Self-merge and nil-merge are no-ops.
+	a.Merge(a)
+	a.Merge(nil)
+	if a.Counter("hits") != 5 {
+		t.Fatal("self-merge doubled counters")
+	}
+}
+
+// TestRegistryMergeOrderDeterminism: merging the same shard registries in
+// index order renders identically however the shards were produced.
+func TestRegistryMergeOrderDeterminism(t *testing.T) {
+	build := func() []*Registry {
+		shards := make([]*Registry, 4)
+		for i := range shards {
+			shards[i] = NewRegistry()
+			shards[i].Add("n", float64(i))
+			shards[i].Set("g", float64(i))
+			shards[i].Observe("h_ms", float64(i*i))
+		}
+		return shards
+	}
+	render := func(shards []*Registry) string {
+		merged := NewRegistry()
+		for _, s := range shards {
+			merged.Merge(s)
+		}
+		return merged.Render()
+	}
+	if render(build()) != render(build()) {
+		t.Fatal("index-order merge is not deterministic")
+	}
+}
+
+// TestReservoirHistogramMerge: reservoir histograms keep exact count/sum
+// and the retained union after a merge.
+func TestReservoirHistogramMerge(t *testing.T) {
+	a, b := NewRegistry(), NewRegistry()
+	a.EnableReservoir(8, 1)
+	b.EnableReservoir(8, 2)
+	for i := 0; i < 100; i++ {
+		a.Observe("lat_ms", float64(i))
+		b.Observe("lat_ms", float64(100+i))
+	}
+	a.Merge(b)
+	h := a.Histogram("lat_ms")
+	if h.Count() != 200 {
+		t.Fatalf("merged count = %d, want 200", h.Count())
+	}
+	if h.Retained() != 16 {
+		t.Fatalf("merged retained = %d, want union of both reservoirs (16)", h.Retained())
+	}
+	if h.Min() != 0 || h.Max() != 199 {
+		t.Fatalf("merged min/max = %v/%v, want 0/199", h.Min(), h.Max())
+	}
+}

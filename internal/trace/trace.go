@@ -245,6 +245,65 @@ func (t *Tracer) Dropped() int {
 	return t.dropped
 }
 
+// Merge deep-copies src's span forest into t, appending src's roots (in
+// their creation order) after t's existing roots. Copied spans are
+// renumbered in walk order, so merging per-shard tracers in replication
+// index order yields the same trace no matter how many workers recorded
+// them. Subtrees past t's span cap are dropped and counted, and src's own
+// dropped count carries over. src is never mutated, but it must be
+// quiescent (no spans being opened or finished) while Merge reads it —
+// replication harnesses merge only after their workers have exited.
+// Merging a tracer into itself, or merging nil, is a no-op.
+func (t *Tracer) Merge(src *Tracer) {
+	if t == nil || src == nil || t == src {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	src.mu.Lock()
+	defer src.mu.Unlock()
+	var clone func(s *Span, parent *Span)
+	clone = func(s *Span, parent *Span) {
+		if t.nextID >= t.limit {
+			t.dropped += subtreeSize(s)
+			return
+		}
+		t.nextID++
+		cp := &Span{
+			tracer:    t,
+			id:        t.nextID,
+			Name:      s.Name,
+			Component: s.Component,
+			Start:     s.Start,
+			End:       s.End,
+			Attrs:     append([]Attr(nil), s.Attrs...),
+			Parent:    parent,
+			finished:  true,
+		}
+		if parent != nil {
+			parent.Children = append(parent.Children, cp)
+		} else {
+			t.roots = append(t.roots, cp)
+		}
+		for _, c := range s.Children {
+			clone(c, cp)
+		}
+	}
+	for _, r := range src.roots {
+		clone(r, nil)
+	}
+	t.dropped += src.dropped
+}
+
+// subtreeSize counts a span and all its descendants.
+func subtreeSize(s *Span) int {
+	n := 1
+	for _, c := range s.Children {
+		n += subtreeSize(c)
+	}
+	return n
+}
+
 // Reset discards all recorded spans (the open stack included) but keeps the
 // clock and cap.
 func (t *Tracer) Reset() {

@@ -190,3 +190,77 @@ func TestConcurrentUseIsSafe(t *testing.T) {
 		t.Fatal("no spans recorded")
 	}
 }
+
+// TestTracerMerge: merging per-shard tracers in index order deep-copies
+// their forests after the destination's roots, renumbering spans, without
+// touching the sources.
+func TestTracerMerge(t *testing.T) {
+	shard := func(label string) *Tracer {
+		tr := New(nil)
+		root := tr.StartSpanAt("fleet", "replication", 0, String("shard", label))
+		tr.SpanAt("offload", "decide", 1, 2)
+		root.FinishAt(3)
+		return tr
+	}
+	dst := New(nil)
+	dst.SpanAt("runner", "setup", 0, 1)
+	a, b := shard("a"), shard("b")
+	dst.Merge(a)
+	dst.Merge(b)
+
+	if got := dst.SpanCount(); got != 5 {
+		t.Fatalf("merged span count = %d, want 5", got)
+	}
+	roots := dst.Roots()
+	if len(roots) != 3 {
+		t.Fatalf("merged roots = %d, want 3", len(roots))
+	}
+	if roots[1].Attrs[0].Value != "a" || roots[2].Attrs[0].Value != "b" {
+		t.Fatal("merge did not preserve index order")
+	}
+	if roots[1].Children[0].Name != "decide" {
+		t.Fatal("merge dropped child spans")
+	}
+	// IDs renumbered in walk order.
+	if roots[1].ID() != 2 || roots[2].ID() != 4 {
+		t.Fatalf("merged IDs = %d, %d, want 2, 4", roots[1].ID(), roots[2].ID())
+	}
+	// Sources untouched, self-merge a no-op.
+	if a.SpanCount() != 2 {
+		t.Fatal("merge mutated the source tracer")
+	}
+	dst.Merge(dst)
+	if dst.SpanCount() != 5 {
+		t.Fatal("self-merge duplicated spans")
+	}
+
+	// Deterministic render regardless of how many times the same shards
+	// are rebuilt.
+	again := New(nil)
+	again.SpanAt("runner", "setup", 0, 1)
+	again.Merge(shard("a"))
+	again.Merge(shard("b"))
+	if dst.RenderTree() != again.RenderTree() {
+		t.Fatal("merged render not deterministic")
+	}
+}
+
+// TestTracerMergeRespectsCap: subtrees past the destination cap are
+// dropped and counted.
+func TestTracerMergeRespectsCap(t *testing.T) {
+	src := New(nil)
+	for i := 0; i < 10; i++ {
+		s := src.StartSpanAt("c", "op", 0)
+		src.SpanAt("c", "leaf", 0, 1)
+		s.FinishAt(1)
+	}
+	dst := New(nil)
+	dst.SetSpanLimit(7)
+	dst.Merge(src)
+	if got := dst.SpanCount(); got != 7 {
+		t.Fatalf("span count = %d, want cap 7", got)
+	}
+	if got := dst.Dropped(); got != 13 {
+		t.Fatalf("dropped = %d, want 13", got)
+	}
+}

@@ -42,6 +42,12 @@ func (k SiteKind) String() string {
 }
 
 // Site is one offload destination: compute executors behind a network path.
+//
+// Concurrency: a Site's executor queues are mutable simulation state owned
+// by a single goroutine. Sites may be shared by every vehicle of one fleet
+// (that contention is the point), but never across concurrently-running
+// replications — parallel harnesses build a fresh set of sites per
+// replication (see internal/runner and fleet.New).
 type Site struct {
 	name      string
 	kind      SiteKind
