@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race verify bench clean
+.PHONY: build test vet race verify determinism bench clean
 
 build:
 	$(GO) build ./...
@@ -20,6 +20,17 @@ verify:
 	$(GO) build ./...
 	$(GO) vet ./...
 	$(GO) test -race ./...
+
+# determinism runs the E14 chaos sweep twice with the same seed at
+# different worker-pool sizes and requires byte-identical reports: the
+# sharded runner must not leak scheduling order into results, telemetry,
+# or fault plans.
+determinism:
+	$(GO) build -o /tmp/vdapbench ./cmd/vdapbench
+	/tmp/vdapbench -exp chaos -seed 7 -reps 4 -parallel 1 > /tmp/chaos-p1.txt
+	/tmp/vdapbench -exp chaos -seed 7 -reps 4 -parallel 4 > /tmp/chaos-p4.txt
+	diff -u /tmp/chaos-p1.txt /tmp/chaos-p4.txt
+	@echo "determinism: chaos reports byte-identical across -parallel levels"
 
 bench:
 	$(GO) test -bench=. -benchmem ./...

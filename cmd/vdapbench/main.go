@@ -21,13 +21,13 @@ import (
 
 func main() {
 	var (
-		exp      = flag.String("exp", "all", "experiment: all|table1|fig2|fig3|dsf|elastic|arch|compress|retrain|pbeam|collab|commute|fleet|sweep|hdmap|ddi")
+		exp      = flag.String("exp", "all", "experiment: all|table1|fig2|fig3|dsf|elastic|arch|compress|retrain|pbeam|collab|commute|fleet|sweep|chaos|hdmap|ddi")
 		seed     = flag.Int64("seed", 42, "random seed")
 		duration = flag.Duration("duration", 5*time.Minute, "figure-2 stream duration")
 		dir      = flag.String("dir", "", "DDI scratch directory (default: temp)")
 		traceOut = flag.String("trace", "", "write a Chrome trace_event JSON file (supported by -exp arch and -exp sweep)")
-		reps     = flag.Int("reps", 8, "replications for -exp sweep")
-		parallel = flag.Int("parallel", runtime.GOMAXPROCS(0), "worker-pool size for -exp sweep (output is byte-identical at any level)")
+		reps     = flag.Int("reps", 8, "replications for -exp sweep/chaos")
+		parallel = flag.Int("parallel", runtime.GOMAXPROCS(0), "worker-pool size for -exp sweep/chaos (output is byte-identical at any level)")
 	)
 	flag.Parse()
 	if err := run(*exp, *seed, *duration, *dir, *traceOut, *reps, *parallel); err != nil {
@@ -163,6 +163,24 @@ func run(exp string, seed int64, duration time.Duration, dir, traceOut string, r
 			}
 			return nil
 		},
+		"chaos": func() error {
+			res, err := experiments.RunChaosSweep(experiments.ChaosConfig{
+				Replications: reps,
+				Parallel:     parallel,
+				Seed:         seed,
+			})
+			if err != nil {
+				return err
+			}
+			fmt.Println(experiments.ChaosTable(res))
+			fmt.Printf("merged telemetry (%d cells, %d spans):\n", len(res.Rows), res.Trace.SpanCount())
+			fmt.Print(res.Metrics.Render())
+			if tracer != nil {
+				tracer.Merge(res.Trace)
+				metrics.Merge(res.Metrics)
+			}
+			return nil
+		},
 		"commute": func() error {
 			rows, err := experiments.RunCommute()
 			if err != nil {
@@ -199,7 +217,7 @@ func run(exp string, seed int64, duration time.Duration, dir, traceOut string, r
 	}
 	runSelected := func() error {
 		if exp == "all" {
-			for _, name := range []string{"table1", "fig2", "fig3", "dsf", "elastic", "arch", "compress", "retrain", "pbeam", "collab", "commute", "fleet", "sweep", "hdmap", "ddi"} {
+			for _, name := range []string{"table1", "fig2", "fig3", "dsf", "elastic", "arch", "compress", "retrain", "pbeam", "collab", "commute", "fleet", "sweep", "chaos", "hdmap", "ddi"} {
 				if err := runners[name](); err != nil {
 					return fmt.Errorf("%s: %w", name, err)
 				}

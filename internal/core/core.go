@@ -16,6 +16,7 @@ import (
 	"repro/internal/cloud"
 	"repro/internal/ddi"
 	"repro/internal/edgeos"
+	"repro/internal/faults"
 	"repro/internal/geo"
 	"repro/internal/libvdap"
 	"repro/internal/offload"
@@ -60,6 +61,15 @@ type Config struct {
 	// deterministically-sampled values (exact count/sum/min/max are kept).
 	// Zero keeps all samples.
 	MetricsReservoir int
+	// Resilience, when non-nil, installs the offload resilience policy
+	// (per-site circuit breakers, bounded retry, degradation ladder) on the
+	// offloading engine.
+	Resilience *offload.Policy
+	// Faults, when non-nil, compiles a deterministic fault plan over the
+	// platform's sites from the kernel's RNG, attaches its injector to every
+	// site, schedules outage transitions on the simulation kernel, and routes
+	// link degradation through the offload engine's path adjuster.
+	Faults *faults.PlanConfig
 }
 
 // DefaultConfig returns a sensible single-vehicle scenario: a 20 km
@@ -107,6 +117,7 @@ type Platform struct {
 	metrics  *telemetry.Registry
 	tracer   *trace.Tracer
 	firewall *edgeos.Firewall
+	injector *faults.Injector
 
 	stopCollect func()
 }
@@ -222,6 +233,28 @@ func New(cfg Config) (*Platform, error) {
 	api.AttachTelemetry(metrics)
 	api.AttachTracer(tracer)
 
+	if cfg.Resilience != nil {
+		pol := *cfg.Resilience
+		eng.SetResilience(&pol)
+	}
+	var injector *faults.Injector
+	if cfg.Faults != nil {
+		plan, err := faults.NewPlan(*cfg.Faults, engine.RNG().Fork(), sites)
+		if err != nil {
+			return nil, err
+		}
+		injector, err = faults.NewInjector(plan)
+		if err != nil {
+			return nil, err
+		}
+		injector.Instrument(tracer, metrics)
+		injector.Attach()
+		if err := injector.Schedule(engine); err != nil {
+			return nil, err
+		}
+		eng.SetPathAdjuster(injector.AdjustPath)
+	}
+
 	return &Platform{
 		cfg:      cfg,
 		engine:   engine,
@@ -242,8 +275,13 @@ func New(cfg Config) (*Platform, error) {
 		metrics:  metrics,
 		tracer:   tracer,
 		firewall: edgeos.DefaultVehicleFirewall(),
+		injector: injector,
 	}, nil
 }
+
+// Faults returns the platform's fault injector, nil when no fault plan was
+// configured.
+func (p *Platform) Faults() *faults.Injector { return p.injector }
 
 // Engine returns the simulation kernel.
 func (p *Platform) Engine() *sim.Engine { return p.engine }

@@ -50,6 +50,15 @@ type InvocationResult struct {
 	EnergyJ   float64
 	HungUp    bool
 	Completed time.Duration
+
+	// Resilience outcome (zero values when no policy is installed on the
+	// engine): total execution attempts, the destination actually used when
+	// the chosen one failed, whether the compressed model variant ran, and
+	// whether the service deadline was met.
+	Attempts    int
+	FellBackTo  string
+	Degraded    bool
+	DeadlineMet bool
 }
 
 // ElasticStats aggregates a service's invocation history.
@@ -271,6 +280,15 @@ func (m *ElasticManager) Invoke(name string, now time.Duration) (InvocationResul
 			m.metrics.ObserveDuration("edgeos.invoke_ms", res.Latency)
 			m.metrics.Add("edgeos.pipeline."+res.Pipeline, 1)
 			m.metrics.Observe("edgeos.energy_j", res.EnergyJ)
+			if res.FellBackTo != "" {
+				m.metrics.Add("edgeos.fallbacks", 1)
+			}
+			if res.Degraded {
+				m.metrics.Add("edgeos.degraded", 1)
+			}
+			if res.DeadlineMet {
+				m.metrics.Add("edgeos.deadline_hits", 1)
+			}
 		}
 	}
 	return res, err
@@ -296,17 +314,34 @@ func (m *ElasticManager) invoke(name string, now time.Duration) (InvocationResul
 	if s.state == HungUp {
 		s.state = Running // conditions recovered
 	}
-	done, err := m.engine.Execute(s.DAG, best.Estimate, now)
+	var (
+		done    time.Duration
+		outcome offload.Outcome
+	)
+	if m.engine.Resilience() != nil {
+		var deadline time.Duration
+		if s.Deadline > 0 {
+			deadline = now + s.Deadline
+		}
+		done, outcome, err = m.engine.ExecuteResilient(s.DAG, best.Estimate, now, deadline)
+	} else {
+		done, err = m.engine.Execute(s.DAG, best.Estimate, now)
+		outcome = offload.Outcome{Dest: best.Estimate.Dest, Attempts: 1}
+	}
 	if err != nil {
 		return InvocationResult{}, fmt.Errorf("invoke %s: %w", name, err)
 	}
 	res := InvocationResult{
-		Service:   name,
-		Pipeline:  best.Pipeline.Name,
-		Dest:      best.Estimate.Dest,
-		Latency:   done - now,
-		EnergyJ:   best.Estimate.VehicleEnergyJ,
-		Completed: done,
+		Service:     name,
+		Pipeline:    best.Pipeline.Name,
+		Dest:        outcome.Dest,
+		Latency:     done - now,
+		EnergyJ:     best.Estimate.VehicleEnergyJ,
+		Completed:   done,
+		Attempts:    outcome.Attempts,
+		FellBackTo:  outcome.FellBackTo,
+		Degraded:    outcome.Degraded,
+		DeadlineMet: s.Deadline == 0 || done-now <= s.Deadline,
 	}
 	st.Invocations++
 	st.TotalLatency += res.Latency

@@ -1,0 +1,84 @@
+package experiments
+
+import (
+	"testing"
+)
+
+func smallChaos(parallel int) ChaosConfig {
+	return ChaosConfig{
+		Replications: 3,
+		Parallel:     parallel,
+		Seed:         42,
+		Vehicles:     4,
+		Rounds:       6,
+		Intensities:  []float64{1, 2},
+	}
+}
+
+// TestChaosResilienceBeatsBaseline is E14's headline claim: at every
+// outage intensity, the deadline hit-rate with the resilience policy on
+// strictly exceeds the policy-off baseline — on the identical worlds and
+// fault plans (cells are paired by seed).
+func TestChaosResilienceBeatsBaseline(t *testing.T) {
+	res, err := RunChaosSweep(smallChaos(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 4 {
+		t.Fatalf("rows = %d, want 2 intensities x 2 policies", len(res.Rows))
+	}
+	for i := 0; i < len(res.Rows); i += 2 {
+		off, on := res.Rows[i], res.Rows[i+1]
+		if off.Resilience || !on.Resilience {
+			t.Fatalf("row order broken: %+v %+v", off, on)
+		}
+		if off.Intensity != on.Intensity {
+			t.Fatalf("unpaired intensities: %v vs %v", off.Intensity, on.Intensity)
+		}
+		// Paired worlds: both cells must have compiled the same fault plans.
+		if off.FaultEvents != on.FaultEvents || off.FaultEvents == 0 {
+			t.Fatalf("fault plans differ across policies: %d vs %d", off.FaultEvents, on.FaultEvents)
+		}
+		if off.Failures == 0 {
+			t.Fatalf("intensity %v injected no failures into the baseline", off.Intensity)
+		}
+		if on.HitRate <= off.HitRate {
+			t.Fatalf("intensity %v: resilient hit-rate %.3f not above baseline %.3f",
+				on.Intensity, on.HitRate, off.HitRate)
+		}
+		if on.Fallbacks == 0 {
+			t.Fatalf("intensity %v: policy on but no fallbacks recorded", on.Intensity)
+		}
+	}
+	// The resilience machinery shows up in the merged telemetry.
+	snap := res.Metrics.Snapshot()
+	if snap.Counters["faults.site_down"] == 0 {
+		t.Fatal("no outage telemetry in merged metrics")
+	}
+	if snap.Counters["offload.retries"]+snap.Counters["offload.breaker.skips"]+
+		snap.Counters["offload.fallbacks"] == 0 {
+		t.Fatal("no resilience telemetry in merged metrics")
+	}
+}
+
+// TestChaosDeterministicAcrossParallelism: the merged report (rows and
+// rendered metrics) is byte-identical at any worker-pool size.
+func TestChaosDeterministicAcrossParallelism(t *testing.T) {
+	seq, err := RunChaosSweep(smallChaos(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := RunChaosSweep(smallChaos(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := ChaosTable(par).String(), ChaosTable(seq).String(); got != want {
+		t.Fatalf("tables diverge across parallelism:\n%s\nvs\n%s", got, want)
+	}
+	if got, want := par.Metrics.Render(), seq.Metrics.Render(); got != want {
+		t.Fatal("merged metrics diverge across parallelism")
+	}
+	if par.Trace.SpanCount() != seq.Trace.SpanCount() {
+		t.Fatalf("span counts diverge: %d vs %d", par.Trace.SpanCount(), seq.Trace.SpanCount())
+	}
+}

@@ -15,6 +15,7 @@ import (
 	"time"
 
 	"repro/internal/edgeos"
+	"repro/internal/faults"
 	"repro/internal/geo"
 	"repro/internal/offload"
 	"repro/internal/sim"
@@ -37,6 +38,7 @@ type Fleet struct {
 	road     *geo.Road
 	sites    []*xedge.Site
 	vehicles []*Vehicle
+	injector *faults.Injector
 }
 
 // Config parameterizes New.
@@ -61,6 +63,15 @@ type Config struct {
 	// Service is installed on every vehicle. Nil means the ALPR
 	// kidnapper-search service with a 2 s deadline.
 	Service func() *edgeos.Service
+	// Resilience, when non-nil, installs the offload resilience policy
+	// (retry + circuit breaker + degradation ladder) on every vehicle's
+	// engine.
+	Resilience *offload.Policy
+	// Faults, when non-nil, compiles a deterministic fault plan over the
+	// shared sites from the fleet RNG and attaches its injector: site
+	// outages, link degradation, and transient execution faults. Drive it
+	// with Fleet.Faults().AdvanceTo(now) between rounds.
+	Faults *faults.PlanConfig
 }
 
 func (c Config) withDefaults() Config {
@@ -152,14 +163,40 @@ func New(cfg Config) (*Fleet, error) {
 		if err := mgr.Register(cfg.Service()); err != nil {
 			return nil, err
 		}
+		if cfg.Resilience != nil {
+			pol := *cfg.Resilience
+			eng.SetResilience(&pol)
+		}
 		f.vehicles = append(f.vehicles, &Vehicle{
 			Name:    fmt.Sprintf("cav-%d", i),
 			Engine:  eng,
 			Manager: mgr,
 		})
 	}
+	if cfg.Faults != nil {
+		// The plan is compiled after all vehicle draws so the fault stream
+		// forks from a fixed point of the fleet RNG — policy on/off fleets
+		// built from equal seeds see identical worlds and identical faults.
+		plan, err := faults.NewPlan(*cfg.Faults, rng.Fork(), f.sites)
+		if err != nil {
+			return nil, err
+		}
+		inj, err := faults.NewInjector(plan)
+		if err != nil {
+			return nil, err
+		}
+		inj.Attach()
+		for _, v := range f.vehicles {
+			v.Engine.SetPathAdjuster(inj.AdjustPath)
+		}
+		f.injector = inj
+	}
 	return f, nil
 }
+
+// Faults returns the fleet's fault injector, nil when no fault plan was
+// configured.
+func (f *Fleet) Faults() *faults.Injector { return f.injector }
 
 // Vehicles returns fleet members in order.
 func (f *Fleet) Vehicles() []*Vehicle {
@@ -180,6 +217,9 @@ func (f *Fleet) Instrument(tr *trace.Tracer, reg *telemetry.Registry) {
 		v.Engine.Instrument(tr, reg)
 		v.Manager.Instrument(tr, reg)
 	}
+	if f.injector != nil {
+		f.injector.Instrument(tr, reg)
+	}
 }
 
 // RoundResult aggregates one invocation round across the fleet.
@@ -191,17 +231,48 @@ type RoundResult struct {
 	// OffloadShare is the fraction of completed invocations that left the
 	// vehicle.
 	OffloadShare float64
+	// Failures counts vehicles whose invocation errored outright (only
+	// possible under fault injection; InvokeAllTolerant records these
+	// instead of aborting the round).
+	Failures int
+	// DeadlineHits counts completed invocations that met the service
+	// deadline; Fallbacks and Degraded count resilience-ladder outcomes.
+	DeadlineHits int
+	Fallbacks    int
+	Degraded     int
 }
 
 // InvokeAll runs one invocation of the named service on every vehicle at
-// virtual time now. All vehicles contend for the same shared sites.
+// virtual time now. All vehicles contend for the same shared sites. The
+// round aborts on the first invocation error; under fault injection use
+// InvokeAllTolerant instead.
 func (f *Fleet) InvokeAll(service string, now time.Duration) (RoundResult, error) {
+	return f.invokeAll(service, now, false)
+}
+
+// InvokeAllTolerant is InvokeAll for faulted worlds: a vehicle whose
+// invocation errors (e.g. its chosen site dropped mid-submit and no
+// resilience policy is installed) is counted in Failures and the round
+// continues, so policy-on and policy-off runs stay comparable.
+func (f *Fleet) InvokeAllTolerant(service string, now time.Duration) (RoundResult, error) {
+	return f.invokeAll(service, now, true)
+}
+
+func (f *Fleet) invokeAll(service string, now time.Duration, tolerant bool) (RoundResult, error) {
+	if f.injector != nil {
+		f.injector.AdvanceTo(now)
+	}
 	var rr RoundResult
 	offloaded := 0
 	for _, v := range f.vehicles {
 		res, err := v.Manager.Invoke(service, now)
 		if err != nil {
-			return rr, fmt.Errorf("%s: %w", v.Name, err)
+			if !tolerant {
+				return rr, fmt.Errorf("%s: %w", v.Name, err)
+			}
+			rr.Invocations++
+			rr.Failures++
+			continue
 		}
 		rr.Invocations++
 		if res.HungUp {
@@ -215,8 +286,17 @@ func (f *Fleet) InvokeAll(service string, now time.Duration) (RoundResult, error
 		if res.Dest != offload.OnboardName {
 			offloaded++
 		}
+		if res.DeadlineMet {
+			rr.DeadlineHits++
+		}
+		if res.FellBackTo != "" {
+			rr.Fallbacks++
+		}
+		if res.Degraded {
+			rr.Degraded++
+		}
 	}
-	if done := rr.Invocations - rr.HangUps; done > 0 {
+	if done := rr.Invocations - rr.HangUps - rr.Failures; done > 0 {
 		rr.OffloadShare = float64(offloaded) / float64(done)
 	}
 	return rr, nil
@@ -224,8 +304,8 @@ func (f *Fleet) InvokeAll(service string, now time.Duration) (RoundResult, error
 
 // Mean returns the average completed-invocation latency of a round.
 func (r RoundResult) Mean() time.Duration {
-	done := r.Invocations - r.HangUps
-	if done == 0 {
+	done := r.Invocations - r.HangUps - r.Failures
+	if done <= 0 {
 		return 0
 	}
 	return r.Total / time.Duration(done)

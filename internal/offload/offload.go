@@ -82,7 +82,28 @@ type Engine struct {
 	tracer  *trace.Tracer
 	metrics *telemetry.Registry
 	meter   *network.Meter
+
+	// pathAdjust, when set, layers externally-injected link conditions
+	// (fault windows, chaos schedules) onto every access path after the
+	// mobility adjustment. See SetPathAdjuster.
+	pathAdjust PathAdjuster
+
+	// policy, when non-nil, enables the resilient execution path:
+	// per-site circuit breakers, retry with backoff, and fallback. See
+	// SetResilience and ExecuteResilient in resilience.go.
+	policy   *Policy
+	breakers map[string]*Breaker
 }
+
+// PathAdjuster rewrites the access path toward a destination as of
+// virtual time now (e.g. a fault injector degrading a link during a
+// scheduled window). Implementations must not mutate the input path.
+type PathAdjuster func(dest string, p network.Path, now time.Duration) network.Path
+
+// SetPathAdjuster installs adj as the engine's link-condition hook (nil
+// removes it). The adjuster runs on both the estimation and execution
+// paths, after the mobility loss adjustment.
+func (e *Engine) SetPathAdjuster(adj PathAdjuster) { e.pathAdjust = adj }
 
 // Instrument attaches a tracer and metrics registry (either may be nil).
 // Estimation, decisions, and executions then emit `offload`, `network`,
@@ -200,6 +221,17 @@ func (e *Engine) mobilityAdjustedPath(p network.Path) network.Path {
 	return adj
 }
 
+// adjustedPath is the access path toward site as the vehicle experiences
+// it at virtual time now: mobility-degraded cellular loss plus any
+// externally-injected link conditions.
+func (e *Engine) adjustedPath(site *xedge.Site, now time.Duration) network.Path {
+	p := e.mobilityAdjustedPath(site.Access())
+	if e.pathAdjust != nil {
+		p = e.pathAdjust(site.Name(), p, now)
+	}
+	return p
+}
+
 // EstimateOnboard predicts full local execution via the DSF plan.
 func (e *Engine) EstimateOnboard(dag *tasks.DAG, now time.Duration) Estimate {
 	span := e.tracer.StartSpanAt("offload", "offload.estimate", now,
@@ -271,7 +303,7 @@ func (e *Engine) EstimateSite(dag *tasks.DAG, site *xedge.Site, splitAfter int, 
 	// Uplink: ship the remote portion's external input — root inputs of
 	// remote tasks plus intermediate outputs crossing the cut.
 	upBytes := crossingBytes(dag, local, remote)
-	path := e.mobilityAdjustedPath(site.Access())
+	path := e.adjustedPath(site, now)
 	up, err := path.TransferTime(upBytes, network.Uplink)
 	if err != nil {
 		est.Reason = err.Error()
@@ -447,6 +479,15 @@ func (e *Engine) Execute(dag *tasks.DAG, est Estimate, now time.Duration) (time.
 	if err != nil {
 		span.SetAttr(trace.String("error", err.Error()))
 		span.FinishAt(now)
+		// The failure mirror of offload.executions / offload.execution.<kind>:
+		// per-destination failure counters feed the resilience policy's
+		// evaluation and the chaos experiments.
+		if e.metrics != nil {
+			e.metrics.Add("offload.failures", 1)
+			if est.Dest != "" {
+				e.metrics.Add("offload.failure."+est.Dest, 1)
+			}
+		}
 		return done, err
 	}
 	span.FinishAt(done)
@@ -500,7 +541,7 @@ func (e *Engine) execute(dag *tasks.DAG, est Estimate, now time.Duration) (time.
 		}
 		now += plan.Makespan
 	}
-	path := e.mobilityAdjustedPath(site.Access())
+	path := e.adjustedPath(site, now)
 	e.tracer.SpanAt("network", "network.uplink", now, now+est.Uplink,
 		trace.String("path", path.Name), trace.F64("bytes", est.BytesSent),
 		trace.F64("loss", network.WorstLoss(path)))

@@ -1,0 +1,364 @@
+package offload
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/tasks"
+	"repro/internal/trace"
+	"repro/internal/xedge"
+)
+
+// Policy configures the engine's resilient execution path (paper §III,
+// §IV-C: services must keep meeting deadlines when RSUs vanish behind the
+// vehicle, links degrade at speed, and edge servers fail). Zero fields
+// take the defaults documented per knob; DefaultPolicy returns the tuned
+// baseline used by the E14 chaos sweep.
+type Policy struct {
+	// MaxAttempts bounds tries per destination, first attempt included
+	// (default 3).
+	MaxAttempts int
+	// BackoffBase is the wait before the first retry (default 50ms). The
+	// wait grows by BackoffFactor per retry (default 2.0), capped at
+	// BackoffMax (default 800ms). Backoff is deterministic — no jitter —
+	// and is charged against the caller's deadline in virtual time.
+	BackoffBase   time.Duration
+	BackoffFactor float64
+	BackoffMax    time.Duration
+	// BreakerThreshold consecutive failures open a destination's circuit
+	// breaker (default 3); BreakerCooldown is the open interval before a
+	// half-open probe (default 2s). Breakers are timed on the virtual
+	// clock.
+	BreakerThreshold int
+	BreakerCooldown  time.Duration
+	// DegradeFactor, in (0, 1), enables the last rung of the graceful
+	// degradation ladder: when even on-board execution would miss the
+	// deadline, run a compressed model variant with GFLOP and I/O bytes
+	// scaled by this factor (0 disables; DefaultPolicy uses 0.5).
+	DegradeFactor float64
+}
+
+// DefaultPolicy returns the baseline resilience configuration.
+func DefaultPolicy() Policy {
+	return Policy{
+		MaxAttempts:      3,
+		BackoffBase:      50 * time.Millisecond,
+		BackoffFactor:    2,
+		BackoffMax:       800 * time.Millisecond,
+		BreakerThreshold: 3,
+		BreakerCooldown:  2 * time.Second,
+		DegradeFactor:    0.5,
+	}
+}
+
+func (p Policy) withDefaults() Policy {
+	if p.MaxAttempts <= 0 {
+		p.MaxAttempts = 3
+	}
+	if p.BackoffBase <= 0 {
+		p.BackoffBase = 50 * time.Millisecond
+	}
+	if p.BackoffFactor < 1 {
+		p.BackoffFactor = 2
+	}
+	if p.BackoffMax <= 0 {
+		p.BackoffMax = 800 * time.Millisecond
+	}
+	if p.BreakerThreshold <= 0 {
+		p.BreakerThreshold = 3
+	}
+	if p.BreakerCooldown <= 0 {
+		p.BreakerCooldown = 2 * time.Second
+	}
+	return p
+}
+
+// backoff returns the deterministic wait after the attempt-th failed try.
+func (p Policy) backoff(attempt int) time.Duration {
+	d := float64(p.BackoffBase)
+	for i := 1; i < attempt; i++ {
+		d *= p.BackoffFactor
+		if d >= float64(p.BackoffMax) {
+			return p.BackoffMax
+		}
+	}
+	if d > float64(p.BackoffMax) {
+		d = float64(p.BackoffMax)
+	}
+	return time.Duration(d)
+}
+
+// Outcome records how a resilient execution concluded.
+type Outcome struct {
+	// Dest is the destination that ultimately completed the DAG ("" when
+	// execution was exhausted without success).
+	Dest string `json:"dest"`
+	// Attempts counts Execute calls made, across all destinations.
+	Attempts int `json:"attempts"`
+	// Retries counts backoff waits taken (attempts beyond the first per
+	// destination).
+	Retries int `json:"retries"`
+	// Fallbacks counts destination switches; FellBackTo names the final
+	// destination when it differs from the chosen one.
+	Fallbacks  int    `json:"fallbacks"`
+	FellBackTo string `json:"fellBackTo,omitempty"`
+	// Degraded reports that the compressed model variant ran.
+	Degraded bool `json:"degraded"`
+	// BreakerSkips counts destinations skipped because their circuit
+	// breaker rejected traffic.
+	BreakerSkips int `json:"breakerSkips"`
+	// DeadlineMet is true when the work completed by the caller's
+	// absolute deadline (always true when no deadline was given).
+	DeadlineMet bool `json:"deadlineMet"`
+}
+
+// SetResilience enables the resilient execution path with a copy of pol
+// (see ExecuteResilient); nil disables it and discards breaker state.
+func (e *Engine) SetResilience(pol *Policy) {
+	if pol == nil {
+		e.policy = nil
+		e.breakers = nil
+		return
+	}
+	p := pol.withDefaults()
+	e.policy = &p
+	e.breakers = make(map[string]*Breaker)
+}
+
+// Resilience returns the active policy (nil when disabled).
+func (e *Engine) Resilience() *Policy { return e.policy }
+
+// BreakerState reports the circuit breaker state for a destination as of
+// virtual time now. The boolean is false when no breaker exists yet (no
+// traffic, or resilience disabled).
+func (e *Engine) BreakerState(dest string, now time.Duration) (BreakerState, bool) {
+	b, ok := e.breakers[dest]
+	if !ok {
+		return BreakerClosed, false
+	}
+	return b.State(now), true
+}
+
+// breakerFor returns (creating if needed) the breaker guarding dest.
+func (e *Engine) breakerFor(dest string) *Breaker {
+	b, ok := e.breakers[dest]
+	if !ok {
+		b = NewBreaker(e.policy.BreakerThreshold, e.policy.BreakerCooldown)
+		e.breakers[dest] = b
+	}
+	return b
+}
+
+// DegradedDAG returns a compressed-model variant of dag: every task's
+// GFLOP and I/O bytes scaled by factor (the pruning/quantization latency
+// model of §IV-E). The input DAG is not mutated.
+func DegradedDAG(dag *tasks.DAG, factor float64) *tasks.DAG {
+	out := &tasks.DAG{Name: dag.Name + "-degraded", Tasks: make([]*tasks.Task, 0, len(dag.Tasks))}
+	for _, t := range dag.Tasks {
+		cp := *t
+		cp.GFLOP *= factor
+		cp.InputBytes *= factor
+		cp.OutputBytes *= factor
+		cp.Deps = append([]string(nil), t.Deps...)
+		out.Tasks = append(out.Tasks, &cp)
+	}
+	return out
+}
+
+// siteByName resolves a destination to its registered site.
+func (e *Engine) siteByName(name string) *xedge.Site {
+	for _, s := range e.sites {
+		if s.Name() == name {
+			return s
+		}
+	}
+	return nil
+}
+
+// ExecuteResilient commits the chosen estimate under the engine's
+// resilience policy: failed remote executions are retried with
+// deterministic exponential backoff (charged against the absolute
+// virtual-time deadline; 0 means none), destinations whose breaker is
+// open are skipped, and when a destination is exhausted the engine walks
+// the graceful-degradation ladder — next-best feasible estimate, then
+// on-board DSF execution, optionally on a compressed model variant. It
+// returns the realized completion time plus an Outcome record. With no
+// policy installed it behaves exactly like Execute (one attempt, no
+// fallback).
+func (e *Engine) ExecuteResilient(dag *tasks.DAG, est Estimate, now, deadline time.Duration) (time.Duration, Outcome, error) {
+	if e.policy == nil {
+		done, err := e.Execute(dag, est, now)
+		out := Outcome{Attempts: 1}
+		if err == nil {
+			out.Dest = est.Dest
+			out.DeadlineMet = deadline <= 0 || done <= deadline
+		}
+		return done, out, err
+	}
+	pol := *e.policy
+	span := e.tracer.StartSpanAt("offload", "offload.resilient", now,
+		trace.String("chosen", est.Dest))
+	if dag != nil {
+		span.SetAttr(trace.String("dag", dag.Name))
+	}
+	if deadline > 0 {
+		span.SetAttr(trace.Dur("deadline", deadline-now))
+	}
+	out := Outcome{}
+	finishSpan := func(end time.Duration, err error) {
+		span.SetAttr(trace.Int("attempts", out.Attempts),
+			trace.Int("fallbacks", out.Fallbacks),
+			trace.Int("breaker_skips", out.BreakerSkips),
+			trace.Bool("degraded", out.Degraded),
+			trace.String("dest", out.Dest))
+		if err != nil {
+			span.SetAttr(trace.String("error", err.Error()))
+		}
+		span.FinishAt(end)
+	}
+
+	t := now
+	tried := map[string]bool{}
+	cand := est
+	// Remote rungs: the chosen site, then next-best re-estimates.
+	for hop := 0; hop <= len(e.sites) && cand.Dest != OnboardName; hop++ {
+		tried[cand.Dest] = true
+		done, ok := e.tryRemote(dag, cand, &t, deadline, &out, pol)
+		if ok {
+			out.Dest = cand.Dest
+			if cand.Dest != est.Dest {
+				out.FellBackTo = cand.Dest
+			}
+			out.DeadlineMet = deadline <= 0 || done <= deadline
+			e.recordResilient(out, true)
+			finishSpan(done, nil)
+			return done, out, nil
+		}
+		next, found := e.nextRemote(dag, t, tried)
+		if !found {
+			break
+		}
+		out.Fallbacks++
+		cand = next
+	}
+
+	// Final rung: on-board DSF, degraded when the deadline demands it.
+	runDag := dag
+	ob := e.EstimateOnboard(dag, t)
+	if ob.Feasible && deadline > 0 && t+ob.Total > deadline &&
+		pol.DegradeFactor > 0 && pol.DegradeFactor < 1 {
+		dd := DegradedDAG(dag, pol.DegradeFactor)
+		if alt := e.EstimateOnboard(dd, t); alt.Feasible {
+			runDag, ob = dd, alt
+			out.Degraded = true
+			if e.metrics != nil {
+				e.metrics.Add("offload.degraded", 1)
+			}
+		}
+	}
+	if ob.Feasible {
+		out.Attempts++
+		done, err := e.Execute(runDag, ob, t)
+		if err == nil {
+			out.Dest = OnboardName
+			if est.Dest != OnboardName {
+				out.FellBackTo = OnboardName
+				out.Fallbacks++
+			}
+			out.DeadlineMet = deadline <= 0 || done <= deadline
+			e.recordResilient(out, true)
+			finishSpan(done, nil)
+			return done, out, nil
+		}
+	}
+	err := fmt.Errorf("offload: resilient execution exhausted for %s after %d attempts",
+		dag.Name, out.Attempts)
+	e.recordResilient(out, false)
+	finishSpan(t, err)
+	return 0, out, err
+}
+
+// tryRemote runs the bounded retry loop for one remote candidate,
+// advancing *t by each backoff. It reports success with the completion
+// time; on false the candidate is exhausted (failures, breaker, deadline,
+// or lost feasibility).
+func (e *Engine) tryRemote(dag *tasks.DAG, cand Estimate, t *time.Duration, deadline time.Duration, out *Outcome, pol Policy) (time.Duration, bool) {
+	site := e.siteByName(cand.Dest)
+	if site == nil {
+		return 0, false
+	}
+	br := e.breakerFor(cand.Dest)
+	for attempt := 1; attempt <= pol.MaxAttempts; attempt++ {
+		if !br.Allow(*t) {
+			out.BreakerSkips++
+			if e.metrics != nil {
+				e.metrics.Add("offload.breaker.skips", 1)
+				e.metrics.Add("offload.breaker.skip."+cand.Dest, 1)
+			}
+			return 0, false
+		}
+		out.Attempts++
+		opensBefore := br.Opens()
+		done, err := e.Execute(dag, cand, *t)
+		if err == nil {
+			br.RecordSuccess(*t)
+			return done, true
+		}
+		br.RecordFailure(*t)
+		if e.metrics != nil && br.Opens() > opensBefore {
+			e.metrics.Add("offload.breaker.opened", 1)
+			e.metrics.Add("offload.breaker.open."+cand.Dest, 1)
+		}
+		if attempt == pol.MaxAttempts {
+			return 0, false
+		}
+		wait := pol.backoff(attempt)
+		*t += wait
+		out.Retries++
+		if e.metrics != nil {
+			e.metrics.Add("offload.retries", 1)
+			e.metrics.ObserveDuration("offload.backoff_ms", wait)
+		}
+		if deadline > 0 && *t >= deadline {
+			return 0, false
+		}
+		// Conditions moved during the backoff (coverage, queues, faults):
+		// refresh the estimate; an infeasible refresh ends this rung.
+		fresh := e.EstimateSite(dag, site, cand.SplitAfter, *t)
+		if !fresh.Feasible {
+			return 0, false
+		}
+		cand = fresh
+	}
+	return 0, false
+}
+
+// nextRemote picks the best feasible remote destination not yet tried.
+func (e *Engine) nextRemote(dag *tasks.DAG, t time.Duration, tried map[string]bool) (Estimate, bool) {
+	ests, err := e.Estimates(dag, t)
+	if err != nil {
+		return Estimate{}, false
+	}
+	for _, cand := range ests {
+		if !cand.Feasible || cand.Dest == OnboardName || tried[cand.Dest] {
+			continue
+		}
+		return cand, true
+	}
+	return Estimate{}, false
+}
+
+// recordResilient emits the outcome-level resilience metrics.
+func (e *Engine) recordResilient(out Outcome, ok bool) {
+	if e.metrics == nil {
+		return
+	}
+	if ok {
+		e.metrics.Add("offload.resilient.success", 1)
+	} else {
+		e.metrics.Add("offload.resilient.exhausted", 1)
+	}
+	if out.Fallbacks > 0 {
+		e.metrics.Add("offload.fallbacks", float64(out.Fallbacks))
+	}
+}

@@ -55,7 +55,14 @@ type Site struct {
 	access    network.Path
 	execs     []*hardware.Executor
 	available bool
+	faultFn   FaultFunc
 }
+
+// FaultFunc inspects a submission at virtual time now and returns a
+// non-nil error to inject a failure (transient outage windows, chaos
+// schedules). Estimates are deliberately not consulted: an injected fault
+// is a surprise the offloading layer discovers at execution time.
+type FaultFunc func(now time.Duration) error
 
 // New assembles a site from processors and an access path.
 func New(name string, kind SiteKind, station geo.Station, access network.Path, procs ...*hardware.Processor) (*Site, error) {
@@ -164,8 +171,14 @@ func (s *Site) Access() network.Path { return s.access }
 func (s *Site) Station() geo.Station { return s.station }
 
 // SetAvailable marks the site up or down (maintenance, backhaul cut). An
-// unavailable site is unreachable from everywhere.
+// unavailable site is unreachable from everywhere and rejects direct
+// submissions and estimates.
 func (s *Site) SetAvailable(up bool) { s.available = up }
+
+// SetFaultInjector installs fn as the site's submission-time fault hook
+// (nil removes it). When fn returns an error, Submit fails without
+// reserving an executor.
+func (s *Site) SetFaultInjector(fn FaultFunc) { s.faultFn = fn }
 
 // Available reports whether the site is serving.
 func (s *Site) Available() bool { return s.available }
@@ -181,8 +194,14 @@ func (s *Site) Reachable(p geo.Point) bool {
 	return s.station.Covers(p)
 }
 
-// bestExec picks the executor with the earliest finish for the work.
+// bestExec picks the executor with the earliest finish for the work. A
+// site marked down via SetAvailable rejects work outright: Reachable is
+// only consulted on the estimation path, so without this check a direct
+// submit to a down site would silently succeed.
 func (s *Site) bestExec(now time.Duration, class hardware.Class, gflop float64) (*hardware.Executor, time.Duration, error) {
+	if !s.available {
+		return nil, 0, fmt.Errorf("xedge: site %s is unavailable", s.name)
+	}
 	var best *hardware.Executor
 	var bestFinish time.Duration
 	for _, e := range s.execs {
@@ -206,11 +225,17 @@ func (s *Site) EstimateExec(now time.Duration, class hardware.Class, gflop float
 	return finish, err
 }
 
-// Submit reserves the best executor for the work.
+// Submit reserves the best executor for the work. Injected faults (see
+// SetFaultInjector) fail the submission before any reservation is made.
 func (s *Site) Submit(now time.Duration, class hardware.Class, gflop float64) (start, finish time.Duration, err error) {
 	exec, _, err := s.bestExec(now, class, gflop)
 	if err != nil {
 		return 0, 0, err
+	}
+	if s.faultFn != nil {
+		if err := s.faultFn(now); err != nil {
+			return 0, 0, fmt.Errorf("xedge: site %s: %w", s.name, err)
+		}
 	}
 	return exec.Submit(now, class, gflop)
 }

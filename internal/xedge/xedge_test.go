@@ -1,6 +1,7 @@
 package xedge
 
 import (
+	"fmt"
 	"testing"
 	"time"
 
@@ -196,5 +197,67 @@ func TestNewBaseStationEdge(t *testing.T) {
 	}
 	if !s.Reachable(geo.Point{X: 1500}) || s.Reachable(geo.Point{X: 5000}) {
 		t.Fatal("coverage wrong")
+	}
+}
+
+// TestUnavailableSiteRejectsSubmit is the regression test for the
+// available-flag gap: Submit, EstimateExec, and Preload previously
+// succeeded against a site marked down via SetAvailable(false), because
+// only Reachable consulted the flag.
+func TestUnavailableSiteRejectsSubmit(t *testing.T) {
+	s, err := NewRSU(rsuStation())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.SetAvailable(false)
+	if _, _, err := s.Submit(0, hardware.DNNInference, 10); err == nil {
+		t.Fatal("submit to down site succeeded")
+	}
+	if _, err := s.EstimateExec(0, hardware.DNNInference, 10); err == nil {
+		t.Fatal("estimate on down site succeeded")
+	}
+	if err := s.Preload(1, hardware.DNNInference, 10); err == nil {
+		t.Fatal("preload of down site succeeded")
+	}
+	s.SetAvailable(true)
+	start, finish, err := s.Submit(time.Second, hardware.DNNInference, 10)
+	if err != nil {
+		t.Fatalf("submit after recovery: %v", err)
+	}
+	if finish <= start {
+		t.Fatalf("bad reservation [%v, %v]", start, finish)
+	}
+}
+
+// TestFaultInjectorGatesSubmit: an installed FaultFunc fails submissions
+// without reserving executor time; removing it restores service.
+func TestFaultInjectorGatesSubmit(t *testing.T) {
+	s, err := NewRSU(rsuStation())
+	if err != nil {
+		t.Fatal(err)
+	}
+	calls := 0
+	s.SetFaultInjector(func(now time.Duration) error {
+		calls++
+		if now < time.Second {
+			return fmt.Errorf("injected fault at %v", now)
+		}
+		return nil
+	})
+	if _, _, err := s.Submit(0, hardware.DNNInference, 10); err == nil {
+		t.Fatal("submit during fault window succeeded")
+	}
+	if u := s.Utilization(time.Second); u != 0 {
+		t.Fatalf("failed submit reserved executor time (util %v)", u)
+	}
+	if _, _, err := s.Submit(2*time.Second, hardware.DNNInference, 10); err != nil {
+		t.Fatalf("submit past fault window: %v", err)
+	}
+	if calls != 2 {
+		t.Fatalf("fault hook called %d times, want 2", calls)
+	}
+	s.SetFaultInjector(nil)
+	if _, _, err := s.Submit(0, hardware.DNNInference, 10); err != nil {
+		t.Fatalf("submit after removing hook: %v", err)
 	}
 }
