@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race verify determinism bench clean
+.PHONY: build test vet race verify determinism bench microbench clean
 
 build:
 	$(GO) build ./...
@@ -32,7 +32,14 @@ determinism:
 	diff -u /tmp/chaos-p1.txt /tmp/chaos-p4.txt
 	@echo "determinism: chaos reports byte-identical across -parallel levels"
 
+# bench runs the tracked E15 hot-path suite and refreshes BENCH_PERF.json
+# (schema openvdap.bench_perf/v1) — one point in the repo's performance
+# trajectory. For the raw per-package microbenchmarks use `make microbench`.
 bench:
+	$(GO) build -o /tmp/vdapbench ./cmd/vdapbench
+	/tmp/vdapbench -exp perf -benchout BENCH_PERF.json
+
+microbench:
 	$(GO) test -bench=. -benchmem ./...
 
 clean:

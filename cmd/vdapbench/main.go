@@ -12,6 +12,7 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"runtime/pprof"
 	"time"
 
 	"repro/internal/experiments"
@@ -21,22 +22,51 @@ import (
 
 func main() {
 	var (
-		exp      = flag.String("exp", "all", "experiment: all|table1|fig2|fig3|dsf|elastic|arch|compress|retrain|pbeam|collab|commute|fleet|sweep|chaos|hdmap|ddi")
-		seed     = flag.Int64("seed", 42, "random seed")
-		duration = flag.Duration("duration", 5*time.Minute, "figure-2 stream duration")
-		dir      = flag.String("dir", "", "DDI scratch directory (default: temp)")
-		traceOut = flag.String("trace", "", "write a Chrome trace_event JSON file (supported by -exp arch and -exp sweep)")
-		reps     = flag.Int("reps", 8, "replications for -exp sweep/chaos")
-		parallel = flag.Int("parallel", runtime.GOMAXPROCS(0), "worker-pool size for -exp sweep/chaos (output is byte-identical at any level)")
+		exp        = flag.String("exp", "all", "experiment: all|table1|fig2|fig3|dsf|elastic|arch|compress|retrain|pbeam|collab|commute|fleet|sweep|chaos|hdmap|ddi|perf")
+		seed       = flag.Int64("seed", 42, "random seed")
+		duration   = flag.Duration("duration", 5*time.Minute, "figure-2 stream duration")
+		dir        = flag.String("dir", "", "DDI scratch directory (default: temp)")
+		traceOut   = flag.String("trace", "", "write a Chrome trace_event JSON file (supported by -exp arch and -exp sweep)")
+		reps       = flag.Int("reps", 8, "replications for -exp sweep/chaos")
+		parallel   = flag.Int("parallel", runtime.GOMAXPROCS(0), "worker-pool size for -exp sweep/chaos (output is byte-identical at any level)")
+		benchOut   = flag.String("benchout", "BENCH_PERF.json", "output path for the -exp perf report")
+		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProfile = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	flag.Parse()
-	if err := run(*exp, *seed, *duration, *dir, *traceOut, *reps, *parallel); err != nil {
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "vdapbench:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "vdapbench:", err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if err := run(*exp, *seed, *duration, *dir, *traceOut, *benchOut, *reps, *parallel); err != nil {
 		fmt.Fprintln(os.Stderr, "vdapbench:", err)
 		os.Exit(1)
 	}
+	if *memProfile != "" {
+		f, err := os.Create(*memProfile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "vdapbench:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "vdapbench:", err)
+			os.Exit(1)
+		}
+	}
 }
 
-func run(exp string, seed int64, duration time.Duration, dir, traceOut string, reps, parallel int) error {
+func run(exp string, seed int64, duration time.Duration, dir, traceOut, benchOut string, reps, parallel int) error {
 	// With -trace, instrument-aware experiments report spans and metrics;
 	// virtual-time determinism makes the file byte-identical per seed.
 	var tracer *trace.Tracer
@@ -195,6 +225,25 @@ func run(exp string, seed int64, duration time.Duration, dir, traceOut string, r
 				return err
 			}
 			fmt.Println(experiments.HDMapTable(rows))
+			return nil
+		},
+		// perf is deliberately not part of -exp all: it is a meta-benchmark
+		// of the platform itself (E15), not a paper figure, and its wall
+		// times are machine-dependent.
+		"perf": func() error {
+			rep, err := experiments.RunPerf()
+			if err != nil {
+				return err
+			}
+			fmt.Println(experiments.PerfTable(rep))
+			out, err := rep.Marshal()
+			if err != nil {
+				return err
+			}
+			if err := os.WriteFile(benchOut, out, 0o644); err != nil {
+				return err
+			}
+			fmt.Fprintf(os.Stderr, "vdapbench: wrote %s (%s)\n", benchOut, experiments.PerfSchema)
 			return nil
 		},
 		"ddi": func() error {

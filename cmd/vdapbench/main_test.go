@@ -16,7 +16,7 @@ func TestRunEachExperiment(t *testing.T) {
 	for _, exp := range fast {
 		exp := exp
 		t.Run(exp, func(t *testing.T) {
-			if err := run(exp, 7, 4*time.Second, t.TempDir(), "", 4, 2); err != nil {
+			if err := run(exp, 7, 4*time.Second, t.TempDir(), "", "", 4, 2); err != nil {
 				t.Fatalf("run(%s): %v", exp, err)
 			}
 		})
@@ -24,13 +24,13 @@ func TestRunEachExperiment(t *testing.T) {
 }
 
 func TestRunFig2Short(t *testing.T) {
-	if err := run("fig2", 7, 4*time.Second, "", "", 4, 2); err != nil {
+	if err := run("fig2", 7, 4*time.Second, "", "", "", 4, 2); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunDDI(t *testing.T) {
-	if err := run("ddi", 7, time.Second, t.TempDir(), "", 4, 2); err != nil {
+	if err := run("ddi", 7, time.Second, t.TempDir(), "", "", 4, 2); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -68,7 +68,7 @@ func captureStdout(t *testing.T, f func() error) []byte {
 func TestRunSweepDeterministicAcrossParallel(t *testing.T) {
 	at := func(parallel int) []byte {
 		return captureStdout(t, func() error {
-			return run("sweep", 42, time.Second, "", "", 8, parallel)
+			return run("sweep", 42, time.Second, "", "", "", 8, parallel)
 		})
 	}
 	serial := at(1)
@@ -90,7 +90,7 @@ func TestRunArchTraced(t *testing.T) {
 	once := func() []byte {
 		t.Helper()
 		out := filepath.Join(t.TempDir(), "out.json")
-		if err := run("arch", 7, time.Second, "", out, 4, 2); err != nil {
+		if err := run("arch", 7, time.Second, "", out, "", 4, 2); err != nil {
 			t.Fatal(err)
 		}
 		data, err := os.ReadFile(out)
@@ -129,7 +129,7 @@ func TestRunArchTraced(t *testing.T) {
 }
 
 func TestRunUnknownExperiment(t *testing.T) {
-	if err := run("warp-drive", 1, time.Second, "", "", 4, 2); err == nil {
+	if err := run("warp-drive", 1, time.Second, "", "", "", 4, 2); err == nil {
 		t.Fatal("unknown experiment accepted")
 	}
 }

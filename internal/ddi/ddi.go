@@ -35,6 +35,21 @@ type DDI struct {
 
 	tracer  *trace.Tracer
 	metrics *telemetry.Registry
+	m       ddiMetrics
+}
+
+// ddiMetrics holds the DDI's interned metric handles, resolved once in
+// Instrument. All handles are nil-safe, so an uninstrumented DDI emits
+// through them for free.
+type ddiMetrics struct {
+	collections      *telemetry.Counter
+	recordsCollected *telemetry.Counter
+	uploads          *telemetry.Counter
+	bytesStored      *telemetry.Counter
+	downloads        *telemetry.Counter
+	diskReads        *telemetry.Counter
+	readMS           *telemetry.HistogramHandle
+	diskReadMS       *telemetry.HistogramHandle
 }
 
 // Instrument attaches a tracer and metrics registry (either may be nil).
@@ -44,6 +59,16 @@ func (d *DDI) Instrument(tr *trace.Tracer, reg *telemetry.Registry) {
 	d.tracer = tr
 	d.metrics = reg
 	d.cache.SetTelemetry(reg)
+	d.m = ddiMetrics{
+		collections:      reg.CounterHandle("ddi.collections"),
+		recordsCollected: reg.CounterHandle("ddi.records_collected"),
+		uploads:          reg.CounterHandle("ddi.uploads"),
+		bytesStored:      reg.CounterHandle("ddi.bytes_stored"),
+		downloads:        reg.CounterHandle("ddi.downloads"),
+		diskReads:        reg.CounterHandle("ddi.disk_reads"),
+		readMS:           reg.HistogramHandle("ddi.read_ms"),
+		diskReadMS:       reg.HistogramHandle("ddi.disk_read_ms"),
+	}
 }
 
 // Options configures New.
@@ -121,9 +146,9 @@ func (d *DDI) Collect(now time.Duration) ([]Record, error) {
 		span.SetAttr(trace.Int("records", len(recs)))
 	}
 	span.FinishAt(now)
-	if err == nil && d.metrics != nil {
-		d.metrics.Add("ddi.collections", 1)
-		d.metrics.Add("ddi.records_collected", float64(len(recs)))
+	if err == nil {
+		d.m.collections.Inc()
+		d.m.recordsCollected.Add(float64(len(recs)))
 	}
 	return recs, err
 }
@@ -197,12 +222,12 @@ func (d *DDI) Upload(now time.Duration, source Source, x, y float64, payload []b
 	rec.ID = id
 	d.cache.Put(rec, now)
 	d.uploads++
-	d.tracer.SpanAt("ddi", "ddi.upload", now, now,
-		trace.String("source", string(source)), trace.Int("bytes", rec.SizeBytes()))
-	if d.metrics != nil {
-		d.metrics.Add("ddi.uploads", 1)
-		d.metrics.Add("ddi.bytes_stored", float64(rec.SizeBytes()))
+	if d.tracer.Enabled() {
+		d.tracer.SpanAt("ddi", "ddi.upload", now, now,
+			trace.String("source", string(source)), trace.Int("bytes", rec.SizeBytes()))
 	}
+	d.m.uploads.Inc()
+	d.m.bytesStored.Add(float64(rec.SizeBytes()))
 	return rec, nil
 }
 
@@ -211,15 +236,13 @@ func (d *DDI) Upload(now time.Duration, source Source, x, y float64, payload []b
 // access cost.
 func (d *DDI) DownloadByID(now time.Duration, id uint64) (Record, time.Duration, error) {
 	d.downloads++
-	if d.metrics != nil {
-		d.metrics.Add("ddi.downloads", 1)
-	}
+	d.m.downloads.Inc()
 	if rec, ok := d.cache.Get(id, now); ok {
-		d.tracer.SpanAt("ddi", "ddi.get", now, now+memHitLatency,
-			trace.String("tier", "mem"))
-		if d.metrics != nil {
-			d.metrics.ObserveDuration("ddi.read_ms", memHitLatency)
+		if d.tracer.Enabled() {
+			d.tracer.SpanAt("ddi", "ddi.get", now, now+memHitLatency,
+				trace.String("tier", "mem"))
 		}
+		d.m.readMS.ObserveDuration(memHitLatency)
 		return rec, memHitLatency, nil
 	}
 	rec, ok := d.store.Get(id)
@@ -231,13 +254,13 @@ func (d *DDI) DownloadByID(now time.Duration, id uint64) (Record, time.Duration,
 		return Record{}, 0, err
 	}
 	d.cache.Put(rec, now) // promote
-	d.tracer.SpanAt("ddi", "ddi.get", now, now+memHitLatency+readTime,
-		trace.String("tier", "disk"), trace.Int("bytes", rec.SizeBytes()))
-	if d.metrics != nil {
-		d.metrics.Add("ddi.disk_reads", 1)
-		d.metrics.ObserveDuration("ddi.read_ms", memHitLatency+readTime)
-		d.metrics.ObserveDuration("ddi.disk_read_ms", readTime)
+	if d.tracer.Enabled() {
+		d.tracer.SpanAt("ddi", "ddi.get", now, now+memHitLatency+readTime,
+			trace.String("tier", "disk"), trace.Int("bytes", rec.SizeBytes()))
 	}
+	d.m.diskReads.Inc()
+	d.m.readMS.ObserveDuration(memHitLatency + readTime)
+	d.m.diskReadMS.ObserveDuration(readTime)
 	return rec, memHitLatency + readTime, nil
 }
 
@@ -256,14 +279,14 @@ func (d *DDI) Download(now time.Duration, q Query) ([]Record, time.Duration, err
 	if err != nil {
 		return nil, 0, err
 	}
-	d.tracer.SpanAt("ddi", "ddi.query", now, now+latency,
-		trace.Int("records", len(recs)), trace.F64("bytes", bytes))
-	if d.metrics != nil {
-		d.metrics.Add("ddi.downloads", 1)
-		d.metrics.Add("ddi.disk_reads", 1)
-		d.metrics.ObserveDuration("ddi.read_ms", latency)
-		d.metrics.ObserveDuration("ddi.disk_read_ms", latency)
+	if d.tracer.Enabled() {
+		d.tracer.SpanAt("ddi", "ddi.query", now, now+latency,
+			trace.Int("records", len(recs)), trace.F64("bytes", bytes))
 	}
+	d.m.downloads.Inc()
+	d.m.diskReads.Inc()
+	d.m.readMS.ObserveDuration(latency)
+	d.m.diskReadMS.ObserveDuration(latency)
 	return recs, latency, nil
 }
 

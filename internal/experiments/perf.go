@@ -1,0 +1,285 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"runtime"
+	"testing"
+	"time"
+
+	"repro/internal/geo"
+	"repro/internal/offload"
+	"repro/internal/sim"
+	"repro/internal/tasks"
+	"repro/internal/telemetry"
+	"repro/internal/trace"
+	"repro/internal/vcu"
+	"repro/internal/xedge"
+)
+
+// PerfSchema versions the BENCH_PERF.json layout. Bump on any field
+// change so trajectory tooling can refuse mixed files.
+const PerfSchema = "openvdap.bench_perf/v1"
+
+// PerfBaseline is the pre-optimization measurement of a scenario,
+// recorded once at the commit before the hot-path overhaul (E15) on the
+// reference runner. Keeping it inline gives every BENCH_PERF.json point
+// a fixed "before" to compare against.
+type PerfBaseline struct {
+	NsPerOp     float64 `json:"nsPerOp"`
+	BytesPerOp  int64   `json:"bytesPerOp"`
+	AllocsPerOp int64   `json:"allocsPerOp"`
+}
+
+// PerfRow is one scenario's live measurement next to its baseline.
+type PerfRow struct {
+	Name        string  `json:"name"`
+	NsPerOp     float64 `json:"nsPerOp"`
+	BytesPerOp  int64   `json:"bytesPerOp"`
+	AllocsPerOp int64   `json:"allocsPerOp"`
+	// EventsPerSec is derived throughput (kernel scenarios only).
+	EventsPerSec float64      `json:"eventsPerSec,omitempty"`
+	Baseline     PerfBaseline `json:"baseline"`
+	// Speedup is baseline ns/op over live ns/op (>1 means faster now).
+	Speedup float64 `json:"speedup"`
+}
+
+// PerfReport is the schema-versioned payload written to BENCH_PERF.json —
+// one point in the repo's performance trajectory.
+type PerfReport struct {
+	Schema    string    `json:"schema"`
+	GoVersion string    `json:"goVersion"`
+	GOOS      string    `json:"goos"`
+	GOARCH    string    `json:"goarch"`
+	Rows      []PerfRow `json:"results"`
+}
+
+// perfScenario pairs a benchmark body with its recorded baseline.
+type perfScenario struct {
+	name     string
+	baseline PerfBaseline
+	// events scales ops to kernel events for the derived throughput
+	// column (0 = not a kernel scenario).
+	events float64
+	run    func(b *testing.B)
+}
+
+// RunPerf measures the tracked hot-path scenarios (E15) with
+// testing.Benchmark and pairs each with its pre-optimization baseline.
+// Scenario bodies mirror the package benchmarks of the same name so `go
+// test -bench` and `vdapbench -exp perf` agree.
+func RunPerf() (*PerfReport, error) {
+	scenarios := []perfScenario{
+		{
+			// Mirrors sim.BenchmarkEngineEventLoop: scattered schedules
+			// drained in batches — the DES kernel's steady state.
+			name:     "sim.engine_event_loop",
+			baseline: PerfBaseline{NsPerOp: 274.1, BytesPerOp: 32, AllocsPerOp: 1},
+			events:   1,
+			run: func(b *testing.B) {
+				e := sim.NewEngine(1)
+				fn := func() {}
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					e.After(time.Duration((i*2654435761)%4096)*time.Microsecond, fn)
+					if i%256 == 255 {
+						if err := e.Drain(); err != nil {
+							b.Fatal(err)
+						}
+					}
+				}
+			},
+		},
+		{
+			// Mirrors sim.BenchmarkEngineTimerChurn: timeout guards that
+			// almost never fire.
+			name:     "sim.timer_churn",
+			baseline: PerfBaseline{NsPerOp: 75.1, BytesPerOp: 32, AllocsPerOp: 1},
+			events:   1,
+			run: func(b *testing.B) {
+				e := sim.NewEngine(1)
+				fn := func() {}
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					h := e.After(time.Duration(i%128)*time.Millisecond, fn)
+					e.Cancel(h)
+				}
+			},
+		},
+		{
+			// Hot counter emission. Baseline is the pre-handle style
+			// (Registry.Add by name); live is the interned handle.
+			name:     "telemetry.counter_hot",
+			baseline: PerfBaseline{NsPerOp: 31.1},
+			run: func(b *testing.B) {
+				reg := telemetry.NewRegistry()
+				c := reg.CounterHandle("offload.executions")
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					c.Inc()
+				}
+			},
+		},
+		{
+			// Hot histogram emission: Registry.Observe before, handle now.
+			name:     "telemetry.histogram_hot",
+			baseline: PerfBaseline{NsPerOp: 35.5},
+			run: func(b *testing.B) {
+				reg := telemetry.NewRegistry()
+				reg.EnableReservoir(512, 1)
+				h := reg.HistogramHandle("offload.total_ms")
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					h.Observe(float64(i % 512))
+				}
+			},
+		},
+		{
+			// An instrumented call site with tracing off. Baseline built
+			// the attributes unconditionally; live guards on Enabled().
+			name:     "trace.disabled_span",
+			baseline: PerfBaseline{NsPerOp: 478.7, BytesPerOp: 112, AllocsPerOp: 3},
+			run: func(b *testing.B) {
+				var tr *trace.Tracer
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if tr.Enabled() {
+						s := tr.StartSpanAt("offload", "offload.estimate", 0,
+							trace.String("dag", "alpr"), trace.Int("split", i%4))
+						s.FinishAt(time.Duration(i))
+					}
+				}
+			},
+		},
+		{
+			// Mirrors trace.BenchmarkSpanAtLeaf: enabled leaf spans with
+			// the Reset free-pool engaged.
+			name:     "trace.span_leaf",
+			baseline: PerfBaseline{NsPerOp: 218.3, BytesPerOp: 170, AllocsPerOp: 1},
+			run: func(b *testing.B) {
+				tr := trace.New(nil)
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if i%65536 == 0 {
+						tr.Reset()
+					}
+					tr.SpanAt("network", "network.uplink", time.Duration(i), time.Duration(i+1))
+				}
+			},
+		},
+		{
+			// Mirrors offload.BenchmarkDecide: a full destination
+			// comparison over onboard + RSU + cloud for the ALPR DAG.
+			name:     "offload.decide",
+			baseline: PerfBaseline{NsPerOp: 18996, BytesPerOp: 5608, AllocsPerOp: 128},
+			run: func(b *testing.B) {
+				eng, err := perfWorld()
+				if err != nil {
+					b.Fatal(err)
+				}
+				dag := tasks.ALPR()
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if _, _, err := eng.Decide(dag, 0); err != nil {
+						b.Fatal(err)
+					}
+				}
+			},
+		},
+	}
+
+	rep := &PerfReport{
+		Schema:    PerfSchema,
+		GoVersion: runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+	}
+	for _, sc := range scenarios {
+		res := testing.Benchmark(sc.run)
+		if res.N == 0 {
+			return nil, fmt.Errorf("perf: scenario %s did not run", sc.name)
+		}
+		row := PerfRow{
+			Name:        sc.name,
+			NsPerOp:     float64(res.T.Nanoseconds()) / float64(res.N),
+			BytesPerOp:  res.AllocedBytesPerOp(),
+			AllocsPerOp: res.AllocsPerOp(),
+			Baseline:    sc.baseline,
+		}
+		if row.NsPerOp > 0 {
+			if sc.events > 0 {
+				row.EventsPerSec = sc.events * 1e9 / row.NsPerOp
+			}
+			row.Speedup = sc.baseline.NsPerOp / row.NsPerOp
+		}
+		rep.Rows = append(rep.Rows, row)
+	}
+	return rep, nil
+}
+
+// perfWorld builds the Decide scenario's world: default VCU, one in-range
+// RSU, and the cloud — the same shape as the offload package benchmark.
+func perfWorld() (*offload.Engine, error) {
+	m, err := vcu.DefaultVCU()
+	if err != nil {
+		return nil, err
+	}
+	dsf, err := vcu.NewDSF(m, vcu.GreedyEFT{})
+	if err != nil {
+		return nil, err
+	}
+	road, err := geo.NewRoad(10000)
+	if err != nil {
+		return nil, err
+	}
+	rsu, err := xedge.NewRSU(geo.Station{ID: "rsu-0", Kind: geo.RSU, Pos: geo.Point{X: 100}, Radius: 50000})
+	if err != nil {
+		return nil, err
+	}
+	cl, err := xedge.NewCloud()
+	if err != nil {
+		return nil, err
+	}
+	return offload.NewEngine(dsf, geo.Mobility{Road: road}, []*xedge.Site{rsu, cl})
+}
+
+// Marshal renders the report as indented JSON ready for BENCH_PERF.json.
+func (r *PerfReport) Marshal() ([]byte, error) {
+	out, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(out, '\n'), nil
+}
+
+// PerfTable renders the E15 report with before/after columns.
+func PerfTable(r *PerfReport) string {
+	t := &Table{
+		Title:   "E15: hot-path benchmarks (before -> after)",
+		Columns: []string{"scenario", "ns/op", "was ns/op", "speedup", "allocs/op", "was allocs", "B/op", "events/s"},
+	}
+	for _, row := range r.Rows {
+		events := "-"
+		if row.EventsPerSec > 0 {
+			events = fmt.Sprintf("%.2fM", row.EventsPerSec/1e6)
+		}
+		t.Rows = append(t.Rows, []string{
+			row.Name,
+			f2(row.NsPerOp),
+			f2(row.Baseline.NsPerOp),
+			fmt.Sprintf("%.2fx", row.Speedup),
+			fmt.Sprintf("%d", row.AllocsPerOp),
+			fmt.Sprintf("%d", row.Baseline.AllocsPerOp),
+			fmt.Sprintf("%d", row.BytesPerOp),
+			events,
+		})
+	}
+	return t.String()
+}

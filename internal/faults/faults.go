@@ -198,7 +198,9 @@ func drawWindows(rng *sim.RNG, horizon, meanGap, meanLen time.Duration) []Window
 func (p *Plan) Config() PlanConfig { return p.cfg }
 
 // Outages returns a site's outage windows (nil for unknown sites).
-func (p *Plan) Outages(site string) []Window { return p.windows(site, func(sp *sitePlan) []Window { return sp.outages }) }
+func (p *Plan) Outages(site string) []Window {
+	return p.windows(site, func(sp *sitePlan) []Window { return sp.outages })
+}
 
 // Degrades returns a site's link-degradation windows.
 func (p *Plan) Degrades(site string) []Window {
@@ -243,6 +245,27 @@ type Injector struct {
 
 	tracer  *trace.Tracer
 	metrics *telemetry.Registry
+	m       injectorMetrics
+}
+
+// injectorMetrics holds the injector's interned metric handles, resolved
+// once in Instrument. The per-site counters can all be resolved up front
+// because the compiled plan fixes the site set, so the submission-time
+// fault hook never rebuilds a metric name. Handles are nil-safe.
+type injectorMetrics struct {
+	siteDown      *telemetry.Counter
+	siteUp        *telemetry.Counter
+	degradedPaths *telemetry.Counter
+	outageRejects *telemetry.Counter
+	execFaults    *telemetry.Counter
+	perSite       map[string]*siteFaultCounters
+}
+
+// siteFaultCounters is one site's fault counter set.
+type siteFaultCounters struct {
+	outage        *telemetry.Counter
+	outageRejects *telemetry.Counter
+	execFaults    *telemetry.Counter
 }
 
 // NewInjector wraps a compiled plan.
@@ -258,6 +281,28 @@ func NewInjector(plan *Plan) (*Injector, error) {
 func (in *Injector) Instrument(tr *trace.Tracer, reg *telemetry.Registry) {
 	in.tracer = tr
 	in.metrics = reg
+	in.m = injectorMetrics{
+		siteDown:      reg.CounterHandle("faults.site_down"),
+		siteUp:        reg.CounterHandle("faults.site_up"),
+		degradedPaths: reg.CounterHandle("faults.degraded_paths"),
+		outageRejects: reg.CounterHandle("faults.outage_rejects"),
+		execFaults:    reg.CounterHandle("faults.exec_faults"),
+		perSite:       make(map[string]*siteFaultCounters, len(in.plan.sites)),
+	}
+	for _, sp := range in.plan.sites {
+		name := sp.site.Name()
+		in.m.perSite[name] = &siteFaultCounters{
+			outage:        reg.CounterHandle("faults.outage." + name),
+			outageRejects: reg.CounterHandle("faults.outage_rejects." + name),
+			execFaults:    reg.CounterHandle("faults.exec_faults." + name),
+		}
+	}
+}
+
+// siteCounters returns the interned per-site fault counter set (nil, and
+// thus inert, for unknown sites or an uninstrumented injector).
+func (in *Injector) siteCounters(site string) *siteFaultCounters {
+	return in.m.perSite[site]
 }
 
 // Plan returns the compiled schedule.
@@ -287,22 +332,20 @@ func (in *Injector) faultAt(site string, now time.Duration) error {
 		return nil
 	}
 	if inWindows(sp.outages, now) {
-		in.count("faults.outage_rejects", site)
+		in.m.outageRejects.Inc()
+		if sc := in.siteCounters(site); sc != nil {
+			sc.outageRejects.Inc()
+		}
 		return fmt.Errorf("faults: site down at %v (scheduled outage)", now)
 	}
 	if inWindows(sp.execFaults, now) {
-		in.count("faults.exec_faults", site)
+		in.m.execFaults.Inc()
+		if sc := in.siteCounters(site); sc != nil {
+			sc.execFaults.Inc()
+		}
 		return fmt.Errorf("faults: transient execution fault at %v", now)
 	}
 	return nil
-}
-
-func (in *Injector) count(name, site string) {
-	if in.metrics == nil {
-		return
-	}
-	in.metrics.Add(name, 1)
-	in.metrics.Add(name+"."+site, 1)
 }
 
 // AdvanceTo applies every outage transition in (cursor, now] to the
@@ -346,19 +389,19 @@ func (in *Injector) Schedule(eng *sim.Engine) error {
 
 func (in *Injector) siteDown(s *xedge.Site, w Window) {
 	s.SetAvailable(false)
-	if in.metrics != nil {
-		in.metrics.Add("faults.site_down", 1)
-		in.metrics.Add("faults.outage."+s.Name(), 1)
+	in.m.siteDown.Inc()
+	if sc := in.siteCounters(s.Name()); sc != nil {
+		sc.outage.Inc()
 	}
-	in.tracer.SpanAt("faults", "faults.outage", w.From, w.To,
-		trace.String("site", s.Name()), trace.Dur("length", w.To-w.From))
+	if in.tracer.Enabled() {
+		in.tracer.SpanAt("faults", "faults.outage", w.From, w.To,
+			trace.String("site", s.Name()), trace.Dur("length", w.To-w.From))
+	}
 }
 
 func (in *Injector) siteUp(s *xedge.Site) {
 	s.SetAvailable(true)
-	if in.metrics != nil {
-		in.metrics.Add("faults.site_up", 1)
-	}
+	in.m.siteUp.Inc()
 }
 
 // AdjustPath implements offload.PathAdjuster: inside a degradation
@@ -382,9 +425,7 @@ func (in *Injector) AdjustPath(dest string, p network.Path, now time.Duration) n
 		}
 		adj.Links[i].BaseLoss = loss
 	}
-	if in.metrics != nil {
-		in.metrics.Add("faults.degraded_paths", 1)
-	}
+	in.m.degradedPaths.Inc()
 	return adj
 }
 

@@ -8,9 +8,24 @@ import (
 
 // Meter records link-layer activity into a telemetry registry under
 // `network.*` metric names. A nil *Meter is inert, so callers on the
-// offload path can carry one unconditionally.
+// offload path can carry one unconditionally. The fixed-name metrics are
+// resolved to interned handles at construction; per-path counters are
+// interned on first use, so steady-state transfer accounting never touches
+// the registry lock or rebuilds metric names.
 type Meter struct {
-	reg *telemetry.Registry
+	reg        *telemetry.Registry
+	transfers  *telemetry.Counter
+	bytesUp    *telemetry.Counter
+	bytesDown  *telemetry.Counter
+	transferMS *telemetry.HistogramHandle
+	loss       *telemetry.HistogramHandle
+	perPath    map[string]pathCounters
+}
+
+// pathCounters is one path's interned counter pair.
+type pathCounters struct {
+	transfers *telemetry.Counter
+	bytes     *telemetry.Counter
 }
 
 // NewMeter wraps a registry (nil registry yields an inert meter).
@@ -18,7 +33,15 @@ func NewMeter(reg *telemetry.Registry) *Meter {
 	if reg == nil {
 		return nil
 	}
-	return &Meter{reg: reg}
+	return &Meter{
+		reg:        reg,
+		transfers:  reg.CounterHandle("network.transfers"),
+		bytesUp:    reg.CounterHandle("network.bytes_up"),
+		bytesDown:  reg.CounterHandle("network.bytes_down"),
+		transferMS: reg.HistogramHandle("network.transfer_ms"),
+		loss:       reg.HistogramHandle("network.loss"),
+		perPath:    make(map[string]pathCounters),
+	}
 }
 
 // RecordTransfer accounts one reliable transfer over a path: totals, a
@@ -27,18 +50,26 @@ func (m *Meter) RecordTransfer(p Path, sizeBytes float64, d Direction, dur time.
 	if m == nil {
 		return
 	}
-	m.reg.Add("network.transfers", 1)
+	m.transfers.Inc()
 	if d == Downlink {
-		m.reg.Add("network.bytes_down", sizeBytes)
+		m.bytesDown.Add(sizeBytes)
 	} else {
-		m.reg.Add("network.bytes_up", sizeBytes)
+		m.bytesUp.Add(sizeBytes)
 	}
-	m.reg.ObserveDuration("network.transfer_ms", dur)
+	m.transferMS.ObserveDuration(dur)
 	if p.Name != "" {
-		m.reg.Add("network.path."+p.Name+".transfers", 1)
-		m.reg.Add("network.path."+p.Name+".bytes", sizeBytes)
+		pc, ok := m.perPath[p.Name]
+		if !ok {
+			pc = pathCounters{
+				transfers: m.reg.CounterHandle("network.path." + p.Name + ".transfers"),
+				bytes:     m.reg.CounterHandle("network.path." + p.Name + ".bytes"),
+			}
+			m.perPath[p.Name] = pc
+		}
+		pc.transfers.Inc()
+		pc.bytes.Add(sizeBytes)
 	}
-	m.reg.Observe("network.loss", WorstLoss(p))
+	m.loss.Observe(WorstLoss(p))
 }
 
 // WorstLoss returns the highest per-hop loss probability along the path —

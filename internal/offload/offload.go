@@ -82,11 +82,20 @@ type Engine struct {
 	tracer  *trace.Tracer
 	metrics *telemetry.Registry
 	meter   *network.Meter
+	m       engineMetrics
 
 	// pathAdjust, when set, layers externally-injected link conditions
 	// (fault windows, chaos schedules) onto every access path after the
 	// mobility adjustment. See SetPathAdjuster.
 	pathAdjust PathAdjuster
+
+	// pathCache memoizes the mobility-adjusted base path per site. The
+	// base depends only on (site access path, vehicle speed, loss
+	// bitrate): site access paths are immutable, and SetMobility /
+	// SetLossBitrate / SetPathAdjuster drop the cache. The time-varying
+	// fault adjuster is layered on top per call, never cached, so
+	// injected fault windows always see live conditions.
+	pathCache map[string]network.Path
 
 	// policy, when non-nil, enables the resilient execution path:
 	// per-site circuit breakers, retry with backoff, and fallback. See
@@ -102,16 +111,110 @@ type PathAdjuster func(dest string, p network.Path, now time.Duration) network.P
 
 // SetPathAdjuster installs adj as the engine's link-condition hook (nil
 // removes it). The adjuster runs on both the estimation and execution
-// paths, after the mobility loss adjustment.
-func (e *Engine) SetPathAdjuster(adj PathAdjuster) { e.pathAdjust = adj }
+// paths, after the mobility loss adjustment. Cached base paths are
+// dropped so the new conditions take effect immediately.
+func (e *Engine) SetPathAdjuster(adj PathAdjuster) {
+	e.pathAdjust = adj
+	e.pathCache = nil
+}
+
+// engineMetrics holds the engine's interned metric handles, resolved once
+// in Instrument. Handles are nil-safe, so an uninstrumented engine emits
+// through them for free. Per-kind and per-destination counters are
+// interned lazily on first use.
+type engineMetrics struct {
+	decisions          *telemetry.Counter
+	candidates         *telemetry.HistogramHandle
+	decisionNone       *telemetry.Counter
+	failures           *telemetry.Counter
+	executions         *telemetry.Counter
+	totalMS            *telemetry.HistogramHandle
+	bytesSent          *telemetry.Counter
+	uplinkMS           *telemetry.HistogramHandle
+	downlinkMS         *telemetry.HistogramHandle
+	retries            *telemetry.Counter
+	backoffMS          *telemetry.HistogramHandle
+	breakerSkips       *telemetry.Counter
+	breakerOpened      *telemetry.Counter
+	resilientSuccess   *telemetry.Counter
+	resilientExhausted *telemetry.Counter
+	fallbacks          *telemetry.Counter
+	degraded           *telemetry.Counter
+
+	xedgeLane siteLane
+	cloudLane siteLane
+
+	dynamic map[string]*telemetry.Counter // full-name → handle, interned lazily
+}
+
+// siteLane is the per-trace-component (xedge / cloud) execution metric set.
+type siteLane struct {
+	submits     *telemetry.Counter
+	execMS      *telemetry.HistogramHandle
+	queueWaitMS *telemetry.HistogramHandle
+}
 
 // Instrument attaches a tracer and metrics registry (either may be nil).
 // Estimation, decisions, and executions then emit `offload`, `network`,
-// `xedge`, and `cloud` spans plus matching metrics.
+// `xedge`, and `cloud` spans plus matching metrics. The fixed-name metrics
+// resolve to interned handles here, once, so the execute loop never takes
+// the registry lock.
 func (e *Engine) Instrument(tr *trace.Tracer, reg *telemetry.Registry) {
 	e.tracer = tr
 	e.metrics = reg
 	e.meter = network.NewMeter(reg)
+	lane := func(comp string) siteLane {
+		return siteLane{
+			submits:     reg.CounterHandle(comp + ".submits"),
+			execMS:      reg.HistogramHandle(comp + ".exec_ms"),
+			queueWaitMS: reg.HistogramHandle(comp + ".queue_wait_ms"),
+		}
+	}
+	e.m = engineMetrics{
+		decisions:          reg.CounterHandle("offload.decisions"),
+		candidates:         reg.HistogramHandle("offload.candidates"),
+		decisionNone:       reg.CounterHandle("offload.decision.none"),
+		failures:           reg.CounterHandle("offload.failures"),
+		executions:         reg.CounterHandle("offload.executions"),
+		totalMS:            reg.HistogramHandle("offload.total_ms"),
+		bytesSent:          reg.CounterHandle("offload.bytes_sent"),
+		uplinkMS:           reg.HistogramHandle("offload.uplink_ms"),
+		downlinkMS:         reg.HistogramHandle("offload.downlink_ms"),
+		retries:            reg.CounterHandle("offload.retries"),
+		backoffMS:          reg.HistogramHandle("offload.backoff_ms"),
+		breakerSkips:       reg.CounterHandle("offload.breaker.skips"),
+		breakerOpened:      reg.CounterHandle("offload.breaker.opened"),
+		resilientSuccess:   reg.CounterHandle("offload.resilient.success"),
+		resilientExhausted: reg.CounterHandle("offload.resilient.exhausted"),
+		fallbacks:          reg.CounterHandle("offload.fallbacks"),
+		degraded:           reg.CounterHandle("offload.degraded"),
+		xedgeLane:          lane("xedge"),
+		cloudLane:          lane("cloud"),
+		dynamic:            make(map[string]*telemetry.Counter),
+	}
+}
+
+// dynCounter interns a dynamically-named counter (prefix + key) on first
+// use; subsequent bumps reuse the handle without rebuilding the name.
+func (e *Engine) dynCounter(prefix, key string) *telemetry.Counter {
+	if e.metrics == nil {
+		return nil
+	}
+	name := prefix + key
+	c, ok := e.m.dynamic[name]
+	if !ok {
+		c = e.metrics.CounterHandle(name)
+		e.m.dynamic[name] = c
+	}
+	return c
+}
+
+// lane returns the interned metric set for a site kind's trace component.
+func (e *Engine) lane(kind xedge.SiteKind) *siteLane {
+	if kind == xedge.CloudSite {
+		return &e.m.cloudLane
+	}
+	return &e.m.xedgeLane
 }
 
 // siteComponent maps a destination kind to its trace component lane:
@@ -168,12 +271,14 @@ func NewEngine(dsf *vcu.DSF, mob geo.Mobility, sites []*xedge.Site) (*Engine, er
 }
 
 // SetLossBitrate overrides the stream bitrate (Mbps) assumed by the
-// mobility loss adjustment. Non-positive restores the default.
+// mobility loss adjustment. Non-positive restores the default. Cached
+// base paths are dropped: the loss model re-evaluates at the new bitrate.
 func (e *Engine) SetLossBitrate(mbps float64) {
 	if mbps <= 0 {
 		mbps = DefaultLossBitrateMbps
 	}
 	e.lossBitrateMbps = mbps
+	e.pathCache = nil
 }
 
 // LossBitrate returns the bitrate the mobility loss adjustment assumes.
@@ -194,8 +299,12 @@ func (e *Engine) Sites() []*xedge.Site {
 }
 
 // SetMobility updates the vehicle's mobility (speed changes degrade
-// cellular transfer estimates).
-func (e *Engine) SetMobility(mob geo.Mobility) { e.mob = mob }
+// cellular transfer estimates). Cached base paths are dropped: the loss
+// model re-evaluates at the new speed.
+func (e *Engine) SetMobility(mob geo.Mobility) {
+	e.mob = mob
+	e.pathCache = nil
+}
 
 // mobilityAdjustedPath raises cellular-link loss to the Figure-2 model's
 // expectation at the vehicle's current speed, shrinking effective goodput.
@@ -223,28 +332,46 @@ func (e *Engine) mobilityAdjustedPath(p network.Path) network.Path {
 
 // adjustedPath is the access path toward site as the vehicle experiences
 // it at virtual time now: mobility-degraded cellular loss plus any
-// externally-injected link conditions.
+// externally-injected link conditions. The mobility-adjusted base is
+// memoized per site (see pathCache); only the fault adjuster runs per
+// call. Callers treat the returned path as read-only, as PathAdjuster
+// implementations already must.
 func (e *Engine) adjustedPath(site *xedge.Site, now time.Duration) network.Path {
-	p := e.mobilityAdjustedPath(site.Access())
+	name := site.Name()
+	p, ok := e.pathCache[name]
+	if !ok {
+		p = e.mobilityAdjustedPath(site.Access())
+		if e.pathCache == nil {
+			e.pathCache = make(map[string]network.Path)
+		}
+		e.pathCache[name] = p
+	}
 	if e.pathAdjust != nil {
-		p = e.pathAdjust(site.Name(), p, now)
+		p = e.pathAdjust(name, p, now)
 	}
 	return p
 }
 
 // EstimateOnboard predicts full local execution via the DSF plan.
 func (e *Engine) EstimateOnboard(dag *tasks.DAG, now time.Duration) Estimate {
-	span := e.tracer.StartSpanAt("offload", "offload.estimate", now,
-		trace.String("dag", dag.Name), trace.String("dest", OnboardName))
+	var span *trace.Span
+	if e.tracer.Enabled() {
+		span = e.tracer.StartSpanAt("offload", "offload.estimate", now,
+			trace.String("dag", dag.Name), trace.String("dest", OnboardName))
+	}
 	plan, err := e.dsf.Plan(dag, now)
 	if err != nil {
-		span.SetAttr(trace.Bool("feasible", false), trace.String("reason", err.Error()))
+		if span != nil {
+			span.SetAttr(trace.Bool("feasible", false), trace.String("reason", err.Error()))
+		}
 		span.FinishAt(now)
 		return Estimate{Dest: OnboardName, Kind: OnboardName, SplitAfter: len(dag.Tasks),
 			Feasible: false, Reason: err.Error()}
 	}
-	span.SetAttr(trace.Bool("feasible", true), trace.Dur("total", plan.Makespan))
-	span.FinishAt(now + plan.Makespan)
+	if span != nil {
+		span.SetAttr(trace.Bool("feasible", true), trace.Dur("total", plan.Makespan))
+		span.FinishAt(now + plan.Makespan)
+	}
 	return Estimate{
 		Dest: OnboardName, Kind: OnboardName, SplitAfter: len(dag.Tasks),
 		Compute:        plan.Makespan,
@@ -259,16 +386,19 @@ func (e *Engine) EstimateOnboard(dag *tasks.DAG, now time.Duration) Estimate {
 // splitAfter 0 offloads everything.
 func (e *Engine) EstimateSite(dag *tasks.DAG, site *xedge.Site, splitAfter int, now time.Duration) Estimate {
 	est := Estimate{Dest: site.Name(), Kind: site.Kind().String(), SplitAfter: splitAfter}
-	span := e.tracer.StartSpanAt("offload", "offload.estimate", now,
-		trace.String("dag", dag.Name), trace.String("dest", site.Name()),
-		trace.String("kind", est.Kind), trace.Int("split", splitAfter))
-	defer func() {
-		span.SetAttr(trace.Bool("feasible", est.Feasible))
-		if est.Reason != "" {
-			span.SetAttr(trace.String("reason", est.Reason))
-		}
-		span.FinishAt(now + est.Total)
-	}()
+	var span *trace.Span
+	if e.tracer.Enabled() {
+		span = e.tracer.StartSpanAt("offload", "offload.estimate", now,
+			trace.String("dag", dag.Name), trace.String("dest", site.Name()),
+			trace.String("kind", est.Kind), trace.Int("split", splitAfter))
+		defer func() {
+			span.SetAttr(trace.Bool("feasible", est.Feasible))
+			if est.Reason != "" {
+				span.SetAttr(trace.String("reason", est.Reason))
+			}
+			span.FinishAt(now + est.Total)
+		}()
+	}
 	order, err := dag.TopoOrder()
 	if err != nil {
 		est.Reason = err.Error()
@@ -312,9 +442,11 @@ func (e *Engine) EstimateSite(dag *tasks.DAG, site *xedge.Site, splitAfter int, 
 	est.Uplink = up
 	est.BytesSent = upBytes
 	est.VehicleEnergyJ += RadioPowerW * up.Seconds()
-	e.tracer.SpanAt("network", "network.uplink", cursor, cursor+up,
-		trace.String("path", path.Name), trace.F64("bytes", upBytes),
-		trace.F64("loss", network.WorstLoss(path)))
+	if e.tracer.Enabled() {
+		e.tracer.SpanAt("network", "network.uplink", cursor, cursor+up,
+			trace.String("path", path.Name), trace.F64("bytes", upBytes),
+			trace.F64("loss", network.WorstLoss(path)))
+	}
 	cursor += up
 
 	// Remote compute: topo-order submission estimate on site executors.
@@ -341,9 +473,11 @@ func (e *Engine) EstimateSite(dag *tasks.DAG, site *xedge.Site, splitAfter int, 
 		}
 	}
 	est.Compute += remoteDone - computeStart
-	comp := siteComponent(site.Kind())
-	e.tracer.SpanAt(comp, comp+".exec", computeStart, remoteDone,
-		trace.String("site", site.Name()), trace.Int("tasks", len(remote)))
+	if e.tracer.Enabled() {
+		comp := siteComponent(site.Kind())
+		e.tracer.SpanAt(comp, comp+".exec", computeStart, remoteDone,
+			trace.String("site", site.Name()), trace.Int("tasks", len(remote)))
+	}
 
 	// Downlink: results of sink tasks return to the vehicle.
 	var downBytes float64
@@ -359,8 +493,10 @@ func (e *Engine) EstimateSite(dag *tasks.DAG, site *xedge.Site, splitAfter int, 
 	}
 	est.Downlink = down
 	est.Total = (remoteDone - now) + down
-	e.tracer.SpanAt("network", "network.downlink", remoteDone, remoteDone+down,
-		trace.String("path", path.Name), trace.F64("bytes", downBytes))
+	if e.tracer.Enabled() {
+		e.tracer.SpanAt("network", "network.downlink", remoteDone, remoteDone+down,
+			trace.String("path", path.Name), trace.F64("bytes", downBytes))
+	}
 	if !e.withinBudget(est.BytesSent) {
 		remaining, _ := e.BandwidthRemaining()
 		est.Reason = fmt.Sprintf("bandwidth budget exhausted (%.0f B needed, %.0f B left)",
@@ -446,23 +582,17 @@ func (e *Engine) Decide(dag *tasks.DAG, now time.Duration) (Estimate, []Estimate
 		return Estimate{}, nil, err
 	}
 	span.SetAttr(trace.Int("candidates", len(all)))
-	if e.metrics != nil {
-		e.metrics.Add("offload.decisions", 1)
-		e.metrics.Observe("offload.candidates", float64(len(all)))
-	}
+	e.m.decisions.Inc()
+	e.m.candidates.Observe(float64(len(all)))
 	for _, est := range all {
 		if est.Feasible {
 			span.SetAttr(trace.String("chosen", est.Dest), trace.Dur("predicted", est.Total))
-			if e.metrics != nil {
-				e.metrics.Add("offload.decision."+est.Kind, 1)
-			}
+			e.dynCounter("offload.decision.", est.Kind).Inc()
 			return est, all, nil
 		}
 	}
 	span.SetAttr(trace.String("chosen", "none"))
-	if e.metrics != nil {
-		e.metrics.Add("offload.decision.none", 1)
-	}
+	e.m.decisionNone.Inc()
 	return Estimate{}, all, fmt.Errorf("offload: no feasible destination for %s", dag.Name)
 }
 
@@ -482,24 +612,20 @@ func (e *Engine) Execute(dag *tasks.DAG, est Estimate, now time.Duration) (time.
 		// The failure mirror of offload.executions / offload.execution.<kind>:
 		// per-destination failure counters feed the resilience policy's
 		// evaluation and the chaos experiments.
-		if e.metrics != nil {
-			e.metrics.Add("offload.failures", 1)
-			if est.Dest != "" {
-				e.metrics.Add("offload.failure."+est.Dest, 1)
-			}
+		e.m.failures.Inc()
+		if est.Dest != "" {
+			e.dynCounter("offload.failure.", est.Dest).Inc()
 		}
 		return done, err
 	}
 	span.FinishAt(done)
-	if e.metrics != nil {
-		e.metrics.Add("offload.executions", 1)
-		e.metrics.Add("offload.execution."+est.Kind, 1)
-		e.metrics.ObserveDuration("offload.total_ms", done-now)
-		if est.Dest != OnboardName {
-			e.metrics.Add("offload.bytes_sent", est.BytesSent)
-			e.metrics.ObserveDuration("offload.uplink_ms", est.Uplink)
-			e.metrics.ObserveDuration("offload.downlink_ms", est.Downlink)
-		}
+	e.m.executions.Inc()
+	e.dynCounter("offload.execution.", est.Kind).Inc()
+	e.m.totalMS.ObserveDuration(done - now)
+	if est.Dest != OnboardName {
+		e.m.bytesSent.Add(est.BytesSent)
+		e.m.uplinkMS.ObserveDuration(est.Uplink)
+		e.m.downlinkMS.ObserveDuration(est.Downlink)
 	}
 	return done, nil
 }
@@ -542,12 +668,15 @@ func (e *Engine) execute(dag *tasks.DAG, est Estimate, now time.Duration) (time.
 		now += plan.Makespan
 	}
 	path := e.adjustedPath(site, now)
-	e.tracer.SpanAt("network", "network.uplink", now, now+est.Uplink,
-		trace.String("path", path.Name), trace.F64("bytes", est.BytesSent),
-		trace.F64("loss", network.WorstLoss(path)))
+	if e.tracer.Enabled() {
+		e.tracer.SpanAt("network", "network.uplink", now, now+est.Uplink,
+			trace.String("path", path.Name), trace.F64("bytes", est.BytesSent),
+			trace.F64("loss", network.WorstLoss(path)))
+	}
 	e.meter.RecordTransfer(path, est.BytesSent, network.Uplink, est.Uplink)
 	now += est.Uplink
 	comp := siteComponent(site.Kind())
+	ln := e.lane(site.Kind())
 	finishOf := make(map[string]time.Duration)
 	var last time.Duration = now
 	var downBytes float64
@@ -569,17 +698,19 @@ func (e *Engine) execute(dag *tasks.DAG, est Estimate, now time.Duration) (time.
 		if len(dag.Successors(t.ID)) == 0 {
 			downBytes += t.OutputBytes
 		}
-		e.tracer.SpanAt(comp, comp+".task", start, finish,
-			trace.String("task", t.ID), trace.String("site", site.Name()),
-			trace.Dur("queue_wait", start-ready))
-		if e.metrics != nil {
-			e.metrics.Add(comp+".submits", 1)
-			e.metrics.ObserveDuration(comp+".exec_ms", finish-start)
-			e.metrics.ObserveDuration(comp+".queue_wait_ms", start-ready)
+		if e.tracer.Enabled() {
+			e.tracer.SpanAt(comp, comp+".task", start, finish,
+				trace.String("task", t.ID), trace.String("site", site.Name()),
+				trace.Dur("queue_wait", start-ready))
 		}
+		ln.submits.Inc()
+		ln.execMS.ObserveDuration(finish - start)
+		ln.queueWaitMS.ObserveDuration(start - ready)
 	}
-	e.tracer.SpanAt("network", "network.downlink", last, last+est.Downlink,
-		trace.String("path", path.Name), trace.F64("bytes", downBytes))
+	if e.tracer.Enabled() {
+		e.tracer.SpanAt("network", "network.downlink", last, last+est.Downlink,
+			trace.String("path", path.Name), trace.F64("bytes", downBytes))
+	}
 	e.meter.RecordTransfer(path, downBytes, network.Downlink, est.Downlink)
 	// Charge the budget only once the execution has fully succeeded: a
 	// failed prefix plan or site submission must not burn bandwidth.

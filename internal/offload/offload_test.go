@@ -490,3 +490,75 @@ func TestSiteOutageFallsBack(t *testing.T) {
 		t.Fatalf("restored site not chosen: %s", best3.Dest)
 	}
 }
+
+// TestPathCacheInvalidatedOnMobilityChange: the memoized base path must
+// re-derive after SetMobility / SetLossBitrate — a speed change has to
+// degrade cellular estimates exactly as it would on a cold engine.
+func TestPathCacheInvalidatedOnMobilityChange(t *testing.T) {
+	eng, _, _ := testWorld(t, 0)
+	dag := tasks.ALPR()
+	parked := findEst(t, eng, dag, "cloud")
+	// Warm the cache, then change speed on the same engine.
+	mob := eng.mob
+	mob.SpeedMS = geo.MPH(70)
+	eng.SetMobility(mob)
+	fast := findEst(t, eng, dag, "cloud")
+	if fast.Uplink <= parked.Uplink {
+		t.Fatalf("uplink after SetMobility (%v) not slower than parked cached estimate (%v)", fast.Uplink, parked.Uplink)
+	}
+	// Must equal a cold engine at the same speed.
+	cold, _, _ := testWorld(t, geo.MPH(70))
+	want := findEst(t, cold, dag, "cloud")
+	if fast.Uplink != want.Uplink || fast.Downlink != want.Downlink {
+		t.Fatalf("cached engine estimate %v/%v != cold engine %v/%v",
+			fast.Uplink, fast.Downlink, want.Uplink, want.Downlink)
+	}
+	// Bitrate changes must also invalidate.
+	eng.SetLossBitrate(30)
+	cold.SetLossBitrate(30)
+	if got, want := findEst(t, eng, dag, "cloud").Uplink, findEst(t, cold, dag, "cloud").Uplink; got != want {
+		t.Fatalf("uplink after SetLossBitrate: cached %v != cold %v", got, want)
+	}
+}
+
+// TestPathCacheKeepsFaultWindowsLive: the cached base path must not
+// swallow the PathAdjuster — a degradation window starting after the
+// cache warmed still has to slow transfers inside the window and stop
+// outside it.
+func TestPathCacheKeepsFaultWindowsLive(t *testing.T) {
+	eng, _, _ := testWorld(t, 0)
+	dag := tasks.ALPR()
+	before := findEst(t, eng, dag, "cloud") // warms the path cache
+	window := Window{From: 10 * time.Second, To: 20 * time.Second}
+	eng.SetPathAdjuster(func(dest string, p network.Path, now time.Duration) network.Path {
+		if dest != "cloud" || now < window.From || now >= window.To {
+			return p
+		}
+		adj := network.Path{Name: p.Name, Links: append([]network.LinkSpec(nil), p.Links...)}
+		for i := range adj.Links {
+			adj.Links[i].UpMbps /= 10
+			adj.Links[i].DownMbps /= 10
+		}
+		return adj
+	})
+	ests, err := eng.Estimates(dag, 15*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var inWindow Estimate
+	for _, e := range ests {
+		if e.Dest == "cloud" {
+			inWindow = e
+		}
+	}
+	if inWindow.Uplink <= before.Uplink {
+		t.Fatalf("uplink inside fault window (%v) not slower than healthy (%v)", inWindow.Uplink, before.Uplink)
+	}
+	after := findEst(t, eng, dag, "cloud") // now=0, outside the window
+	if after.Uplink != before.Uplink {
+		t.Fatalf("uplink outside window %v != healthy baseline %v", after.Uplink, before.Uplink)
+	}
+}
+
+// Window is a local [From, To) helper for the adjuster test.
+type Window struct{ From, To time.Duration }

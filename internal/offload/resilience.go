@@ -251,9 +251,7 @@ func (e *Engine) ExecuteResilient(dag *tasks.DAG, est Estimate, now, deadline ti
 		if alt := e.EstimateOnboard(dd, t); alt.Feasible {
 			runDag, ob = dd, alt
 			out.Degraded = true
-			if e.metrics != nil {
-				e.metrics.Add("offload.degraded", 1)
-			}
+			e.m.degraded.Inc()
 		}
 	}
 	if ob.Feasible {
@@ -291,10 +289,8 @@ func (e *Engine) tryRemote(dag *tasks.DAG, cand Estimate, t *time.Duration, dead
 	for attempt := 1; attempt <= pol.MaxAttempts; attempt++ {
 		if !br.Allow(*t) {
 			out.BreakerSkips++
-			if e.metrics != nil {
-				e.metrics.Add("offload.breaker.skips", 1)
-				e.metrics.Add("offload.breaker.skip."+cand.Dest, 1)
-			}
+			e.m.breakerSkips.Inc()
+			e.dynCounter("offload.breaker.skip.", cand.Dest).Inc()
 			return 0, false
 		}
 		out.Attempts++
@@ -305,9 +301,9 @@ func (e *Engine) tryRemote(dag *tasks.DAG, cand Estimate, t *time.Duration, dead
 			return done, true
 		}
 		br.RecordFailure(*t)
-		if e.metrics != nil && br.Opens() > opensBefore {
-			e.metrics.Add("offload.breaker.opened", 1)
-			e.metrics.Add("offload.breaker.open."+cand.Dest, 1)
+		if br.Opens() > opensBefore {
+			e.m.breakerOpened.Inc()
+			e.dynCounter("offload.breaker.open.", cand.Dest).Inc()
 		}
 		if attempt == pol.MaxAttempts {
 			return 0, false
@@ -315,10 +311,8 @@ func (e *Engine) tryRemote(dag *tasks.DAG, cand Estimate, t *time.Duration, dead
 		wait := pol.backoff(attempt)
 		*t += wait
 		out.Retries++
-		if e.metrics != nil {
-			e.metrics.Add("offload.retries", 1)
-			e.metrics.ObserveDuration("offload.backoff_ms", wait)
-		}
+		e.m.retries.Inc()
+		e.m.backoffMS.ObserveDuration(wait)
 		if deadline > 0 && *t >= deadline {
 			return 0, false
 		}
@@ -350,15 +344,12 @@ func (e *Engine) nextRemote(dag *tasks.DAG, t time.Duration, tried map[string]bo
 
 // recordResilient emits the outcome-level resilience metrics.
 func (e *Engine) recordResilient(out Outcome, ok bool) {
-	if e.metrics == nil {
-		return
-	}
 	if ok {
-		e.metrics.Add("offload.resilient.success", 1)
+		e.m.resilientSuccess.Inc()
 	} else {
-		e.metrics.Add("offload.resilient.exhausted", 1)
+		e.m.resilientExhausted.Inc()
 	}
 	if out.Fallbacks > 0 {
-		e.metrics.Add("offload.fallbacks", float64(out.Fallbacks))
+		e.m.fallbacks.Add(float64(out.Fallbacks))
 	}
 }

@@ -42,7 +42,7 @@ func (e *Engine) Pending() int { return e.queue.Len() }
 
 // At schedules fn at absolute virtual time t. Times in the past fire
 // immediately at the current time (the clock never rewinds).
-func (e *Engine) At(t time.Duration, fn func()) *Event {
+func (e *Engine) At(t time.Duration, fn func()) Handle {
 	if t < e.clock.Now() {
 		t = e.clock.Now()
 	}
@@ -50,7 +50,7 @@ func (e *Engine) At(t time.Duration, fn func()) *Event {
 }
 
 // After schedules fn to run d after the current virtual time.
-func (e *Engine) After(d time.Duration, fn func()) *Event {
+func (e *Engine) After(d time.Duration, fn func()) Handle {
 	if d < 0 {
 		d = 0
 	}
@@ -64,12 +64,12 @@ func (e *Engine) Every(d time.Duration, fn func()) (stop func(), err error) {
 		return nil, fmt.Errorf("sim: Every period must be positive, got %v", d)
 	}
 	var (
-		ev      *Event
+		h       Handle
 		halted  bool
 		arrange func()
 	)
 	arrange = func() {
-		ev = e.After(d, func() {
+		h = e.After(d, func() {
 			if halted {
 				return
 			}
@@ -82,12 +82,12 @@ func (e *Engine) Every(d time.Duration, fn func()) (stop func(), err error) {
 	arrange()
 	return func() {
 		halted = true
-		e.queue.Cancel(ev)
+		e.queue.Cancel(h)
 	}, nil
 }
 
 // Cancel removes a scheduled event.
-func (e *Engine) Cancel(ev *Event) { e.queue.Cancel(ev) }
+func (e *Engine) Cancel(h Handle) { e.queue.Cancel(h) }
 
 // Stop makes the current Run call return after the in-flight event.
 func (e *Engine) Stop() { e.stopped = true }
@@ -116,7 +116,11 @@ func (e *Engine) RunUntil(deadline time.Duration) error {
 			return nil
 		}
 		e.clock.Set(ev.At)
-		ev.Fn()
+		fn := ev.Fn
+		e.queue.Release(ev)
+		if fn != nil {
+			fn()
+		}
 		if e.stopped {
 			return ErrStopped
 		}
@@ -140,7 +144,11 @@ func (e *Engine) Drain() error {
 			return nil
 		}
 		e.clock.Set(ev.At)
-		ev.Fn()
+		fn := ev.Fn
+		e.queue.Release(ev)
+		if fn != nil {
+			fn()
+		}
 		if e.stopped {
 			return ErrStopped
 		}

@@ -1,0 +1,76 @@
+package telemetry
+
+import (
+	"testing"
+	"time"
+)
+
+// BenchmarkRegistryAdd measures the classic name-keyed counter bump — the
+// path every hot emitter used before interned handles existed.
+func BenchmarkRegistryAdd(b *testing.B) {
+	r := NewRegistry()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r.Add("offload.executions", 1)
+	}
+}
+
+// BenchmarkRegistryAddDynamicName measures a counter bump whose name is
+// assembled per call (the `offload.execution.<kind>` pattern).
+func BenchmarkRegistryAddDynamicName(b *testing.B) {
+	r := NewRegistry()
+	kinds := [...]string{"rsu", "cloud", "neighbor-vehicle"}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r.Add("offload.execution."+kinds[i%3], 1)
+	}
+}
+
+// BenchmarkCounterHandleAdd measures the interned-handle counter bump the
+// hot emitters use: one lock-free CAS, no registry lock, no name hash.
+func BenchmarkCounterHandleAdd(b *testing.B) {
+	r := NewRegistry()
+	c := r.CounterHandle("offload.executions")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Inc()
+	}
+}
+
+// BenchmarkHistogramHandleObserve measures the interned-handle histogram
+// sample: only the histogram's own lock is taken.
+func BenchmarkHistogramHandleObserve(b *testing.B) {
+	r := NewRegistry()
+	r.EnableReservoir(512, 1)
+	h := r.HistogramHandle("offload.total_ms")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.Observe(float64(i % 97))
+	}
+}
+
+// BenchmarkRegistryObserve measures a name-keyed histogram sample.
+func BenchmarkRegistryObserve(b *testing.B) {
+	r := NewRegistry()
+	r.EnableReservoir(512, 1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r.Observe("offload.total_ms", float64(i%97))
+	}
+}
+
+// BenchmarkRegistryObserveDuration measures the duration-sample wrapper.
+func BenchmarkRegistryObserveDuration(b *testing.B) {
+	r := NewRegistry()
+	r.EnableReservoir(512, 1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r.ObserveDuration("vcu.task_exec_ms", time.Duration(i%977)*time.Microsecond)
+	}
+}

@@ -7,6 +7,12 @@
 // Metric names follow a `component.metric` scheme (for example
 // `ddi.cache.hits`, `offload.uplink_ms`); histogram names carry their unit
 // as a suffix.
+//
+// Hot emitters should resolve interned handles once at construction time —
+// Registry.CounterHandle / Registry.HistogramHandle — and bump those:
+// a Counter.Add is a single lock-free CAS and a HistogramHandle.Observe
+// takes only that histogram's lock, so per-event emission never contends
+// on the registry mutex or re-hashes the metric name.
 package telemetry
 
 import (
@@ -16,18 +22,85 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/sim"
 )
 
+// Counter is an interned counter handle: a single lock-free float64 cell.
+// All methods are nil-safe, so components resolved against a nil registry
+// can bump handles unconditionally.
+//
+// A counter resolved ahead of time but never added to stays invisible to
+// Snapshot/Render/Merge (the touched flag), so pre-resolving handles at
+// construction cannot change reported output versus creating metrics
+// lazily at the first emission.
+type Counter struct {
+	bits    atomic.Uint64 // float64 bits
+	touched atomic.Bool   // set by the first Add
+}
+
+// Add increments the counter by delta.
+func (c *Counter) Add(delta float64) {
+	if c == nil {
+		return
+	}
+	if !c.touched.Load() {
+		c.touched.Store(true)
+	}
+	for {
+		old := c.bits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + delta)
+		if c.bits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Value returns the current count (0 for a nil handle).
+func (c *Counter) Value() float64 {
+	if c == nil {
+		return 0
+	}
+	return math.Float64frombits(c.bits.Load())
+}
+
+// HistogramHandle is an interned histogram handle. Observe takes only this
+// histogram's lock — never the registry's — and is nil-safe.
+type HistogramHandle struct {
+	mu sync.Mutex
+	h  *Histogram
+}
+
+// Observe records a sample.
+func (hh *HistogramHandle) Observe(v float64) {
+	if hh == nil {
+		return
+	}
+	hh.mu.Lock()
+	hh.h.Observe(v)
+	hh.mu.Unlock()
+}
+
+// ObserveDuration records a duration sample in milliseconds.
+func (hh *HistogramHandle) ObserveDuration(d time.Duration) {
+	hh.Observe(float64(d) / float64(time.Millisecond))
+}
+
 // Registry holds named metrics. It is safe for concurrent use (the REST
-// tier reaches it from server goroutines).
+// tier reaches it from server goroutines). The registry mutex guards the
+// name → handle maps; the metric cells themselves are a lock-free Counter
+// or a per-histogram lock, so handle-based emission scales independently
+// of registry traffic.
 type Registry struct {
 	mu         sync.Mutex
-	counters   map[string]float64
+	counters   map[string]*Counter
 	gauges     map[string]float64
-	histograms map[string]*Histogram
+	histograms map[string]*HistogramHandle
 
 	// reservoirK, when positive, bounds every histogram created afterwards
 	// to a deterministic reservoir of k samples (fleet-scale mode).
@@ -38,10 +111,60 @@ type Registry struct {
 // NewRegistry returns an empty registry.
 func NewRegistry() *Registry {
 	return &Registry{
-		counters:   make(map[string]float64),
+		counters:   make(map[string]*Counter),
 		gauges:     make(map[string]float64),
-		histograms: make(map[string]*Histogram),
+		histograms: make(map[string]*HistogramHandle),
 	}
+}
+
+// CounterHandle interns name and returns its counter handle. Resolve once
+// at component construction; the handle stays valid for the registry's
+// lifetime. A nil registry yields a nil (safely inert) handle.
+func (r *Registry) CounterHandle(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	c := r.counterLocked(name)
+	r.mu.Unlock()
+	return c
+}
+
+func (r *Registry) counterLocked(name string) *Counter {
+	c, ok := r.counters[name]
+	if !ok {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// HistogramHandle interns name and returns its histogram handle. Resolve
+// once at component construction. A nil registry yields a nil (safely
+// inert) handle.
+func (r *Registry) HistogramHandle(name string) *HistogramHandle {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	hh := r.histogramLocked(name)
+	r.mu.Unlock()
+	return hh
+}
+
+func (r *Registry) histogramLocked(name string) *HistogramHandle {
+	hh, ok := r.histograms[name]
+	if !ok {
+		var h *Histogram
+		if r.reservoirK > 0 {
+			h = NewReservoirHistogram(r.reservoirK, sim.NewRNG(r.reservoirSeed^int64(hashName(name))))
+		} else {
+			h = &Histogram{}
+		}
+		hh = &HistogramHandle{h: h}
+		r.histograms[name] = hh
+	}
+	return hh
 }
 
 // EnableReservoir switches histogram creation to bounded deterministic
@@ -56,18 +179,18 @@ func (r *Registry) EnableReservoir(k int, seed int64) {
 	r.reservoirSeed = seed
 }
 
-// Add increments a counter.
+// Add increments a counter by name (the convenience path; hot emitters
+// should hold a CounterHandle instead).
 func (r *Registry) Add(name string, delta float64) {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	r.counters[name] += delta
+	r.CounterHandle(name).Add(delta)
 }
 
 // Counter returns a counter's value.
 func (r *Registry) Counter(name string) float64 {
 	r.mu.Lock()
-	defer r.mu.Unlock()
-	return r.counters[name]
+	c := r.counters[name]
+	r.mu.Unlock()
+	return c.Value()
 }
 
 // Set records a gauge's current value.
@@ -85,20 +208,10 @@ func (r *Registry) Gauge(name string) (float64, bool) {
 	return v, ok
 }
 
-// Observe records a sample into a histogram.
+// Observe records a sample into a histogram by name (hot emitters should
+// hold a HistogramHandle instead).
 func (r *Registry) Observe(name string, value float64) {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	h, ok := r.histograms[name]
-	if !ok {
-		if r.reservoirK > 0 {
-			h = NewReservoirHistogram(r.reservoirK, sim.NewRNG(r.reservoirSeed^int64(hashName(name))))
-		} else {
-			h = &Histogram{}
-		}
-		r.histograms[name] = h
-	}
-	h.Observe(value)
+	r.HistogramHandle(name).Observe(value)
 }
 
 // Merge folds src's metrics into r: counters add, gauges take src's value
@@ -114,36 +227,46 @@ func (r *Registry) Merge(src *Registry) {
 	if r == nil || src == nil || r == src {
 		return
 	}
-	// Deep-copy src under its own lock first so the two locks are never
-	// held together (no ordering constraint between registries).
+	// Deep-copy src under its own locks first so the two registries'
+	// mutexes are never held together (no ordering constraint between
+	// registries). Handle locks nest under their registry's mutex.
 	src.mu.Lock()
 	counters := make(map[string]float64, len(src.counters))
-	for n, v := range src.counters {
-		counters[n] = v
+	for n, c := range src.counters {
+		if !c.touched.Load() {
+			continue
+		}
+		counters[n] = c.Value()
 	}
 	gauges := make(map[string]float64, len(src.gauges))
 	for n, v := range src.gauges {
 		gauges[n] = v
 	}
 	hists := make(map[string]*Histogram, len(src.histograms))
-	for n, h := range src.histograms {
-		hists[n] = h.clone()
+	for n, hh := range src.histograms {
+		hh.mu.Lock()
+		if hh.h.count > 0 {
+			hists[n] = hh.h.clone()
+		}
+		hh.mu.Unlock()
 	}
 	src.mu.Unlock()
 
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	for n, v := range counters {
-		r.counters[n] += v
+		r.counterLocked(n).Add(v)
 	}
 	for n, v := range gauges {
 		r.gauges[n] = v
 	}
 	for n, h := range hists {
 		if cur, ok := r.histograms[n]; ok {
-			cur.merge(h)
+			cur.mu.Lock()
+			cur.h.merge(h)
+			cur.mu.Unlock()
 		} else {
-			r.histograms[n] = h
+			r.histograms[n] = &HistogramHandle{h: h}
 		}
 	}
 }
@@ -160,16 +283,22 @@ func (r *Registry) ObserveDuration(name string, d time.Duration) {
 	r.Observe(name, float64(d)/float64(time.Millisecond))
 }
 
-// Histogram returns an isolated copy of the named histogram (nil if
-// absent). The copy keeps collecting independently if observed into.
+// Histogram returns an isolated copy of the named histogram (nil if absent
+// or never observed into). The copy keeps collecting independently if
+// observed into.
 func (r *Registry) Histogram(name string) *Histogram {
 	r.mu.Lock()
-	defer r.mu.Unlock()
-	h, ok := r.histograms[name]
+	hh, ok := r.histograms[name]
+	r.mu.Unlock()
 	if !ok {
 		return nil
 	}
-	return h.clone()
+	hh.mu.Lock()
+	defer hh.mu.Unlock()
+	if hh.h.count == 0 {
+		return nil
+	}
+	return hh.h.clone()
 }
 
 // Histogram stores samples — raw, or a bounded deterministic reservoir
@@ -366,14 +495,21 @@ func (r *Registry) Snapshot() Snapshot {
 		Gauges:     make(map[string]float64, len(r.gauges)),
 		Histograms: make(map[string]HistogramSummary, len(r.histograms)),
 	}
-	for n, v := range r.counters {
-		snap.Counters[n] = v
+	for n, c := range r.counters {
+		if !c.touched.Load() {
+			continue
+		}
+		snap.Counters[n] = c.Value()
 	}
 	for n, v := range r.gauges {
 		snap.Gauges[n] = v
 	}
-	for n, h := range r.histograms {
-		snap.Histograms[n] = h.Summary()
+	for n, hh := range r.histograms {
+		hh.mu.Lock()
+		if hh.h.count > 0 {
+			snap.Histograms[n] = hh.h.Summary()
+		}
+		hh.mu.Unlock()
 	}
 	return snap
 }
@@ -385,12 +521,14 @@ func (r *Registry) Render() string {
 	defer r.mu.Unlock()
 	var b strings.Builder
 	names := make([]string, 0, len(r.counters))
-	for n := range r.counters {
-		names = append(names, n)
+	for n, c := range r.counters {
+		if c.touched.Load() {
+			names = append(names, n)
+		}
 	}
 	sort.Strings(names)
 	for _, n := range names {
-		fmt.Fprintf(&b, "counter %-40s %.2f\n", n, r.counters[n])
+		fmt.Fprintf(&b, "counter %-40s %.2f\n", n, r.counters[n].Value())
 	}
 	names = names[:0]
 	for n := range r.gauges {
@@ -401,12 +539,19 @@ func (r *Registry) Render() string {
 		fmt.Fprintf(&b, "gauge   %-40s %.2f\n", n, r.gauges[n])
 	}
 	names = names[:0]
-	for n := range r.histograms {
-		names = append(names, n)
+	for n, hh := range r.histograms {
+		hh.mu.Lock()
+		if hh.h.count > 0 {
+			names = append(names, n)
+		}
+		hh.mu.Unlock()
 	}
 	sort.Strings(names)
 	for _, n := range names {
-		s := r.histograms[n].Summary()
+		hh := r.histograms[n]
+		hh.mu.Lock()
+		s := hh.h.Summary()
+		hh.mu.Unlock()
 		fmt.Fprintf(&b, "hist    %-40s n=%d mean=%.2f p50=%.2f p95=%.2f max=%.2f\n",
 			n, s.Count, s.Mean, s.P50, s.P95, s.Max)
 	}

@@ -386,3 +386,54 @@ func TestReservoirHistogramMerge(t *testing.T) {
 		t.Fatalf("merged min/max = %v/%v, want 0/199", h.Min(), h.Max())
 	}
 }
+
+// TestPreResolvedHandlesInvisibleUntilUsed: components resolve handles at
+// construction, often for metrics that never fire in a given run. Those
+// must not appear in Snapshot/Render/Merge output — reports stay identical
+// to the old create-on-first-emission behavior.
+func TestPreResolvedHandlesInvisibleUntilUsed(t *testing.T) {
+	r := NewRegistry()
+	idle := r.CounterHandle("offload.breaker.opened")
+	idleHist := r.HistogramHandle("offload.backoff_ms")
+	used := r.CounterHandle("offload.decisions")
+	usedHist := r.HistogramHandle("offload.total_ms")
+	used.Inc()
+	usedHist.Observe(12)
+
+	snap := r.Snapshot()
+	if _, ok := snap.Counters["offload.breaker.opened"]; ok {
+		t.Fatal("untouched counter handle leaked into Snapshot")
+	}
+	if _, ok := snap.Histograms["offload.backoff_ms"]; ok {
+		t.Fatal("unobserved histogram handle leaked into Snapshot")
+	}
+	if snap.Counters["offload.decisions"] != 1 {
+		t.Fatalf("touched counter = %v, want 1", snap.Counters["offload.decisions"])
+	}
+	if snap.Histograms["offload.total_ms"].Count != 1 {
+		t.Fatal("observed histogram missing from Snapshot")
+	}
+	if render := r.Render(); strings.Contains(render, "breaker") || strings.Contains(render, "backoff") {
+		t.Fatalf("untouched handles leaked into Render:\n%s", render)
+	}
+	if r.Histogram("offload.backoff_ms") != nil {
+		t.Fatal("unobserved histogram should read as absent")
+	}
+
+	dst := NewRegistry()
+	dst.Merge(r)
+	if got := dst.Render(); got != r.Render() {
+		t.Fatalf("merge output differs:\n%s\nvs\n%s", got, r.Render())
+	}
+
+	// First use makes the handle visible with the right value.
+	idle.Add(2)
+	idleHist.Observe(5)
+	snap = r.Snapshot()
+	if snap.Counters["offload.breaker.opened"] != 2 {
+		t.Fatalf("counter after first use = %v, want 2", snap.Counters["offload.breaker.opened"])
+	}
+	if snap.Histograms["offload.backoff_ms"].Count != 1 {
+		t.Fatal("histogram after first observe missing")
+	}
+}

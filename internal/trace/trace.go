@@ -14,7 +14,7 @@
 package trace
 
 import (
-	"fmt"
+	"strconv"
 	"sync"
 	"time"
 )
@@ -30,16 +30,18 @@ type Attr struct {
 func String(key, value string) Attr { return Attr{Key: key, Value: value} }
 
 // Int builds an integer attribute.
-func Int(key string, v int) Attr { return Attr{Key: key, Value: fmt.Sprintf("%d", v)} }
+func Int(key string, v int) Attr { return Attr{Key: key, Value: strconv.Itoa(v)} }
 
 // F64 builds a float attribute with stable two-decimal rendering.
-func F64(key string, v float64) Attr { return Attr{Key: key, Value: fmt.Sprintf("%.2f", v)} }
+func F64(key string, v float64) Attr {
+	return Attr{Key: key, Value: strconv.FormatFloat(v, 'f', 2, 64)}
+}
 
 // Dur builds a duration attribute.
 func Dur(key string, d time.Duration) Attr { return Attr{Key: key, Value: d.String()} }
 
 // Bool builds a boolean attribute.
-func Bool(key string, v bool) Attr { return Attr{Key: key, Value: fmt.Sprintf("%v", v)} }
+func Bool(key string, v bool) Attr { return Attr{Key: key, Value: strconv.FormatBool(v)} }
 
 // Span is one timed operation in the trace tree. Start and End are virtual
 // times. Fields are read by exporters under the tracer's lock; mutate only
@@ -70,7 +72,17 @@ type Tracer struct {
 	nextID  int
 	limit   int
 	dropped int
+	pool    []*Span // reclaimed by Reset, reused by newSpanLocked
 }
+
+// Enabled reports whether spans are being recorded. Hot call sites guard
+// attribute construction with it so disabled tracing (a nil *Tracer) costs
+// zero allocations:
+//
+//	if tr.Enabled() {
+//		tr.SpanAt("network", "network.uplink", a, b, trace.F64("bytes", n))
+//	}
+func (t *Tracer) Enabled() bool { return t != nil }
 
 // New returns a tracer reading virtual time from clock (typically
 // sim.Engine.Now). A nil clock stamps zero times; explicit-time calls still
@@ -143,14 +155,31 @@ func (t *Tracer) newSpanLocked(component, name string, start time.Duration, attr
 		return nil
 	}
 	t.nextID++
-	s := &Span{
-		tracer:    t,
-		id:        t.nextID,
-		Name:      name,
-		Component: component,
-		Start:     start,
-		End:       start,
-		Attrs:     attrs,
+	var s *Span
+	if n := len(t.pool); n > 0 {
+		s = t.pool[n-1]
+		t.pool[n-1] = nil
+		t.pool = t.pool[:n-1]
+		*s = Span{
+			tracer:    t,
+			id:        t.nextID,
+			Name:      name,
+			Component: component,
+			Start:     start,
+			End:       start,
+			Attrs:     attrs,
+			Children:  s.Children[:0],
+		}
+	} else {
+		s = &Span{
+			tracer:    t,
+			id:        t.nextID,
+			Name:      name,
+			Component: component,
+			Start:     start,
+			End:       start,
+			Attrs:     attrs,
+		}
 	}
 	if n := len(t.stack); n > 0 {
 		parent := t.stack[n-1]
@@ -305,14 +334,31 @@ func subtreeSize(s *Span) int {
 }
 
 // Reset discards all recorded spans (the open stack included) but keeps the
-// clock and cap.
+// clock and cap. The discarded span structs are reclaimed into a free pool
+// and reused by later spans, so repeated record/Reset cycles (replication
+// loops, benchmarks) amortize to zero span allocations. Span pointers
+// obtained before a Reset — including Roots() slices — must not be used
+// afterwards.
 func (t *Tracer) Reset() {
 	if t == nil {
 		return
 	}
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	t.roots, t.stack, t.nextID, t.dropped = nil, nil, 0, 0
+	var reclaim func(s *Span)
+	reclaim = func(s *Span) {
+		for _, c := range s.Children {
+			reclaim(c)
+		}
+		s.Parent = nil
+		s.Attrs = nil
+		s.Children = s.Children[:0]
+		t.pool = append(t.pool, s)
+	}
+	for _, r := range t.roots {
+		reclaim(r)
+	}
+	t.roots, t.stack, t.nextID, t.dropped = t.roots[:0], t.stack[:0], 0, 0
 }
 
 // Components returns the sorted set of component names present in the

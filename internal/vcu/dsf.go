@@ -23,6 +23,22 @@ type DSF struct {
 
 	tracer  *trace.Tracer
 	metrics *telemetry.Registry
+	m       dsfMetrics
+}
+
+// dsfMetrics holds the DSF's interned metric handles, resolved once in
+// Instrument. All handles are nil-safe, so an uninstrumented DSF emits
+// through them for free.
+type dsfMetrics struct {
+	plans          *telemetry.Counter
+	planMakespan   *telemetry.HistogramHandle
+	tasksCommitted *telemetry.Counter
+	queueWait      *telemetry.HistogramHandle
+	taskExec       *telemetry.HistogramHandle
+	commits        *telemetry.Counter
+	makespan       *telemetry.HistogramHandle
+	energy         *telemetry.Counter
+	deviceTasks    map[string]*telemetry.Counter // per-device, interned lazily
 }
 
 // Instrument attaches a tracer and metrics registry (either may be nil).
@@ -30,6 +46,30 @@ type DSF struct {
 func (s *DSF) Instrument(tr *trace.Tracer, reg *telemetry.Registry) {
 	s.tracer = tr
 	s.metrics = reg
+	s.m = dsfMetrics{
+		plans:          reg.CounterHandle("vcu.plans"),
+		planMakespan:   reg.HistogramHandle("vcu.plan_makespan_ms"),
+		tasksCommitted: reg.CounterHandle("vcu.tasks_committed"),
+		queueWait:      reg.HistogramHandle("vcu.queue_wait_ms"),
+		taskExec:       reg.HistogramHandle("vcu.task_exec_ms"),
+		commits:        reg.CounterHandle("vcu.commits"),
+		makespan:       reg.HistogramHandle("vcu.makespan_ms"),
+		energy:         reg.CounterHandle("vcu.energy_j"),
+		deviceTasks:    make(map[string]*telemetry.Counter),
+	}
+}
+
+// deviceTaskCounter interns the per-device commit counter on first use.
+func (s *DSF) deviceTaskCounter(name string) *telemetry.Counter {
+	if s.metrics == nil {
+		return nil
+	}
+	c, ok := s.m.deviceTasks[name]
+	if !ok {
+		c = s.metrics.CounterHandle("vcu.device." + name + ".tasks")
+		s.m.deviceTasks[name] = c
+	}
+	return c
 }
 
 // NewDSF builds a scheduler over the platform with the given policy.
@@ -104,15 +144,15 @@ func (s *DSF) Plan(dag *tasks.DAG, now time.Duration) (*Plan, error) {
 	if err != nil {
 		return nil, err
 	}
-	if s.metrics != nil {
-		s.metrics.Add("vcu.plans", 1)
-		s.metrics.ObserveDuration("vcu.plan_makespan_ms", plan.Makespan)
+	s.m.plans.Inc()
+	s.m.planMakespan.ObserveDuration(plan.Makespan)
+	if s.tracer.Enabled() {
+		s.tracer.SpanAt("vcu", "vcu.plan", now, now+plan.Makespan,
+			trace.String("dag", dag.Name),
+			trace.String("policy", s.policy.Name()),
+			trace.Int("tasks", len(plan.Assignments)),
+			trace.F64("energy_j", plan.EnergyJ))
 	}
-	s.tracer.SpanAt("vcu", "vcu.plan", now, now+plan.Makespan,
-		trace.String("dag", dag.Name),
-		trace.String("policy", s.policy.Name()),
-		trace.Int("tasks", len(plan.Assignments)),
-		trace.F64("energy_j", plan.EnergyJ))
 	return plan, nil
 }
 
@@ -171,16 +211,16 @@ func (s *DSF) Commit(dag *tasks.DAG, plan *Plan) (*Plan, error) {
 			return nil, fmt.Errorf("commit %s on %s: %w", t.ID, dev.Name(), err)
 		}
 		finishOf[t.ID] = finish
-		s.tracer.SpanAt("vcu", "vcu.task", start, finish,
-			trace.String("task", t.ID),
-			trace.String("device", dev.Name()),
-			trace.Dur("queue_wait", start-ready))
-		if s.metrics != nil {
-			s.metrics.Add("vcu.tasks_committed", 1)
-			s.metrics.ObserveDuration("vcu.queue_wait_ms", start-ready)
-			s.metrics.ObserveDuration("vcu.task_exec_ms", finish-start)
-			s.metrics.Add("vcu.device."+dev.Name()+".tasks", 1)
+		if s.tracer.Enabled() {
+			s.tracer.SpanAt("vcu", "vcu.task", start, finish,
+				trace.String("task", t.ID),
+				trace.String("device", dev.Name()),
+				trace.Dur("queue_wait", start-ready))
 		}
+		s.m.tasksCommitted.Inc()
+		s.m.queueWait.ObserveDuration(start - ready)
+		s.m.taskExec.ObserveDuration(finish - start)
+		s.deviceTaskCounter(dev.Name()).Inc()
 		committed.Assignments = append(committed.Assignments, Assignment{
 			TaskID:  t.ID,
 			Device:  dev.Name(),
@@ -205,11 +245,9 @@ func (s *DSF) Commit(dag *tasks.DAG, plan *Plan) (*Plan, error) {
 		commitStart = base
 	}
 	committedOK = true
-	if s.metrics != nil {
-		s.metrics.Add("vcu.commits", 1)
-		s.metrics.ObserveDuration("vcu.makespan_ms", committed.Makespan)
-		s.metrics.Add("vcu.energy_j", committed.EnergyJ)
-	}
+	s.m.commits.Inc()
+	s.m.makespan.ObserveDuration(committed.Makespan)
+	s.m.energy.Add(committed.EnergyJ)
 	s.history = append(s.history, committed)
 	return committed, nil
 }

@@ -56,6 +56,15 @@ type Site struct {
 	execs     []*hardware.Executor
 	available bool
 	faultFn   FaultFunc
+
+	// svcRates memoizes, per task class, each executor's effective
+	// throughput (GFLOPS; <= 0 when the executor cannot run the class).
+	// Processors are immutable after construction, so the entries stay
+	// valid for the site's lifetime; SetAvailable still drops the cache
+	// defensively so availability flips (fault injection) can never serve
+	// stale estimates. bestExec reads these instead of re-resolving the
+	// throughput table per executor per estimate.
+	svcRates map[hardware.Class][]float64
 }
 
 // FaultFunc inspects a submission at virtual time now and returns a
@@ -172,8 +181,12 @@ func (s *Site) Station() geo.Station { return s.station }
 
 // SetAvailable marks the site up or down (maintenance, backhaul cut). An
 // unavailable site is unreachable from everywhere and rejects direct
-// submissions and estimates.
-func (s *Site) SetAvailable(up bool) { s.available = up }
+// submissions and estimates. The service-rate cache is invalidated so an
+// availability transition always re-derives estimates from live state.
+func (s *Site) SetAvailable(up bool) {
+	s.available = up
+	s.svcRates = nil
+}
 
 // SetFaultInjector installs fn as the site's submission-time fault hook
 // (nil removes it). When fn returns an error, Submit fails without
@@ -194,21 +207,51 @@ func (s *Site) Reachable(p geo.Point) bool {
 	return s.station.Covers(p)
 }
 
+// ratesFor returns the memoized per-executor throughput for a task class,
+// computing and caching it on first use.
+func (s *Site) ratesFor(class hardware.Class) []float64 {
+	rates, ok := s.svcRates[class]
+	if ok {
+		return rates
+	}
+	rates = make([]float64, len(s.execs))
+	for i, e := range s.execs {
+		rates[i] = e.Processor().EffectiveGFLOPS(class)
+	}
+	if s.svcRates == nil {
+		s.svcRates = make(map[hardware.Class][]float64)
+	}
+	s.svcRates[class] = rates
+	return rates
+}
+
 // bestExec picks the executor with the earliest finish for the work. A
 // site marked down via SetAvailable rejects work outright: Reachable is
 // only consulted on the estimation path, so without this check a direct
-// submit to a down site would silently succeed.
+// submit to a down site would silently succeed. Service times come from
+// the memoized class rates, so the per-task estimate loop does no
+// throughput-table lookups and allocates nothing for incompatible
+// executors.
 func (s *Site) bestExec(now time.Duration, class hardware.Class, gflop float64) (*hardware.Executor, time.Duration, error) {
 	if !s.available {
 		return nil, 0, fmt.Errorf("xedge: site %s is unavailable", s.name)
 	}
+	if gflop < 0 {
+		// Matches the pre-cache outcome: every executor rejected the work.
+		return nil, 0, fmt.Errorf("xedge: site %s cannot run %v work", s.name, class)
+	}
+	rates := s.ratesFor(class)
 	var best *hardware.Executor
 	var bestFinish time.Duration
-	for _, e := range s.execs {
-		finish, err := e.EstimateFinish(now, class, gflop)
-		if err != nil {
+	for i, e := range s.execs {
+		rate := rates[i]
+		if rate <= 0 {
 			continue
 		}
+		// Same arithmetic as hardware.Processor.ExecTime, so cached and
+		// uncached estimates agree to the nanosecond.
+		exec := time.Duration(gflop / rate * float64(time.Second))
+		finish := e.EarliestStart(now) + exec
 		if best == nil || finish < bestFinish {
 			best, bestFinish = e, finish
 		}

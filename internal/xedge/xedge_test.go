@@ -261,3 +261,76 @@ func TestFaultInjectorGatesSubmit(t *testing.T) {
 		t.Fatalf("submit after removing hook: %v", err)
 	}
 }
+
+// TestRateCacheMatchesExecutorEstimates: the memoized class-rate path in
+// bestExec must agree exactly with the executors' own EstimateFinish, on
+// first use (cache fill) and on repeat use (cache hit), across classes
+// and queue depths.
+func TestRateCacheMatchesExecutorEstimates(t *testing.T) {
+	s, _ := NewRSU(rsuStation())
+	classes := []hardware.Class{hardware.DNNInference, hardware.General, hardware.Codec}
+	ref := func(now time.Duration, c hardware.Class, gflop float64) (time.Duration, bool) {
+		var best time.Duration
+		found := false
+		for _, e := range s.execs {
+			finish, err := e.EstimateFinish(now, c, gflop)
+			if err != nil {
+				continue
+			}
+			if !found || finish < best {
+				best, found = finish, true
+			}
+		}
+		return best, found
+	}
+	for round := 0; round < 3; round++ {
+		for i, c := range classes {
+			now := time.Duration(round*50+i) * time.Millisecond
+			gflop := float64(10 + 37*i + round)
+			want, feasible := ref(now, c, gflop)
+			got, err := s.EstimateExec(now, c, gflop)
+			if !feasible {
+				if err == nil {
+					t.Fatalf("round %d class %v: cache feasible, reference not", round, c)
+				}
+				continue
+			}
+			if err != nil {
+				t.Fatalf("round %d class %v: %v", round, c, err)
+			}
+			if got != want {
+				t.Fatalf("round %d class %v: cached estimate %v != reference %v", round, c, got, want)
+			}
+		}
+		// Load the site so queue state changes between rounds.
+		if _, _, err := s.Submit(0, hardware.DNNInference, 200); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestRateCacheSurvivesAvailabilityFlip: SetAvailable drops the cache;
+// estimates must fail while down and return to exact agreement after the
+// site comes back.
+func TestRateCacheSurvivesAvailabilityFlip(t *testing.T) {
+	s, _ := NewRSU(rsuStation())
+	before, err := s.EstimateExec(0, hardware.DNNInference, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.SetAvailable(false)
+	if _, err := s.EstimateExec(0, hardware.DNNInference, 100); err == nil {
+		t.Fatal("estimate succeeded on a down site")
+	}
+	if s.svcRates != nil {
+		t.Fatal("SetAvailable did not drop the rate cache")
+	}
+	s.SetAvailable(true)
+	after, err := s.EstimateExec(0, hardware.DNNInference, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after != before {
+		t.Fatalf("estimate changed across availability flip: %v != %v", after, before)
+	}
+}
