@@ -22,22 +22,29 @@ verify:
 	$(GO) test -race ./...
 
 # determinism runs the E14 chaos sweep twice with the same seed at
-# different worker-pool sizes and requires byte-identical reports: the
-# sharded runner must not leak scheduling order into results, telemetry,
-# or fault plans.
+# different worker-pool sizes, and the E16 scaling sweep at two shard
+# counts, requiring byte-identical reports both times: neither the
+# sharded replication runner nor the epoch-barrier fleet executor may
+# leak scheduling order into results, telemetry, or fault plans.
 determinism:
 	$(GO) build -o /tmp/vdapbench ./cmd/vdapbench
 	/tmp/vdapbench -exp chaos -seed 7 -reps 4 -parallel 1 > /tmp/chaos-p1.txt
 	/tmp/vdapbench -exp chaos -seed 7 -reps 4 -parallel 4 > /tmp/chaos-p4.txt
 	diff -u /tmp/chaos-p1.txt /tmp/chaos-p4.txt
 	@echo "determinism: chaos reports byte-identical across -parallel levels"
+	/tmp/vdapbench -exp scale -seed 7 -vehicles 60,120 -shards 1 -benchout /tmp/scale-s1.json 2>/dev/null > /tmp/scale-s1.txt
+	/tmp/vdapbench -exp scale -seed 7 -vehicles 60,120 -shards 4 -benchout /tmp/scale-s4.json 2>/dev/null > /tmp/scale-s4.txt
+	diff -u /tmp/scale-s1.txt /tmp/scale-s4.txt
+	@echo "determinism: scale reports byte-identical across -shards levels"
 
-# bench runs the tracked E15 hot-path suite and refreshes BENCH_PERF.json
-# (schema openvdap.bench_perf/v1) — one point in the repo's performance
-# trajectory. For the raw per-package microbenchmarks use `make microbench`.
+# bench runs the tracked E15 hot-path suite and the E16 scaling sweep,
+# refreshing BENCH_PERF.json (schema openvdap.bench_perf/v1) — one point
+# in the repo's performance trajectory. For the raw per-package
+# microbenchmarks use `make microbench`.
 bench:
 	$(GO) build -o /tmp/vdapbench ./cmd/vdapbench
 	/tmp/vdapbench -exp perf -benchout BENCH_PERF.json
+	/tmp/vdapbench -exp scale -benchout BENCH_PERF.json
 
 microbench:
 	$(GO) test -bench=. -benchmem ./...

@@ -13,6 +13,8 @@ import (
 	"os"
 	"runtime"
 	"runtime/pprof"
+	"strconv"
+	"strings"
 	"time"
 
 	"repro/internal/experiments"
@@ -22,14 +24,16 @@ import (
 
 func main() {
 	var (
-		exp        = flag.String("exp", "all", "experiment: all|table1|fig2|fig3|dsf|elastic|arch|compress|retrain|pbeam|collab|commute|fleet|sweep|chaos|hdmap|ddi|perf")
+		exp        = flag.String("exp", "all", "experiment: all|table1|fig2|fig3|dsf|elastic|arch|compress|retrain|pbeam|collab|commute|fleet|sweep|chaos|hdmap|ddi|perf|scale")
 		seed       = flag.Int64("seed", 42, "random seed")
 		duration   = flag.Duration("duration", 5*time.Minute, "figure-2 stream duration")
 		dir        = flag.String("dir", "", "DDI scratch directory (default: temp)")
 		traceOut   = flag.String("trace", "", "write a Chrome trace_event JSON file (supported by -exp arch and -exp sweep)")
 		reps       = flag.Int("reps", 8, "replications for -exp sweep/chaos")
 		parallel   = flag.Int("parallel", runtime.GOMAXPROCS(0), "worker-pool size for -exp sweep/chaos (output is byte-identical at any level)")
-		benchOut   = flag.String("benchout", "BENCH_PERF.json", "output path for the -exp perf report")
+		benchOut   = flag.String("benchout", "BENCH_PERF.json", "output path for the -exp perf / -exp scale report")
+		shards     = flag.Int("shards", 0, "-exp scale shard count (0 = sweep 1,2,4,8; simulation output is identical for every value)")
+		vehicles   = flag.String("vehicles", "", "-exp scale comma-separated fleet sizes (default 100,1000,10000)")
 		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProfile = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
@@ -47,7 +51,7 @@ func main() {
 		}
 		defer pprof.StopCPUProfile()
 	}
-	if err := run(*exp, *seed, *duration, *dir, *traceOut, *benchOut, *reps, *parallel); err != nil {
+	if err := run(*exp, *seed, *duration, *dir, *traceOut, *benchOut, *vehicles, *reps, *parallel, *shards); err != nil {
 		fmt.Fprintln(os.Stderr, "vdapbench:", err)
 		os.Exit(1)
 	}
@@ -66,7 +70,24 @@ func main() {
 	}
 }
 
-func run(exp string, seed int64, duration time.Duration, dir, traceOut, benchOut string, reps, parallel int) error {
+// parseFleetSizes turns the -vehicles flag into a fleet-size list; an
+// empty flag defers to the experiment's defaults.
+func parseFleetSizes(s string) ([]int, error) {
+	if s == "" {
+		return nil, nil
+	}
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || n < 1 {
+			return nil, fmt.Errorf("bad -vehicles entry %q", part)
+		}
+		out = append(out, n)
+	}
+	return out, nil
+}
+
+func run(exp string, seed int64, duration time.Duration, dir, traceOut, benchOut, vehicles string, reps, parallel, shards int) error {
 	// With -trace, instrument-aware experiments report spans and metrics;
 	// virtual-time determinism makes the file byte-identical per seed.
 	var tracer *trace.Tracer
@@ -244,6 +265,33 @@ func run(exp string, seed int64, duration time.Duration, dir, traceOut, benchOut
 				return err
 			}
 			fmt.Fprintf(os.Stderr, "vdapbench: wrote %s (%s)\n", benchOut, experiments.PerfSchema)
+			return nil
+		},
+		// scale is E16: like perf it is a meta-benchmark (machine-dependent
+		// wall clock) and so excluded from -exp all. Its stdout carries only
+		// the deterministic simulation table — `make determinism` diffs it
+		// between -shards values — while wall-clock timing goes to stderr
+		// and BENCH_PERF.json.
+		"scale": func() error {
+			sizes, err := parseFleetSizes(vehicles)
+			if err != nil {
+				return err
+			}
+			cfg := experiments.ScaleConfig{Vehicles: sizes, Seed: seed}
+			if shards > 0 {
+				cfg.Shards = []int{shards}
+			}
+			res, err := experiments.RunScale(cfg)
+			if err != nil {
+				return err
+			}
+			fmt.Println(experiments.ScaleTable(res))
+			fmt.Fprintln(os.Stderr, experiments.ScaleTimingTable(res))
+			if err := experiments.MergeScaleIntoPerfReport(benchOut, res); err != nil {
+				return err
+			}
+			fmt.Fprintf(os.Stderr, "vdapbench: merged %d fleet.scale rows into %s (%s)\n",
+				len(res.Timing), benchOut, experiments.PerfSchema)
 			return nil
 		},
 		"ddi": func() error {

@@ -16,7 +16,7 @@ func TestRunEachExperiment(t *testing.T) {
 	for _, exp := range fast {
 		exp := exp
 		t.Run(exp, func(t *testing.T) {
-			if err := run(exp, 7, 4*time.Second, t.TempDir(), "", "", 4, 2); err != nil {
+			if err := run(exp, 7, 4*time.Second, t.TempDir(), "", "", "", 4, 2, 0); err != nil {
 				t.Fatalf("run(%s): %v", exp, err)
 			}
 		})
@@ -24,13 +24,13 @@ func TestRunEachExperiment(t *testing.T) {
 }
 
 func TestRunFig2Short(t *testing.T) {
-	if err := run("fig2", 7, 4*time.Second, "", "", "", 4, 2); err != nil {
+	if err := run("fig2", 7, 4*time.Second, "", "", "", "", 4, 2, 0); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunDDI(t *testing.T) {
-	if err := run("ddi", 7, time.Second, t.TempDir(), "", "", 4, 2); err != nil {
+	if err := run("ddi", 7, time.Second, t.TempDir(), "", "", "", 4, 2, 0); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -68,7 +68,7 @@ func captureStdout(t *testing.T, f func() error) []byte {
 func TestRunSweepDeterministicAcrossParallel(t *testing.T) {
 	at := func(parallel int) []byte {
 		return captureStdout(t, func() error {
-			return run("sweep", 42, time.Second, "", "", "", 8, parallel)
+			return run("sweep", 42, time.Second, "", "", "", "", 8, parallel, 0)
 		})
 	}
 	serial := at(1)
@@ -83,6 +83,45 @@ func TestRunSweepDeterministicAcrossParallel(t *testing.T) {
 	}
 }
 
+// TestRunScaleDeterministicAcrossShards: the acceptance criterion for
+// the epoch-barrier fleet executor — the E16 stdout (deterministic
+// simulation table, digests included) must be byte-identical between
+// -shards 1 and -shards 4 for the same seed, and the merged
+// BENCH_PERF.json must carry the fleet.scale rows.
+func TestRunScaleDeterministicAcrossShards(t *testing.T) {
+	at := func(shards int) []byte {
+		bench := filepath.Join(t.TempDir(), "bench.json")
+		out := captureStdout(t, func() error {
+			return run("scale", 42, time.Second, "", "", bench, "64", 4, 2, shards)
+		})
+		data, err := os.ReadFile(bench)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Contains(data, []byte("fleet.scale.v64")) {
+			t.Fatalf("bench report missing fleet.scale rows:\n%s", data)
+		}
+		return out
+	}
+	if single, quad := at(1), at(4); !bytes.Equal(single, quad) {
+		t.Fatalf("-shards 4 stdout differs from -shards 1:\n--- 1 ---\n%s\n--- 4 ---\n%s", single, quad)
+	}
+}
+
+func TestParseFleetSizes(t *testing.T) {
+	if got, err := parseFleetSizes(" 100, 1000 "); err != nil || len(got) != 2 || got[0] != 100 || got[1] != 1000 {
+		t.Fatalf("parseFleetSizes = %v, %v", got, err)
+	}
+	if got, err := parseFleetSizes(""); err != nil || got != nil {
+		t.Fatalf("empty flag = %v, %v", got, err)
+	}
+	for _, bad := range []string{"x", "0", "-3", "1,,2"} {
+		if _, err := parseFleetSizes(bad); err == nil {
+			t.Fatalf("parseFleetSizes(%q) accepted", bad)
+		}
+	}
+}
+
 // TestRunArchTraced checks the -trace path: the arch experiment must emit
 // a valid Chrome trace covering the five component lanes, byte-identical
 // across same-seed runs.
@@ -90,7 +129,7 @@ func TestRunArchTraced(t *testing.T) {
 	once := func() []byte {
 		t.Helper()
 		out := filepath.Join(t.TempDir(), "out.json")
-		if err := run("arch", 7, time.Second, "", out, "", 4, 2); err != nil {
+		if err := run("arch", 7, time.Second, "", out, "", "", 4, 2, 0); err != nil {
 			t.Fatal(err)
 		}
 		data, err := os.ReadFile(out)
@@ -129,7 +168,7 @@ func TestRunArchTraced(t *testing.T) {
 }
 
 func TestRunUnknownExperiment(t *testing.T) {
-	if err := run("warp-drive", 1, time.Second, "", "", "", 4, 2); err == nil {
+	if err := run("warp-drive", 1, time.Second, "", "", "", "", 4, 2, 0); err == nil {
 		t.Fatal("unknown experiment accepted")
 	}
 }

@@ -139,12 +139,16 @@ func (s *DiskStore) Get(id uint64) (Record, bool) {
 	return *r, true
 }
 
-// Select returns matching records in time order.
+// Select returns matching records in time order. The (At, ID)-sorted
+// index is binary-searched for the query's time-window bounds, so a
+// narrow window over a large store visits only the window's records
+// instead of scanning the whole log; source/spatial/limit filters still
+// apply per record inside the window.
 func (s *DiskStore) Select(q Query) []Record {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	var out []Record
-	for _, id := range s.byTime {
+	for _, id := range s.windowLocked(q.From, q.To) {
 		r := s.index[id]
 		if !q.Matches(r) {
 			continue
@@ -155,6 +159,22 @@ func (s *DiskStore) Select(q Query) []Record {
 		}
 	}
 	return out
+}
+
+// windowLocked narrows byTime to the IDs whose capture time satisfies the
+// query window — At >= from, and At <= to when to > 0 (Query.To zero
+// means unbounded above, matching Query.Matches exactly).
+func (s *DiskStore) windowLocked(from, to time.Duration) []uint64 {
+	lo := sort.Search(len(s.byTime), func(i int) bool {
+		return s.index[s.byTime[i]].At >= from
+	})
+	hi := len(s.byTime)
+	if to > 0 {
+		hi = lo + sort.Search(len(s.byTime)-lo, func(i int) bool {
+			return s.index[s.byTime[lo+i]].At > to
+		})
+	}
+	return s.byTime[lo:hi]
 }
 
 // DeleteBefore removes records captured strictly before t (used after

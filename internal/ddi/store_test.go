@@ -237,3 +237,69 @@ func TestStoreReopenFuzz(t *testing.T) {
 		}
 	}
 }
+
+// fullScanSelect is the reference O(n) implementation Select replaced:
+// walk the whole time-sorted index, filter with Query.Matches.
+func fullScanSelect(s *DiskStore, q Query) []Record {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var out []Record
+	for _, id := range s.byTime {
+		r := s.index[id]
+		if !q.Matches(r) {
+			continue
+		}
+		out = append(out, *r)
+		if q.Limit > 0 && len(out) >= q.Limit {
+			break
+		}
+	}
+	return out
+}
+
+// TestSelectWindowSearchMatchesFullScan: the binary-searched window is a
+// pure optimization — for randomized out-of-order records and every query
+// shape (open/closed/empty/inverted windows, boundary-exact times,
+// source+spatial filters, limits), Select returns exactly what the full
+// scan did.
+func TestSelectWindowSearchMatchesFullScan(t *testing.T) {
+	s := openStore(t)
+	rng := sim.NewStream(17, 0)
+	sources := []Source{SourceOBD, SourceGPS, SourceCamera, SourceLiDAR}
+	for i := 0; i < 400; i++ {
+		// Coarse timestamps force long equal-At runs, exercising the
+		// (At, ID) tiebreak at the window boundaries.
+		at := time.Duration(rng.Intn(50)) * 100 * time.Millisecond
+		r := rec(sources[rng.Intn(len(sources))], at, rng.Uniform(-500, 500))
+		r.Y = rng.Uniform(-500, 500)
+		if _, err := s.Put(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	queries := []Query{
+		{},                      // everything
+		{From: 0, To: 0},        // unbounded
+		{From: 2 * time.Second}, // open above
+		{To: 2 * time.Second},   // bounded above only
+		{From: time.Second, To: 3 * time.Second},
+		{From: 2500 * time.Millisecond, To: 2500 * time.Millisecond}, // single instant
+		{From: 3 * time.Second, To: time.Second},                     // inverted: empty
+		{From: 10 * time.Minute},                                     // past the data
+		{From: time.Second, To: 4 * time.Second, Source: SourceGPS},
+		{From: time.Second, To: 4 * time.Second, X: 0, Y: 0, Radius: 200},
+		{From: time.Second, To: 4 * time.Second, Limit: 7},
+		{Source: SourceCamera, Limit: 3},
+	}
+	for qi, q := range queries {
+		got := s.Select(q)
+		want := fullScanSelect(s, q)
+		if len(got) != len(want) {
+			t.Fatalf("query %d: %d results, full scan found %d", qi, len(got), len(want))
+		}
+		for i := range got {
+			if got[i].ID != want[i].ID {
+				t.Fatalf("query %d result %d: ID %d, full scan %d", qi, i, got[i].ID, want[i].ID)
+			}
+		}
+	}
+}

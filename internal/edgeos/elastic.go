@@ -82,6 +82,11 @@ type ElasticManager struct {
 
 	tracer  *trace.Tracer
 	metrics *telemetry.Registry
+
+	// prep is the manager's single in-flight invocation, reused across
+	// rounds so the steady-state invoke path allocates nothing for the
+	// decision/commit split (see PrepareInvoke).
+	prep PreparedInvocation
 }
 
 // Instrument attaches a tracer and metrics registry (either may be nil).
@@ -251,72 +256,120 @@ func (m *ElasticManager) Choose(name string, now time.Duration) (Choice, []Choic
 	return best, choices, true, nil
 }
 
-// Invoke runs one service invocation end to end: choose a pipeline,
-// execute it (committing device/site reservations), and record stats. A
-// service with no viable pipeline is hung up and the invocation reports
-// HungUp without executing; a later successful Choose resumes it.
-func (m *ElasticManager) Invoke(name string, now time.Duration) (InvocationResult, error) {
-	span := m.tracer.StartSpanAt("edgeos", "edgeos.invoke", now,
-		trace.String("service", name))
-	res, err := m.invoke(name, now)
-	switch {
-	case err != nil:
-		span.SetAttr(trace.String("error", err.Error()))
-		span.FinishAt(now)
-	case res.HungUp:
-		span.SetAttr(trace.Bool("hungup", true))
-		span.FinishAt(now)
-	default:
-		span.SetAttr(trace.String("pipeline", res.Pipeline),
-			trace.String("dest", res.Dest))
-		span.FinishAt(res.Completed)
-	}
-	if err == nil && m.metrics != nil {
-		m.metrics.Add("edgeos.invocations", 1)
-		m.metrics.Add("edgeos.service."+name+".invocations", 1)
-		if res.HungUp {
-			m.metrics.Add("edgeos.hangups", 1)
-		} else {
-			m.metrics.ObserveDuration("edgeos.invoke_ms", res.Latency)
-			m.metrics.Add("edgeos.pipeline."+res.Pipeline, 1)
-			m.metrics.Observe("edgeos.energy_j", res.EnergyJ)
-			if res.FellBackTo != "" {
-				m.metrics.Add("edgeos.fallbacks", 1)
-			}
-			if res.Degraded {
-				m.metrics.Add("edgeos.degraded", 1)
-			}
-			if res.DeadlineMet {
-				m.metrics.Add("edgeos.deadline_hits", 1)
-			}
-		}
-	}
-	return res, err
+// PreparedInvocation is the product of the decision step of an
+// invocation: the chosen pipeline and estimate, plus the open `edgeos`
+// span that CommitInvoke later closes. Between PrepareInvoke and
+// CommitInvoke nothing shared is reserved — shared sites were only read —
+// so a fleet can prepare many vehicles' invocations concurrently and
+// commit them in canonical order afterwards (the epoch-barrier model, see
+// fleet.ShardedInvokeAll). A prepared invocation is single-use.
+type PreparedInvocation struct {
+	m    *ElasticManager
+	name string
+	svc  *Service
+	best Choice
+	now  time.Duration
+	span *trace.Span
+
+	// done marks invocations that finished during Prepare (hang-ups and
+	// errors); CommitInvoke then just replays the stored outcome.
+	done bool
+	res  InvocationResult
+	err  error
 }
 
-// invoke is the uninstrumented body of Invoke.
-func (m *ElasticManager) invoke(name string, now time.Duration) (InvocationResult, error) {
+// Local reports whether committing this invocation touches only
+// vehicle-local state (the on-board VCU). Hang-ups and errors are local
+// by definition; chosen on-board pipelines stay local even under a
+// resilience policy, whose degradation ladder only ever walks *toward*
+// the vehicle. Local commits may therefore run inside the parallel
+// decision phase; non-local ones mutate shared sites and belong to the
+// single-threaded commit phase.
+func (p *PreparedInvocation) Local() bool {
+	return p.done || p.best.Estimate.Dest == offload.OnboardName
+}
+
+// HungUp reports whether the decision step hung the service up (no viable
+// pipeline); the commit step will not execute anything.
+func (p *PreparedInvocation) HungUp() bool { return p.done && p.err == nil && p.res.HungUp }
+
+// Err returns the decision-step error, if any (unknown/stopped service).
+func (p *PreparedInvocation) Err() error { return p.err }
+
+// PrepareInvoke runs the decision step of one invocation: choose the best
+// pipeline for current conditions, or hang the service up when nothing
+// meets its deadline. Shared sites are only read (estimates); all
+// mutation is confined to this manager's own state, so concurrent
+// PrepareInvoke calls on *different* managers sharing sites are safe.
+// Pair with CommitInvoke; Invoke is exactly the two run back to back.
+//
+// The returned value is the manager's reusable scratch — valid until this
+// manager's next PrepareInvoke. A manager runs one invocation at a time
+// (single-goroutine ownership), and the epoch-barrier fleet holds at most
+// one prepared invocation per vehicle across the barrier, so the reuse is
+// safe and keeps the split allocation-free.
+func (m *ElasticManager) PrepareInvoke(name string, now time.Duration) *PreparedInvocation {
+	p := &m.prep
+	*p = PreparedInvocation{m: m, name: name, now: now}
+	p.span = m.tracer.StartSpanAt("edgeos", "edgeos.invoke", now,
+		trace.String("service", name))
 	s, err := m.Service(name)
 	if err != nil {
-		return InvocationResult{}, err
+		p.failPrepare(err)
+		return p
 	}
+	p.svc = s
 	best, _, viable, err := m.Choose(name, now)
 	if err != nil {
-		return InvocationResult{}, err
+		p.failPrepare(err)
+		return p
 	}
 	st := m.stats[name]
 	if !viable {
 		s.state = HungUp
 		st.Invocations++
 		st.HangUps++
-		return InvocationResult{Service: name, HungUp: true}, nil
+		p.res = InvocationResult{Service: name, HungUp: true}
+		p.done = true
+		p.span.SetAttr(trace.Bool("hungup", true))
+		p.span.FinishAt(now)
+		m.emitInvocationMetrics(p.res)
+		return p
 	}
 	if s.state == HungUp {
 		s.state = Running // conditions recovered
 	}
+	p.best = best
+	return p
+}
+
+// failPrepare records a decision-step error and closes the span the way
+// Invoke always has.
+func (p *PreparedInvocation) failPrepare(err error) {
+	p.err = err
+	p.done = true
+	p.span.SetAttr(trace.String("error", err.Error()))
+	p.span.FinishAt(p.now)
+}
+
+// CommitInvoke runs the commit step of a prepared invocation: execute the
+// chosen pipeline (reserving device/site capacity), record stats, close
+// the span, and emit metrics. Remote destinations mutate shared sites, so
+// non-Local commits must run in the single-threaded commit phase, in
+// canonical vehicle order.
+func (m *ElasticManager) CommitInvoke(p *PreparedInvocation) (InvocationResult, error) {
+	if p == nil || p.m != m {
+		return InvocationResult{}, fmt.Errorf("edgeos: prepared invocation does not belong to this manager")
+	}
+	if p.done {
+		return p.res, p.err
+	}
+	p.done = true
+	s, name, now, best := p.svc, p.name, p.now, p.best
 	var (
 		done    time.Duration
 		outcome offload.Outcome
+		err     error
 	)
 	if m.engine.Resilience() != nil {
 		var deadline time.Duration
@@ -329,7 +382,10 @@ func (m *ElasticManager) invoke(name string, now time.Duration) (InvocationResul
 		outcome = offload.Outcome{Dest: best.Estimate.Dest, Attempts: 1}
 	}
 	if err != nil {
-		return InvocationResult{}, fmt.Errorf("invoke %s: %w", name, err)
+		p.err = fmt.Errorf("invoke %s: %w", name, err)
+		p.span.SetAttr(trace.String("error", p.err.Error()))
+		p.span.FinishAt(now)
+		return InvocationResult{}, p.err
 	}
 	res := InvocationResult{
 		Service:     name,
@@ -343,11 +399,53 @@ func (m *ElasticManager) invoke(name string, now time.Duration) (InvocationResul
 		Degraded:    outcome.Degraded,
 		DeadlineMet: s.Deadline == 0 || done-now <= s.Deadline,
 	}
+	st := m.stats[name]
 	st.Invocations++
 	st.TotalLatency += res.Latency
 	st.TotalEnergyJ += res.EnergyJ
 	st.PipelineUse[best.Pipeline.Name]++
+	p.res = res
+	p.span.SetAttr(trace.String("pipeline", res.Pipeline),
+		trace.String("dest", res.Dest))
+	p.span.FinishAt(res.Completed)
+	m.emitInvocationMetrics(res)
 	return res, nil
+}
+
+// emitInvocationMetrics records the per-invocation metric set (shared by
+// the hang-up and completed paths; errors emit nothing, as ever).
+func (m *ElasticManager) emitInvocationMetrics(res InvocationResult) {
+	if m.metrics == nil {
+		return
+	}
+	m.metrics.Add("edgeos.invocations", 1)
+	m.metrics.Add("edgeos.service."+res.Service+".invocations", 1)
+	if res.HungUp {
+		m.metrics.Add("edgeos.hangups", 1)
+		return
+	}
+	m.metrics.ObserveDuration("edgeos.invoke_ms", res.Latency)
+	m.metrics.Add("edgeos.pipeline."+res.Pipeline, 1)
+	m.metrics.Observe("edgeos.energy_j", res.EnergyJ)
+	if res.FellBackTo != "" {
+		m.metrics.Add("edgeos.fallbacks", 1)
+	}
+	if res.Degraded {
+		m.metrics.Add("edgeos.degraded", 1)
+	}
+	if res.DeadlineMet {
+		m.metrics.Add("edgeos.deadline_hits", 1)
+	}
+}
+
+// Invoke runs one service invocation end to end: choose a pipeline,
+// execute it (committing device/site reservations), and record stats. A
+// service with no viable pipeline is hung up and the invocation reports
+// HungUp without executing; a later successful Choose resumes it. Invoke
+// is exactly PrepareInvoke followed by CommitInvoke — the epoch-barrier
+// fleet executor calls the two steps separately.
+func (m *ElasticManager) Invoke(name string, now time.Duration) (InvocationResult, error) {
+	return m.CommitInvoke(m.PrepareInvoke(name, now))
 }
 
 // Engine exposes the underlying offload engine (used by tests and the

@@ -3,10 +3,12 @@ package experiments
 import (
 	"encoding/json"
 	"fmt"
+	"os"
 	"runtime"
 	"testing"
 	"time"
 
+	"repro/internal/ddi"
 	"repro/internal/geo"
 	"repro/internal/offload"
 	"repro/internal/sim"
@@ -170,6 +172,41 @@ func RunPerf() (*PerfReport, error) {
 						tr.Reset()
 					}
 					tr.SpanAt("network", "network.uplink", time.Duration(i), time.Duration(i+1))
+				}
+			},
+		},
+		{
+			// Mirrors ddi.BenchmarkStoreSelectWindow: a 601-record window
+			// query over a 10k-record store. Baseline is the full O(n)
+			// index scan; live binary-searches the window bounds.
+			name:     "ddi.store_select",
+			baseline: PerfBaseline{NsPerOp: 288809, BytesPerOp: 92288, AllocsPerOp: 10},
+			run: func(b *testing.B) {
+				// os.MkdirTemp, not b.TempDir: testing.Benchmark runs the
+				// body outside the test framework's cleanup machinery.
+				dir, err := os.MkdirTemp("", "ddi-perf-*")
+				if err != nil {
+					b.Fatal(err)
+				}
+				defer os.RemoveAll(dir)
+				s, err := ddi.OpenDiskStore(dir)
+				if err != nil {
+					b.Fatal(err)
+				}
+				defer s.Close()
+				for i := 0; i < 10000; i++ {
+					rec := ddi.Record{Source: ddi.SourceOBD, At: time.Duration(i) * time.Second, Payload: []byte(`{"v":1}`)}
+					if _, err := s.Put(rec); err != nil {
+						b.Fatal(err)
+					}
+				}
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					got := s.Select(ddi.Query{Source: ddi.SourceOBD, From: 1000 * time.Second, To: 1600 * time.Second})
+					if len(got) != 601 {
+						b.Fatalf("got %d", len(got))
+					}
 				}
 			},
 		},

@@ -97,7 +97,13 @@ func (w Window) contains(t time.Duration) bool { return t >= w.From && t < w.To 
 
 // inWindows reports whether t falls inside any of the sorted windows.
 func inWindows(ws []Window, t time.Duration) bool {
-	for _, w := range ws {
+	return inWindowsFrom(ws, 0, t)
+}
+
+// inWindowsFrom is inWindows starting at index cur, for callers that know
+// every earlier window already ended (the epoch-cursor fast path).
+func inWindowsFrom(ws []Window, cur int, t time.Duration) bool {
+	for _, w := range ws[cur:] {
 		if w.From > t {
 			return false
 		}
@@ -108,12 +114,31 @@ func inWindows(ws []Window, t time.Duration) bool {
 	return false
 }
 
+// advanceWindowCursor moves cur past every window that ended at or before
+// now. Windows are sorted and disjoint, so the skipped prefix can never
+// contain a query time >= now again.
+func advanceWindowCursor(ws []Window, cur int, now time.Duration) int {
+	for cur < len(ws) && ws[cur].To <= now {
+		cur++
+	}
+	return cur
+}
+
 // sitePlan is one site's compiled fault schedule.
 type sitePlan struct {
 	site       *xedge.Site
 	outages    []Window
 	degrades   []Window
 	execFaults []Window
+
+	// Per-family window cursors: index of the first window whose To is
+	// still ahead of the injector's epoch cursor. Only AdvanceTo moves
+	// them — once per epoch, on the single-threaded epoch boundary — so
+	// the hot per-query hooks (faultAt, AdjustPath) scan read-only from
+	// the cursor. That keeps them race-clean during the parallel decision
+	// phase of a sharded fleet round and makes the whole schedule walk
+	// amortized O(windows) per run instead of O(windows) per query.
+	outageCur, degradeCur, execCur int
 }
 
 // Plan is a compiled fault schedule over a set of sites.
@@ -326,19 +351,26 @@ func (in *Injector) Attach() {
 }
 
 // faultAt decides whether a submission to site fails at virtual time now.
+// Queries at or past the epoch cursor scan from the per-family cursors; a
+// query behind the cursor (pull-based worlds probing the past) falls back
+// to the full scan.
 func (in *Injector) faultAt(site string, now time.Duration) error {
 	sp, ok := in.plan.byName[site]
 	if !ok {
 		return nil
 	}
-	if inWindows(sp.outages, now) {
+	outageCur, execCur := sp.outageCur, sp.execCur
+	if now < in.cursor {
+		outageCur, execCur = 0, 0
+	}
+	if inWindowsFrom(sp.outages, outageCur, now) {
 		in.m.outageRejects.Inc()
 		if sc := in.siteCounters(site); sc != nil {
 			sc.outageRejects.Inc()
 		}
 		return fmt.Errorf("faults: site down at %v (scheduled outage)", now)
 	}
-	if inWindows(sp.execFaults, now) {
+	if inWindowsFrom(sp.execFaults, execCur, now) {
 		in.m.execFaults.Inc()
 		if sc := in.siteCounters(site); sc != nil {
 			sc.execFaults.Inc()
@@ -352,20 +384,35 @@ func (in *Injector) faultAt(site string, now time.Duration) error {
 // sites' availability flags, emitting faults.site_down / faults.site_up
 // counters and one `faults.outage` span per outage window entered. Time
 // never rewinds; calls with now <= cursor are no-ops.
+//
+// AdvanceTo is the injector's once-per-epoch step: it is the only method
+// that mutates injector state (the epoch cursor and each site plan's
+// per-family window cursors), so a sharded fleet calls it on the epoch
+// boundary and the per-query hooks stay read-only through the parallel
+// phase that follows.
 func (in *Injector) AdvanceTo(now time.Duration) {
 	if now <= in.cursor {
 		return
 	}
 	for _, sp := range in.plan.sites {
-		for _, w := range sp.outages {
-			if w.From > in.cursor && w.From <= now {
+		// Windows before the cursor ended at or before in.cursor, so they
+		// cannot transition in (cursor, now]; later windows start after
+		// now. Only the slice between needs a look.
+		for _, w := range sp.outages[sp.outageCur:] {
+			if w.From > now {
+				break
+			}
+			if w.From > in.cursor {
 				in.siteDown(sp.site, w)
 			}
 			if w.To > in.cursor && w.To <= now {
 				in.siteUp(sp.site)
 			}
 		}
-		sp.site.SetAvailable(!inWindows(sp.outages, now))
+		sp.outageCur = advanceWindowCursor(sp.outages, sp.outageCur, now)
+		sp.degradeCur = advanceWindowCursor(sp.degrades, sp.degradeCur, now)
+		sp.execCur = advanceWindowCursor(sp.execFaults, sp.execCur, now)
+		sp.site.SetAvailable(!inWindowsFrom(sp.outages, sp.outageCur, now))
 	}
 	in.cursor = now
 }
@@ -408,9 +455,20 @@ func (in *Injector) siteUp(s *xedge.Site) {
 // window the destination's access links lose LossDelta extra packets
 // (total loss capped at 0.95) and keep only BandwidthFactor of their
 // bandwidth. Outside windows the path is returned untouched.
+//
+// AdjustPath never mutates injector state (the degraded-path counter is
+// atomic), so concurrent calls from the parallel decision phase of a
+// sharded fleet are race-clean.
 func (in *Injector) AdjustPath(dest string, p network.Path, now time.Duration) network.Path {
 	sp, ok := in.plan.byName[dest]
-	if !ok || !inWindows(sp.degrades, now) {
+	if !ok {
+		return p
+	}
+	degradeCur := sp.degradeCur
+	if now < in.cursor {
+		degradeCur = 0
+	}
+	if !inWindowsFrom(sp.degrades, degradeCur, now) {
 		return p
 	}
 	cfg := in.plan.cfg

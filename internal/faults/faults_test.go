@@ -291,3 +291,56 @@ func TestScheduleDrivesSimClock(t *testing.T) {
 		t.Fatalf("site down after clock crossed outage end %v", w.To)
 	}
 }
+
+// TestEpochCursorEquivalence: the per-family window cursors advanced by
+// AdvanceTo are a pure optimization — faultAt and AdjustPath answer
+// exactly like a never-advanced (full-scan) injector at every probe
+// time, including probes behind the epoch cursor, which fall back to the
+// full scan.
+func TestEpochCursorEquivalence(t *testing.T) {
+	sitesA := testSites(t)
+	sitesB := testSites(t)
+	planA, err := NewPlan(densePlanConfig(), sim.NewStream(29, 0), sitesA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	planB, err := NewPlan(densePlanConfig(), sim.NewStream(29, 0), sitesB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cursored, err := NewInjector(planA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fullScan, err := NewInjector(planB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if planA.Describe() != planB.Describe() {
+		t.Fatal("twin plans diverged")
+	}
+	horizon := planA.Config().Horizon
+	access := sitesA[0].Access()
+	step := 50 * time.Millisecond
+	for epoch := time.Duration(0); epoch <= horizon; epoch += 200 * time.Millisecond {
+		cursored.AdvanceTo(epoch) // fullScan never advances: cursors stay at 0
+		for _, probe := range []time.Duration{epoch, epoch + step, epoch + 3*step, epoch - step} {
+			if probe < 0 {
+				continue
+			}
+			for _, site := range []string{"rsu-0", "cloud"} {
+				gotErr := cursored.faultAt(site, probe)
+				wantErr := fullScan.faultAt(site, probe)
+				if (gotErr == nil) != (wantErr == nil) {
+					t.Fatalf("faultAt(%s, %v) diverged after AdvanceTo(%v): cursored=%v fullscan=%v",
+						site, probe, epoch, gotErr, wantErr)
+				}
+				got := cursored.AdjustPath(site, access, probe)
+				want := fullScan.AdjustPath(site, access, probe)
+				if got.Links[0].UpMbps != want.Links[0].UpMbps || got.Links[0].BaseLoss != want.Links[0].BaseLoss {
+					t.Fatalf("AdjustPath(%s, %v) diverged after AdvanceTo(%v)", site, probe, epoch)
+				}
+			}
+		}
+	}
+}

@@ -7,7 +7,11 @@
 // Concurrency: a Fleet and everything it owns (vehicles, engines, shared
 // sites, road) belong to a single goroutine. Replication harnesses run
 // one whole fleet per worker (see internal/runner) and merge telemetry
-// afterwards; two goroutines must never invoke the same fleet.
+// afterwards; two goroutines must never invoke the same fleet. The one
+// sanctioned form of intra-fleet parallelism is the epoch-barrier sharded
+// executor (ShardedInvokeAll in sharded.go), which partitions vehicles
+// into shard lanes for the read-only decision phase and returns to the
+// fleet's single goroutine for the commit phase.
 package fleet
 
 import (
@@ -39,6 +43,24 @@ type Fleet struct {
 	sites    []*xedge.Site
 	vehicles []*Vehicle
 	injector *faults.Injector
+
+	// shards is the lane count for ShardedInvokeAll (Config.Shards,
+	// clamped to [1, vehicles]); shardSet is built lazily and reused
+	// across rounds.
+	shards   int
+	shardSet []*Shard
+
+	// tele holds the per-vehicle telemetry lanes installed by
+	// InstrumentSharded (nil when uninstrumented or instrumented with the
+	// legacy shared-registry Instrument).
+	tele *telemetryLanes
+
+	// Per-round working buffers, preallocated at vehicle count and reused
+	// by every invokeAll / shardedInvokeAll round so the steady-state
+	// invocation loop allocates nothing per round.
+	prepBuf []*edgeos.PreparedInvocation
+	resBuf  []edgeos.InvocationResult
+	errBuf  []error
 }
 
 // Config parameterizes New.
@@ -72,6 +94,13 @@ type Config struct {
 	// outages, link degradation, and transient execution faults. Drive it
 	// with Fleet.Faults().AdvanceTo(now) between rounds.
 	Faults *faults.PlanConfig
+	// Shards is the lane count used by ShardedInvokeAll: vehicles are
+	// partitioned into this many contiguous index ranges, each with its
+	// own sim.Engine lane and RNG stream. Values outside [1, Vehicles]
+	// are clamped. Shard count never changes results — sharded rounds are
+	// byte-identical for any Shards value with the same seed — only how
+	// many cores the decision phase can use. Zero means 1.
+	Shards int
 }
 
 func (c Config) withDefaults() Config {
@@ -191,6 +220,16 @@ func New(cfg Config) (*Fleet, error) {
 		}
 		f.injector = inj
 	}
+	f.shards = cfg.Shards
+	if f.shards < 1 {
+		f.shards = 1
+	}
+	if f.shards > len(f.vehicles) {
+		f.shards = len(f.vehicles)
+	}
+	f.prepBuf = make([]*edgeos.PreparedInvocation, len(f.vehicles))
+	f.resBuf = make([]edgeos.InvocationResult, len(f.vehicles))
+	f.errBuf = make([]error, len(f.vehicles))
 	return f, nil
 }
 
@@ -262,19 +301,32 @@ func (f *Fleet) invokeAll(service string, now time.Duration, tolerant bool) (Rou
 	if f.injector != nil {
 		f.injector.AdvanceTo(now)
 	}
+	for i, v := range f.vehicles {
+		res, err := v.Manager.Invoke(service, now)
+		if err != nil && !tolerant {
+			// The erroring vehicle contributes nothing to the aborted
+			// round; vehicles after it never invoke.
+			return f.aggregate(i), fmt.Errorf("%s: %w", v.Name, err)
+		}
+		f.resBuf[i], f.errBuf[i] = res, err
+	}
+	return f.aggregate(len(f.vehicles)), nil
+}
+
+// aggregate folds the first n per-vehicle outcomes in the round buffers
+// into a RoundResult, in vehicle-index order. Both executors share it, so
+// a round's aggregation is a pure function of the (result, error) vector
+// regardless of how the vector was produced.
+func (f *Fleet) aggregate(n int) RoundResult {
 	var rr RoundResult
 	offloaded := 0
-	for _, v := range f.vehicles {
-		res, err := v.Manager.Invoke(service, now)
-		if err != nil {
-			if !tolerant {
-				return rr, fmt.Errorf("%s: %w", v.Name, err)
-			}
-			rr.Invocations++
+	for i := 0; i < n; i++ {
+		rr.Invocations++
+		if f.errBuf[i] != nil {
 			rr.Failures++
 			continue
 		}
-		rr.Invocations++
+		res := f.resBuf[i]
 		if res.HungUp {
 			rr.HangUps++
 			continue
@@ -299,7 +351,7 @@ func (f *Fleet) invokeAll(service string, now time.Duration, tolerant bool) (Rou
 	if done := rr.Invocations - rr.HangUps - rr.Failures; done > 0 {
 		rr.OffloadShare = float64(offloaded) / float64(done)
 	}
-	return rr, nil
+	return rr
 }
 
 // Mean returns the average completed-invocation latency of a round.

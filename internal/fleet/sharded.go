@@ -1,0 +1,237 @@
+// Sharded fleet execution: epoch-barrier parallel invocation rounds.
+//
+// ShardedInvokeAll partitions the fleet's vehicles into S contiguous
+// shards and runs each round as two phases:
+//
+//   - Decision phase (parallel): every shard's goroutine walks its
+//     vehicles through PrepareInvoke on the shard's own sim.Engine lane.
+//     Shared sites are frozen (xedge.Site.Freeze) so the phase is
+//     read-only with respect to shared state; invocations whose decision
+//     stayed on the vehicle (PreparedInvocation.Local) commit right here,
+//     touching only vehicle-local state.
+//   - Commit phase (single-threaded): after the barrier, the remaining
+//     prepared invocations — the ones that offload — commit in canonical
+//     vehicle-index order, applying Site.Submit reservations, queueing
+//     delays, and bandwidth-budget charges exactly as a sequential walk
+//     would.
+//
+// Determinism contract: results are byte-identical for any shard count.
+// Three properties make that hold. (1) Decisions read only epoch-start
+// shared state (frozen sites, fault cursors advanced once per epoch), so
+// a vehicle's choice cannot depend on which shard a neighbor landed in.
+// (2) Per-vehicle state (DSF, path caches, breakers, service stats)
+// evolves identically because each vehicle's work happens exactly once
+// per round, on whichever lane owns it. (3) Everything order-sensitive —
+// site commits, telemetry lane merges, trace exports, aggregation — runs
+// in vehicle-index order, never shard order. The shard-order float
+// accumulation you would get from merging per-shard registries is why
+// telemetry lanes are per-vehicle, not per-shard.
+//
+// Note the sharded executor's epoch semantics differ from the sequential
+// InvokeAll within a round: sequentially, vehicle i's decision sees
+// vehicles 0..i-1's commits; under epoch barriers every decision sees
+// epoch-start state. Both are valid contention models; experiments pick
+// one and stay with it. Sharded runs compare only against sharded runs
+// (any S against any S, same seed).
+package fleet
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/sim"
+	"repro/internal/telemetry"
+	"repro/internal/trace"
+)
+
+// shardStreamSeed roots the per-shard RNG streams. Shard streams exist
+// for shard-local perturbation (e.g. jittered lane polling in future
+// drivers); round logic must never let a draw from them influence
+// simulation results, or shard count would stop being a free parameter —
+// the differential tests pin exactly that.
+const shardStreamSeed = 0x51A4D
+
+// Shard is one lane of the sharded executor: a contiguous range of
+// vehicle indices with its own virtual-time engine and RNG stream.
+type Shard struct {
+	// Index is the shard's position in [0, S).
+	Index int
+	// RNG is the shard's private stream (see shardStreamSeed).
+	RNG *sim.RNG
+	// Engine is the shard's virtual-time lane; decision-phase work for
+	// the shard's vehicles is scheduled and drained on it.
+	Engine *sim.Engine
+	// Lo and Hi bound the shard's vehicle index range [Lo, Hi).
+	Lo, Hi int
+}
+
+// Shards returns the fleet's shard lanes, building them on first use.
+// Vehicles are partitioned into contiguous ranges as equal as possible
+// (the first vehicles%S shards take one extra).
+func (f *Fleet) Shards() []*Shard {
+	if f.shardSet != nil {
+		return f.shardSet
+	}
+	n, s := len(f.vehicles), f.shards
+	base, rem := n/s, n%s
+	lo := 0
+	f.shardSet = make([]*Shard, 0, s)
+	for i := 0; i < s; i++ {
+		size := base
+		if i < rem {
+			size++
+		}
+		f.shardSet = append(f.shardSet, &Shard{
+			Index:  i,
+			RNG:    sim.NewStream(shardStreamSeed, uint64(i)),
+			Engine: sim.NewEngine(shardStreamSeed + int64(i)),
+			Lo:     lo,
+			Hi:     lo + size,
+		})
+		lo += size
+	}
+	return f.shardSet
+}
+
+// telemetryLanes is the per-vehicle instrumentation behind sharded runs.
+// Lanes are per vehicle — not per shard — because merge order must be a
+// property of the fleet, not of the partition: merging in vehicle-index
+// order gives the same float accumulation order and the same trace root
+// order for every shard count.
+type telemetryLanes struct {
+	vehicleRegs []*telemetry.Registry
+	vehicleTrcs []*trace.Tracer // all nil when tracing is off
+	injReg      *telemetry.Registry
+	injTrc      *trace.Tracer
+}
+
+// InstrumentSharded installs one telemetry registry (and, when withTrace
+// is set, one tracer) per vehicle, plus a dedicated lane for the fault
+// injector. Use this instead of Instrument for sharded execution: a
+// single shared registry would interleave concurrent decision-phase
+// emissions in scheduler order, which is race-safe but not
+// shard-count-deterministic. Read the merged view with MergedTelemetry.
+func (f *Fleet) InstrumentSharded(withTrace bool) {
+	lanes := &telemetryLanes{
+		vehicleRegs: make([]*telemetry.Registry, len(f.vehicles)),
+		vehicleTrcs: make([]*trace.Tracer, len(f.vehicles)),
+		injReg:      telemetry.NewRegistry(),
+	}
+	if withTrace {
+		lanes.injTrc = trace.New(nil)
+	}
+	for i, v := range f.vehicles {
+		lanes.vehicleRegs[i] = telemetry.NewRegistry()
+		if withTrace {
+			lanes.vehicleTrcs[i] = trace.New(nil)
+		}
+		v.Engine.Instrument(lanes.vehicleTrcs[i], lanes.vehicleRegs[i])
+		v.Manager.Instrument(lanes.vehicleTrcs[i], lanes.vehicleRegs[i])
+	}
+	if f.injector != nil {
+		f.injector.Instrument(lanes.injTrc, lanes.injReg)
+	}
+	f.tele = lanes
+}
+
+// MergedTelemetry merges the per-vehicle lanes into one registry and one
+// tracer, in canonical order: the injector lane first, then vehicles by
+// index. The merge order is independent of shard count, so the rendered
+// registry and exported trace bytes are too. Without InstrumentSharded it
+// returns empty instruments.
+func (f *Fleet) MergedTelemetry() (*telemetry.Registry, *trace.Tracer) {
+	reg := telemetry.NewRegistry()
+	trc := trace.New(nil)
+	if f.tele == nil {
+		return reg, trc
+	}
+	reg.Merge(f.tele.injReg)
+	trc.Merge(f.tele.injTrc)
+	for i := range f.tele.vehicleRegs {
+		reg.Merge(f.tele.vehicleRegs[i])
+		trc.Merge(f.tele.vehicleTrcs[i])
+	}
+	return reg, trc
+}
+
+// ShardedInvokeAll runs one epoch-barrier invocation round of the named
+// service across the fleet at virtual time now (see the package-section
+// comment at the top of this file for the phase structure and the
+// determinism contract). Like InvokeAll it returns on the first vehicle
+// error in canonical order — but vehicle-local work of later vehicles has
+// already run in the parallel phase by then; only their site commits are
+// withheld. Under fault injection use ShardedInvokeAllTolerant.
+func (f *Fleet) ShardedInvokeAll(service string, now time.Duration) (RoundResult, error) {
+	return f.shardedInvokeAll(service, now, false)
+}
+
+// ShardedInvokeAllTolerant is ShardedInvokeAll for faulted worlds:
+// erroring vehicles are counted in Failures and the round continues.
+func (f *Fleet) ShardedInvokeAllTolerant(service string, now time.Duration) (RoundResult, error) {
+	return f.shardedInvokeAll(service, now, true)
+}
+
+func (f *Fleet) shardedInvokeAll(service string, now time.Duration, tolerant bool) (RoundResult, error) {
+	shards := f.Shards()
+	// Epoch boundary: the only injector mutation of the round (outage
+	// transitions, availability flips, window-cursor advance).
+	if f.injector != nil {
+		f.injector.AdvanceTo(now)
+	}
+	for i := range f.prepBuf {
+		f.prepBuf[i] = nil
+		f.errBuf[i] = nil
+	}
+
+	// Decision phase: freeze shared sites, fan shards out, barrier.
+	for _, s := range f.sites {
+		s.Freeze()
+	}
+	var wg sync.WaitGroup
+	laneErrs := make([]error, len(shards))
+	for si, sh := range shards {
+		wg.Add(1)
+		go func(si int, sh *Shard) {
+			defer wg.Done()
+			for i := sh.Lo; i < sh.Hi; i++ {
+				i := i
+				v := f.vehicles[i]
+				sh.Engine.At(now, func() {
+					p := v.Manager.PrepareInvoke(service, now)
+					if p.Local() {
+						// On-board decisions (and hang-ups and decision
+						// errors) touch only vehicle-local state: finish
+						// them here, inside the parallel phase.
+						f.resBuf[i], f.errBuf[i] = v.Manager.CommitInvoke(p)
+						return
+					}
+					f.prepBuf[i] = p
+				})
+			}
+			laneErrs[si] = sh.Engine.RunUntil(now)
+		}(si, sh)
+	}
+	wg.Wait()
+	for _, s := range f.sites {
+		s.Unfreeze()
+	}
+	for _, err := range laneErrs {
+		if err != nil {
+			return RoundResult{}, fmt.Errorf("fleet: shard lane failed to drain: %w", err)
+		}
+	}
+
+	// Commit phase: apply shared-site interactions in canonical
+	// vehicle-index order on the caller's goroutine.
+	for i, v := range f.vehicles {
+		if p := f.prepBuf[i]; p != nil {
+			f.prepBuf[i] = nil
+			f.resBuf[i], f.errBuf[i] = v.Manager.CommitInvoke(p)
+		}
+		if f.errBuf[i] != nil && !tolerant {
+			return f.aggregate(i), fmt.Errorf("%s: %w", v.Name, f.errBuf[i])
+		}
+	}
+	return f.aggregate(len(f.vehicles)), nil
+}

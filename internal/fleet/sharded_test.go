@@ -1,0 +1,283 @@
+package fleet
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/faults"
+	"repro/internal/offload"
+	"repro/internal/runner"
+	"repro/internal/sim"
+)
+
+// chaosConfig builds a fleet config that exercises every sharded-round
+// path: speed jitter (RNG draws at construction), fault injection
+// (outages, degraded links, exec faults), and the resilience ladder
+// (retries, fallbacks, degradation).
+func chaosConfig(vehicles, shards int, seed int64) Config {
+	pol := offload.DefaultPolicy()
+	return Config{
+		Vehicles:       vehicles,
+		RSUs:           2,
+		SpeedJitterMPH: 10,
+		RNG:            sim.NewStream(seed, 0),
+		Resilience:     &pol,
+		Faults: &faults.PlanConfig{
+			Horizon:             20 * time.Second,
+			MeanTimeToOutage:    2 * time.Second,
+			MeanOutage:          800 * time.Millisecond,
+			MeanTimeToDegrade:   2 * time.Second,
+			MeanDegrade:         time.Second,
+			MeanTimeToExecFault: time.Second,
+			MeanExecFault:       400 * time.Millisecond,
+		},
+		Shards: shards,
+	}
+}
+
+// shardedRun drives rounds epochs of the sharded executor and returns the
+// per-round results plus the merged telemetry artifacts.
+func shardedRun(t *testing.T, cfg Config, rounds int) ([]RoundResult, string, string, []byte) {
+	t.Helper()
+	f, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.InstrumentSharded(true)
+	out := make([]RoundResult, 0, rounds)
+	for r := 0; r < rounds; r++ {
+		rr, err := f.ShardedInvokeAllTolerant("kidnapper-search", time.Duration(r)*400*time.Millisecond)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out = append(out, rr)
+	}
+	reg, trc := f.MergedTelemetry()
+	chrome, err := trc.ChromeTrace()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out, reg.Render(), trc.RenderTree(), chrome
+}
+
+// TestShardedDifferentialAcrossShardCounts is the tentpole's determinism
+// contract: the same seeded fleet run at shards 1, 2, 4, and 7 produces
+// identical RoundResults, identical merged telemetry renders, and
+// byte-identical trace exports. 7 deliberately does not divide the
+// vehicle count.
+func TestShardedDifferentialAcrossShardCounts(t *testing.T) {
+	const vehicles, rounds, seed = 21, 6, 42
+	baseRR, baseReg, baseTree, baseChrome := shardedRun(t, chaosConfig(vehicles, 1, seed), rounds)
+	if !strings.Contains(baseReg, "edgeos.invocations") {
+		t.Fatalf("baseline registry missing invocation metrics:\n%s", baseReg)
+	}
+	var sawOffload bool
+	for _, rr := range baseRR {
+		if rr.OffloadShare > 0 {
+			sawOffload = true
+		}
+	}
+	if !sawOffload {
+		t.Fatal("no round offloaded: the commit phase was never exercised")
+	}
+	for _, shards := range []int{2, 4, 7} {
+		rr, reg, tree, chrome := shardedRun(t, chaosConfig(vehicles, shards, seed), rounds)
+		if !reflect.DeepEqual(rr, baseRR) {
+			t.Fatalf("shards=%d RoundResults diverged:\n got %+v\nwant %+v", shards, rr, baseRR)
+		}
+		if reg != baseReg {
+			t.Fatalf("shards=%d merged telemetry render diverged from shards=1", shards)
+		}
+		if tree != baseTree {
+			t.Fatalf("shards=%d trace tree diverged from shards=1", shards)
+		}
+		if !bytes.Equal(chrome, baseChrome) {
+			t.Fatalf("shards=%d Chrome trace bytes diverged from shards=1", shards)
+		}
+	}
+}
+
+// TestShardedDifferentialCleanWorld covers the non-tolerant entry point
+// in a fault-free world (errors abort, nothing to tolerate).
+func TestShardedDifferentialCleanWorld(t *testing.T) {
+	run := func(shards int) ([]RoundResult, string) {
+		f, err := New(Config{Vehicles: 12, RSUs: 1, Shards: shards})
+		if err != nil {
+			t.Fatal(err)
+		}
+		f.InstrumentSharded(false)
+		var out []RoundResult
+		for r := 0; r < 5; r++ {
+			rr, err := f.ShardedInvokeAll("kidnapper-search", time.Duration(r)*300*time.Millisecond)
+			if err != nil {
+				t.Fatal(err)
+			}
+			out = append(out, rr)
+		}
+		reg, _ := f.MergedTelemetry()
+		return out, reg.Render()
+	}
+	baseRR, baseReg := run(1)
+	for _, shards := range []int{2, 4, 7} {
+		rr, reg := run(shards)
+		if !reflect.DeepEqual(rr, baseRR) {
+			t.Fatalf("shards=%d clean-world RoundResults diverged", shards)
+		}
+		if reg != baseReg {
+			t.Fatalf("shards=%d clean-world telemetry diverged", shards)
+		}
+	}
+}
+
+// TestShardPartition: lanes cover every vehicle exactly once, in
+// contiguous index order, and shard counts clamp to the vehicle count.
+func TestShardPartition(t *testing.T) {
+	f, err := New(Config{Vehicles: 10, Shards: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	shards := f.Shards()
+	if len(shards) != 7 {
+		t.Fatalf("shard count = %d", len(shards))
+	}
+	next := 0
+	for i, sh := range shards {
+		if sh.Index != i {
+			t.Fatalf("shard %d has Index %d", i, sh.Index)
+		}
+		if sh.Lo != next || sh.Hi <= sh.Lo {
+			t.Fatalf("shard %d range [%d,%d) not contiguous from %d", i, sh.Lo, sh.Hi, next)
+		}
+		if sh.Engine == nil || sh.RNG == nil {
+			t.Fatalf("shard %d missing lane engine or RNG", i)
+		}
+		next = sh.Hi
+	}
+	if next != 10 {
+		t.Fatalf("shards cover %d of 10 vehicles", next)
+	}
+	clamped, err := New(Config{Vehicles: 3, Shards: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(clamped.Shards()); got != 3 {
+		t.Fatalf("64 shards over 3 vehicles not clamped: %d lanes", got)
+	}
+}
+
+// TestShardedUnknownService: decision-step errors surface through the
+// canonical-order error path, naming the lowest-index vehicle.
+func TestShardedUnknownService(t *testing.T) {
+	f, err := New(Config{Vehicles: 6, Shards: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.ShardedInvokeAll("ghost", 0); err == nil {
+		t.Fatal("unknown service invoked")
+	} else if !strings.Contains(err.Error(), "cav-0") {
+		t.Fatalf("error does not name the first vehicle deterministically: %v", err)
+	}
+}
+
+// TestShardedFrozenSitesUnfrozen: the executor must leave sites unfrozen
+// for the commit phase and after the round.
+func TestShardedFrozenSitesUnfrozen(t *testing.T) {
+	f, err := New(Config{Vehicles: 4, Shards: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.ShardedInvokeAll("kidnapper-search", 0); err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range f.Sites() {
+		if s.Frozen() {
+			t.Fatalf("site %s still frozen after round", s.Name())
+		}
+	}
+}
+
+// TestShardedRaceUnderRunner drives sharded fleets inside the parallel
+// replication runner — nested parallelism: replications across workers,
+// shards within each fleet — so `go test -race` (the make verify gate)
+// checks the decision/commit split end to end.
+func TestShardedRaceUnderRunner(t *testing.T) {
+	type summary struct {
+		Rounds      int
+		Invocations int
+	}
+	rep, err := runner.Run(runner.Config{Replications: 3, Parallel: 3, Seed: 9}, func(sh *runner.Shard) (summary, error) {
+		cfg := chaosConfig(9, 4, 100+int64(sh.Index))
+		cfg.RNG = sh.RNG
+		f, err := New(cfg)
+		if err != nil {
+			return summary{}, err
+		}
+		f.InstrumentSharded(true)
+		var s summary
+		for r := 0; r < 4; r++ {
+			rr, err := f.ShardedInvokeAllTolerant("kidnapper-search", time.Duration(r)*500*time.Millisecond)
+			if err != nil {
+				return summary{}, err
+			}
+			s.Rounds++
+			s.Invocations += rr.Invocations
+		}
+		reg, _ := f.MergedTelemetry()
+		sh.Metrics.Merge(reg)
+		return s, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, s := range rep.Results {
+		if s.Rounds != 4 || s.Invocations != 36 {
+			t.Fatalf("replication %d summary = %+v", i, s)
+		}
+	}
+}
+
+// benchFleet builds the benchmark fleet once per benchmark.
+func benchFleet(b *testing.B, vehicles, shards int) *Fleet {
+	b.Helper()
+	f, err := New(Config{Vehicles: vehicles, Shards: shards, RNG: sim.NewStream(1, 0)})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return f
+}
+
+// BenchmarkInvokeAllRound pins the sequential round's steady-state
+// allocation profile: the per-round result buffers live on the Fleet, so
+// rounds allocate only what the invocation path itself needs.
+func BenchmarkInvokeAllRound(b *testing.B) {
+	f := benchFleet(b, 50, 1)
+	if _, err := f.InvokeAll("kidnapper-search", 0); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := f.InvokeAll("kidnapper-search", time.Duration(i)*time.Millisecond); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkShardedInvokeAllRound measures the epoch-barrier executor at 4
+// shards (decision fan-out + barrier + canonical commit).
+func BenchmarkShardedInvokeAllRound(b *testing.B) {
+	f := benchFleet(b, 50, 4)
+	if _, err := f.ShardedInvokeAll("kidnapper-search", 0); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := f.ShardedInvokeAll("kidnapper-search", time.Duration(i)*time.Millisecond); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -50,6 +50,13 @@ func (c Class) String() string {
 	return fmt.Sprintf("class(%d)", int(c))
 }
 
+// Classes returns every defined task class in declaration order. Callers
+// that precompute per-class tables (xedge service rates) iterate this so
+// their caches cover the whole enum up front.
+func Classes() []Class {
+	return []Class{General, Vision, DNNInference, DNNTraining, Codec, Crypto}
+}
+
 // Kind is the processor technology.
 type Kind int
 

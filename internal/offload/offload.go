@@ -58,12 +58,31 @@ type Estimate struct {
 	Reason string `json:"reason,omitempty"`
 }
 
+// Local reports whether committing this estimate touches only
+// vehicle-local state: on-board DSF execution, no Site.Submit, no
+// bandwidth-budget charge. Local estimates may execute inside the
+// parallel decision phase of an epoch-barrier fleet round; remote ones
+// must wait for the single-threaded commit phase (see
+// fleet.ShardedInvokeAll and the phase contract on ExecuteResilient).
+func (est Estimate) Local() bool { return est.Dest == OnboardName }
+
 // Engine evaluates destinations for one vehicle.
 //
 // Concurrency: an Engine (with its DSF, sites, tracer, and registry) is
 // owned by a single goroutine. Replication harnesses that run many
 // engines concurrently must give each worker its own engine and world
 // (see internal/runner) and merge telemetry afterwards.
+//
+// Phase contract (epoch-barrier fleet execution): engines of different
+// vehicles that share xedge sites may run their *decision step* —
+// Decide/Estimates/EstimateOnboard/EstimateSite — concurrently, because
+// estimation only reads frozen site state. The *commit step* — Execute
+// toward a remote destination, or the remote ladder of ExecuteResilient —
+// mutates shared sites (Site.Submit, queueing state) and charges the
+// engine's bandwidth budget, so it must run in the single-threaded commit
+// phase in canonical vehicle order. Estimates with Local() == true commit
+// entirely on vehicle-local state and are exempt; fleet.ShardedInvokeAll
+// is built on exactly this split.
 type Engine struct {
 	dsf   *vcu.DSF
 	sites []*xedge.Site

@@ -185,6 +185,16 @@ func (e *Engine) siteByName(name string) *xedge.Site {
 // returns the realized completion time plus an Outcome record. With no
 // policy installed it behaves exactly like Execute (one attempt, no
 // fallback).
+//
+// Phase contract: ExecuteResilient is a commit-step API — the remote
+// ladder (remoteLadder) calls Site.Submit and charges the bandwidth
+// budget, so it belongs to the single-threaded commit phase of an
+// epoch-barrier fleet round. The one exception is a decision that chose
+// the vehicle itself: when est.Local() is true the remote ladder never
+// runs — the graceful-degradation ladder only ever walks *toward* the
+// vehicle (onboardRung) — so the whole call touches vehicle-local state
+// only and may run inside the parallel decision phase. The decision step
+// itself (Decide/Estimates) never mutates shared sites.
 func (e *Engine) ExecuteResilient(dag *tasks.DAG, est Estimate, now, deadline time.Duration) (time.Duration, Outcome, error) {
 	if e.policy == nil {
 		done, err := e.Execute(dag, est, now)
@@ -218,31 +228,64 @@ func (e *Engine) ExecuteResilient(dag *tasks.DAG, est Estimate, now, deadline ti
 	}
 
 	t := now
+	if done, dest, ok := e.remoteLadder(dag, est, &t, deadline, &out, pol); ok {
+		out.Dest = dest
+		if dest != est.Dest {
+			out.FellBackTo = dest
+		}
+		out.DeadlineMet = deadline <= 0 || done <= deadline
+		e.recordResilient(out, true)
+		finishSpan(done, nil)
+		return done, out, nil
+	}
+	if done, ok := e.onboardRung(dag, t, deadline, pol, &out); ok {
+		out.Dest = OnboardName
+		if est.Dest != OnboardName {
+			out.FellBackTo = OnboardName
+			out.Fallbacks++
+		}
+		out.DeadlineMet = deadline <= 0 || done <= deadline
+		e.recordResilient(out, true)
+		finishSpan(done, nil)
+		return done, out, nil
+	}
+	err := fmt.Errorf("offload: resilient execution exhausted for %s after %d attempts",
+		dag.Name, out.Attempts)
+	e.recordResilient(out, false)
+	finishSpan(t, err)
+	return 0, out, err
+}
+
+// remoteLadder walks the remote rungs of the degradation ladder — the
+// chosen site, then next-best feasible re-estimates, each under the
+// bounded retry loop — advancing *t by backoff waits. It mutates shared
+// sites (Submit, budget charges) and therefore belongs to the commit
+// phase. A decision that chose on-board execution skips it entirely.
+func (e *Engine) remoteLadder(dag *tasks.DAG, est Estimate, t *time.Duration, deadline time.Duration, out *Outcome, pol Policy) (time.Duration, string, bool) {
 	tried := map[string]bool{}
 	cand := est
-	// Remote rungs: the chosen site, then next-best re-estimates.
 	for hop := 0; hop <= len(e.sites) && cand.Dest != OnboardName; hop++ {
 		tried[cand.Dest] = true
-		done, ok := e.tryRemote(dag, cand, &t, deadline, &out, pol)
+		done, ok := e.tryRemote(dag, cand, t, deadline, out, pol)
 		if ok {
-			out.Dest = cand.Dest
-			if cand.Dest != est.Dest {
-				out.FellBackTo = cand.Dest
-			}
-			out.DeadlineMet = deadline <= 0 || done <= deadline
-			e.recordResilient(out, true)
-			finishSpan(done, nil)
-			return done, out, nil
+			return done, cand.Dest, true
 		}
-		next, found := e.nextRemote(dag, t, tried)
+		next, found := e.nextRemote(dag, *t, tried)
 		if !found {
 			break
 		}
 		out.Fallbacks++
 		cand = next
 	}
+	return 0, "", false
+}
 
-	// Final rung: on-board DSF, degraded when the deadline demands it.
+// onboardRung is the final, vehicle-local rung of the ladder: on-board
+// DSF execution, on a compressed model variant when the deadline demands
+// it. It never touches shared sites — the property that lets an
+// epoch-barrier fleet complete on-board-chosen invocations inside the
+// parallel decision phase.
+func (e *Engine) onboardRung(dag *tasks.DAG, t, deadline time.Duration, pol Policy, out *Outcome) (time.Duration, bool) {
 	runDag := dag
 	ob := e.EstimateOnboard(dag, t)
 	if ob.Feasible && deadline > 0 && t+ob.Total > deadline &&
@@ -254,26 +297,15 @@ func (e *Engine) ExecuteResilient(dag *tasks.DAG, est Estimate, now, deadline ti
 			e.m.degraded.Inc()
 		}
 	}
-	if ob.Feasible {
-		out.Attempts++
-		done, err := e.Execute(runDag, ob, t)
-		if err == nil {
-			out.Dest = OnboardName
-			if est.Dest != OnboardName {
-				out.FellBackTo = OnboardName
-				out.Fallbacks++
-			}
-			out.DeadlineMet = deadline <= 0 || done <= deadline
-			e.recordResilient(out, true)
-			finishSpan(done, nil)
-			return done, out, nil
-		}
+	if !ob.Feasible {
+		return 0, false
 	}
-	err := fmt.Errorf("offload: resilient execution exhausted for %s after %d attempts",
-		dag.Name, out.Attempts)
-	e.recordResilient(out, false)
-	finishSpan(t, err)
-	return 0, out, err
+	out.Attempts++
+	done, err := e.Execute(runDag, ob, t)
+	if err != nil {
+		return 0, false
+	}
+	return done, true
 }
 
 // tryRemote runs the bounded retry loop for one remote candidate,

@@ -43,11 +43,26 @@ func (k SiteKind) String() string {
 
 // Site is one offload destination: compute executors behind a network path.
 //
-// Concurrency: a Site's executor queues are mutable simulation state owned
-// by a single goroutine. Sites may be shared by every vehicle of one fleet
-// (that contention is the point), but never across concurrently-running
-// replications — parallel harnesses build a fresh set of sites per
-// replication (see internal/runner and fleet.New).
+// Concurrency — the epoch-barrier ownership model. A Site's executor
+// queues are mutable simulation state. Sites may be shared by every
+// vehicle of one fleet (that contention is the point), but never across
+// concurrently-running replications — parallel harnesses build a fresh
+// set of sites per replication (see internal/runner and fleet.New).
+// Within one fleet, intra-run sharding (fleet.ShardedInvokeAll) splits
+// every invocation round into two phases:
+//
+//   - decision phase: vehicle shards run concurrently and may only READ
+//     site state (Reachable, EstimateExec, Access, Available). The fleet
+//     calls Freeze() on every shared site for the duration; a frozen site
+//     panics on any mutation, turning an ownership bug into a loud,
+//     deterministic failure instead of a data race.
+//   - commit phase: a single goroutine owns every site and applies
+//     mutations (Submit, SetAvailable, Preload) in canonical
+//     vehicle-index order after Unfreeze().
+//
+// All read paths used during the decision phase are genuinely read-only:
+// the per-class service-rate table is warmed eagerly at construction (see
+// warmRates), so estimates never fill caches concurrently.
 type Site struct {
 	name      string
 	kind      SiteKind
@@ -55,15 +70,16 @@ type Site struct {
 	access    network.Path
 	execs     []*hardware.Executor
 	available bool
+	frozen    bool
 	faultFn   FaultFunc
 
-	// svcRates memoizes, per task class, each executor's effective
+	// svcRates holds, per task class, each executor's effective
 	// throughput (GFLOPS; <= 0 when the executor cannot run the class).
-	// Processors are immutable after construction, so the entries stay
-	// valid for the site's lifetime; SetAvailable still drops the cache
-	// defensively so availability flips (fault injection) can never serve
-	// stale estimates. bestExec reads these instead of re-resolving the
-	// throughput table per executor per estimate.
+	// Processors are immutable after construction, so the table is warmed
+	// once for every known class in New and never invalidated — which is
+	// what lets concurrent decision-phase estimates treat it as read-only.
+	// bestExec reads these instead of re-resolving the throughput table
+	// per executor per estimate.
 	svcRates map[hardware.Class][]float64
 }
 
@@ -92,7 +108,22 @@ func New(name string, kind SiteKind, station geo.Station, access network.Path, p
 		}
 		s.execs = append(s.execs, exec)
 	}
+	s.warmRates()
 	return s, nil
+}
+
+// warmRates fills the service-rate table for every known task class so
+// decision-phase reads never mutate the site (see the ownership model on
+// Site).
+func (s *Site) warmRates() {
+	s.svcRates = make(map[hardware.Class][]float64, len(hardware.Classes()))
+	for _, class := range hardware.Classes() {
+		rates := make([]float64, len(s.execs))
+		for i, e := range s.execs {
+			rates[i] = e.Processor().EffectiveGFLOPS(class)
+		}
+		s.svcRates[class] = rates
+	}
 }
 
 // NewRSU builds the standard RSU configuration: a Xeon plus an edge GPU,
@@ -181,17 +212,44 @@ func (s *Site) Station() geo.Station { return s.station }
 
 // SetAvailable marks the site up or down (maintenance, backhaul cut). An
 // unavailable site is unreachable from everywhere and rejects direct
-// submissions and estimates. The service-rate cache is invalidated so an
-// availability transition always re-derives estimates from live state.
+// submissions and estimates. The service-rate table is immutable after
+// construction (processors never change), so availability flips leave it
+// untouched; bestExec consults the availability flag before any rate.
 func (s *Site) SetAvailable(up bool) {
+	s.assertUnfrozen("SetAvailable")
 	s.available = up
-	s.svcRates = nil
+}
+
+// Freeze marks the start of a parallel decision phase: until Unfreeze,
+// every mutation (Submit, Preload, SetAvailable, SetFaultInjector) panics.
+// The fleet's sharded executor freezes all shared sites while vehicle
+// shards estimate concurrently, so any code path that would mutate a site
+// from the decision phase fails loudly and deterministically instead of
+// racing. See the ownership model documented on Site.
+func (s *Site) Freeze() { s.frozen = true }
+
+// Unfreeze ends the parallel decision phase; the (single-threaded) commit
+// phase may mutate the site again.
+func (s *Site) Unfreeze() { s.frozen = false }
+
+// Frozen reports whether the site is in a parallel decision phase.
+func (s *Site) Frozen() bool { return s.frozen }
+
+// assertUnfrozen panics when a mutation is attempted during a parallel
+// decision phase — an ownership-model violation, not a recoverable error.
+func (s *Site) assertUnfrozen(op string) {
+	if s.frozen {
+		panic(fmt.Sprintf("xedge: %s on frozen site %s during parallel decision phase (mutations belong to the commit phase; see Site ownership model)", op, s.name))
+	}
 }
 
 // SetFaultInjector installs fn as the site's submission-time fault hook
 // (nil removes it). When fn returns an error, Submit fails without
 // reserving an executor.
-func (s *Site) SetFaultInjector(fn FaultFunc) { s.faultFn = fn }
+func (s *Site) SetFaultInjector(fn FaultFunc) {
+	s.assertUnfrozen("SetFaultInjector")
+	s.faultFn = fn
+}
 
 // Available reports whether the site is serving.
 func (s *Site) Available() bool { return s.available }
@@ -207,21 +265,19 @@ func (s *Site) Reachable(p geo.Point) bool {
 	return s.station.Covers(p)
 }
 
-// ratesFor returns the memoized per-executor throughput for a task class,
-// computing and caching it on first use.
+// ratesFor returns the per-executor throughput for a task class. Every
+// class in the hardware enum was warmed at construction; an out-of-enum
+// class (possible only through future extension) is computed on the fly
+// without touching the table, keeping this a pure read — concurrent
+// decision-phase estimates depend on that.
 func (s *Site) ratesFor(class hardware.Class) []float64 {
-	rates, ok := s.svcRates[class]
-	if ok {
+	if rates, ok := s.svcRates[class]; ok {
 		return rates
 	}
-	rates = make([]float64, len(s.execs))
+	rates := make([]float64, len(s.execs))
 	for i, e := range s.execs {
 		rates[i] = e.Processor().EffectiveGFLOPS(class)
 	}
-	if s.svcRates == nil {
-		s.svcRates = make(map[hardware.Class][]float64)
-	}
-	s.svcRates[class] = rates
 	return rates
 }
 
@@ -270,7 +326,9 @@ func (s *Site) EstimateExec(now time.Duration, class hardware.Class, gflop float
 
 // Submit reserves the best executor for the work. Injected faults (see
 // SetFaultInjector) fail the submission before any reservation is made.
+// Submit is a commit-phase mutation: calling it on a frozen site panics.
 func (s *Site) Submit(now time.Duration, class hardware.Class, gflop float64) (start, finish time.Duration, err error) {
+	s.assertUnfrozen("Submit")
 	exec, _, err := s.bestExec(now, class, gflop)
 	if err != nil {
 		return 0, 0, err

@@ -309,9 +309,9 @@ func TestRateCacheMatchesExecutorEstimates(t *testing.T) {
 	}
 }
 
-// TestRateCacheSurvivesAvailabilityFlip: SetAvailable drops the cache;
-// estimates must fail while down and return to exact agreement after the
-// site comes back.
+// TestRateCacheSurvivesAvailabilityFlip: the rate table is warmed at
+// construction and immutable; estimates must fail while the site is down
+// and return to exact agreement after it comes back.
 func TestRateCacheSurvivesAvailabilityFlip(t *testing.T) {
 	s, _ := NewRSU(rsuStation())
 	before, err := s.EstimateExec(0, hardware.DNNInference, 100)
@@ -322,8 +322,8 @@ func TestRateCacheSurvivesAvailabilityFlip(t *testing.T) {
 	if _, err := s.EstimateExec(0, hardware.DNNInference, 100); err == nil {
 		t.Fatal("estimate succeeded on a down site")
 	}
-	if s.svcRates != nil {
-		t.Fatal("SetAvailable did not drop the rate cache")
+	if len(s.svcRates) != len(hardware.Classes()) {
+		t.Fatalf("rate table not warm across availability flip: %d classes", len(s.svcRates))
 	}
 	s.SetAvailable(true)
 	after, err := s.EstimateExec(0, hardware.DNNInference, 100)
@@ -332,5 +332,40 @@ func TestRateCacheSurvivesAvailabilityFlip(t *testing.T) {
 	}
 	if after != before {
 		t.Fatalf("estimate changed across availability flip: %v != %v", after, before)
+	}
+}
+
+// TestFreezeAssertsCommitPhaseOwnership: a frozen site must reject every
+// mutation with a panic (ownership-model violation) while read paths keep
+// working, and Unfreeze restores mutability.
+func TestFreezeAssertsCommitPhaseOwnership(t *testing.T) {
+	s, _ := NewRSU(rsuStation())
+	s.Freeze()
+	if !s.Frozen() {
+		t.Fatal("Frozen() false after Freeze")
+	}
+	// Reads stay legal during the decision phase.
+	if _, err := s.EstimateExec(0, hardware.DNNInference, 100); err != nil {
+		t.Fatal(err)
+	}
+	if !s.Reachable(s.Station().Pos) {
+		t.Fatal("frozen site unreachable")
+	}
+	mustPanic := func(name string, fn func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Fatalf("%s did not panic on a frozen site", name)
+			}
+		}()
+		fn()
+	}
+	mustPanic("Submit", func() { s.Submit(0, hardware.DNNInference, 100) })
+	mustPanic("SetAvailable", func() { s.SetAvailable(false) })
+	mustPanic("Preload", func() { s.Preload(1, hardware.DNNInference, 100) })
+	mustPanic("SetFaultInjector", func() { s.SetFaultInjector(nil) })
+	s.Unfreeze()
+	if _, _, err := s.Submit(0, hardware.DNNInference, 100); err != nil {
+		t.Fatalf("Submit after Unfreeze: %v", err)
 	}
 }
