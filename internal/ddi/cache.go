@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/telemetry"
 )
 
@@ -22,11 +23,16 @@ type MemCache struct {
 	misses int
 
 	reg *telemetry.Registry
+	rec *obs.Recorder
 }
 
 // SetTelemetry mirrors hit/miss/eviction outcomes into a registry under
 // `ddi.cache.*` counters (nil detaches).
 func (c *MemCache) SetTelemetry(reg *telemetry.Registry) { c.reg = reg }
+
+// SetRecorder attaches a flight recorder: every capacity eviction emits a
+// structured event stamped at the insertion that forced it (nil detaches).
+func (c *MemCache) SetRecorder(rec *obs.Recorder) { c.rec = rec }
 
 // count bumps a counter when a registry is attached.
 func (c *MemCache) count(name string) {
@@ -70,13 +76,13 @@ func (c *MemCache) Put(rec Record, now time.Duration) {
 		return
 	}
 	for c.lru.Len() >= c.capacity {
-		c.evictOldest()
+		c.evictOldest(now)
 	}
 	el := c.lru.PushFront(&cacheEntry{rec: rec, expiresAt: now + c.ttl})
 	c.entries[rec.ID] = el
 }
 
-func (c *MemCache) evictOldest() {
+func (c *MemCache) evictOldest(now time.Duration) {
 	back := c.lru.Back()
 	if back == nil {
 		return
@@ -85,6 +91,10 @@ func (c *MemCache) evictOldest() {
 	c.lru.Remove(back)
 	if ok {
 		delete(c.entries, entry.rec.ID)
+		if c.rec.Enabled() {
+			c.rec.Emit(now, "ddi", obs.SevDebug, "cache.evict",
+				obs.Int("id", int(entry.rec.ID)), obs.Int("resident", c.lru.Len()))
+		}
 	}
 	c.count("ddi.cache.evictions")
 }

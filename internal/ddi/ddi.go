@@ -7,6 +7,7 @@ import (
 	"repro/internal/cloud"
 	"repro/internal/geo"
 	"repro/internal/hardware"
+	"repro/internal/obs"
 	"repro/internal/sensors"
 	"repro/internal/sim"
 	"repro/internal/telemetry"
@@ -130,6 +131,10 @@ func (d *DDI) OBD() *sensors.OBD { return d.obd }
 
 // Cache exposes the in-memory tier for statistics.
 func (d *DDI) Cache() *MemCache { return d.cache }
+
+// SetRecorder attaches a flight recorder to the cache tier: capacity
+// evictions emit `ddi` events (nil detaches).
+func (d *DDI) SetRecorder(rec *obs.Recorder) { d.cache.SetRecorder(rec) }
 
 // Store exposes the disk tier.
 func (d *DDI) Store() *DiskStore { return d.store }

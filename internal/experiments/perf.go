@@ -10,6 +10,7 @@ import (
 
 	"repro/internal/ddi"
 	"repro/internal/geo"
+	"repro/internal/obs"
 	"repro/internal/offload"
 	"repro/internal/sim"
 	"repro/internal/tasks"
@@ -60,6 +61,11 @@ type PerfReport struct {
 type perfScenario struct {
 	name     string
 	baseline PerfBaseline
+	// baselineFrom, when set, replaces the static baseline with the live
+	// measurement of the named earlier scenario — a paired comparison
+	// measured in the same run (e.g. the sampled event loop against the
+	// unsampled one).
+	baselineFrom string
 	// events scales ops to kernel events for the derived throughput
 	// column (0 = not a kernel scenario).
 	events float64
@@ -211,6 +217,55 @@ func RunPerf() (*PerfReport, error) {
 			},
 		},
 		{
+			// One sampler tick over 64 counters + 8 reservoir histograms.
+			// Baseline is the naive approach — a full Registry.Snapshot per
+			// tick fed through RecordGauge; live is the interned-handle
+			// staged sampler (zero allocations in steady state).
+			name:     "telemetry.sample_tick",
+			baseline: PerfBaseline{NsPerOp: 9212, BytesPerOp: 6588, AllocsPerOp: 15},
+			run: func(b *testing.B) {
+				reg := telemetry.NewRegistry()
+				reg.EnableReservoir(64, 1)
+				for i := 0; i < 64; i++ {
+					reg.CounterHandle(fmt.Sprintf("counter.%02d", i)).Add(float64(i))
+				}
+				for i := 0; i < 8; i++ {
+					h := reg.HistogramHandle(fmt.Sprintf("hist.%d", i))
+					for j := 0; j < 32; j++ {
+						h.Observe(float64(j))
+					}
+				}
+				store := obs.NewSeriesStore(1024)
+				sp := obs.NewSampler(store, time.Millisecond)
+				sp.Watch(reg)
+				sp.SampleAt(0)
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					sp.SampleAt(time.Duration(i+1) * time.Millisecond)
+				}
+			},
+		},
+		{
+			// The DES event loop with metric emission but no sampler — the
+			// "off" half of the sampler-overhead pair. RunUntil batches (not
+			// Drain) so the sampled variant's periodic ticks are legal.
+			name:     "sim.event_loop_unsampled",
+			baseline: PerfBaseline{NsPerOp: 82.4},
+			events:   1,
+			run:      func(b *testing.B) { eventLoopScenario(b, false) },
+		},
+		{
+			// The same loop with a sampler ticking at the default 100 ms
+			// virtual interval — the "on" half. Its baseline is the live
+			// unsampled measurement from this run, so the speedup column
+			// reads directly as sampling overhead (0.98x = 2%).
+			name:         "sim.event_loop_sampled",
+			baselineFrom: "sim.event_loop_unsampled",
+			events:       1,
+			run:          func(b *testing.B) { eventLoopScenario(b, true) },
+		},
+		{
 			// Mirrors offload.BenchmarkDecide: a full destination
 			// comparison over onboard + RSU + cloud for the ALPR DAG.
 			name:     "offload.decide",
@@ -238,10 +293,18 @@ func RunPerf() (*PerfReport, error) {
 		GOOS:      runtime.GOOS,
 		GOARCH:    runtime.GOARCH,
 	}
+	live := make(map[string]PerfBaseline)
 	for _, sc := range scenarios {
 		res := testing.Benchmark(sc.run)
 		if res.N == 0 {
 			return nil, fmt.Errorf("perf: scenario %s did not run", sc.name)
+		}
+		if sc.baselineFrom != "" {
+			base, ok := live[sc.baselineFrom]
+			if !ok {
+				return nil, fmt.Errorf("perf: scenario %s pairs with %s, which has not run", sc.name, sc.baselineFrom)
+			}
+			sc.baseline = base
 		}
 		row := PerfRow{
 			Name:        sc.name,
@@ -250,6 +313,7 @@ func RunPerf() (*PerfReport, error) {
 			AllocsPerOp: res.AllocsPerOp(),
 			Baseline:    sc.baseline,
 		}
+		live[sc.name] = PerfBaseline{NsPerOp: row.NsPerOp, BytesPerOp: row.BytesPerOp, AllocsPerOp: row.AllocsPerOp}
 		if row.NsPerOp > 0 {
 			if sc.events > 0 {
 				row.EventsPerSec = sc.events * 1e9 / row.NsPerOp
@@ -259,6 +323,34 @@ func RunPerf() (*PerfReport, error) {
 		rep.Rows = append(rep.Rows, row)
 	}
 	return rep, nil
+}
+
+// eventLoopScenario is the shared body of the sampler-overhead pair: a
+// scattered-schedule event loop emitting one counter per event, advanced in
+// RunUntil batches, with the series sampler on or off.
+func eventLoopScenario(b *testing.B, sampled bool) {
+	e := sim.NewEngine(1)
+	reg := telemetry.NewRegistry()
+	c := reg.CounterHandle("loop.events")
+	if sampled {
+		store := obs.NewSeriesStore(1024)
+		sp := obs.NewSampler(store, obs.DefaultSampleInterval)
+		sp.Watch(reg)
+		if _, err := sp.Start(e); err != nil {
+			b.Fatal(err)
+		}
+	}
+	fn := func() { c.Inc() }
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.After(time.Duration((i*2654435761)%4096)*time.Microsecond, fn)
+		if i%256 == 255 {
+			if err := e.RunUntil(e.Now() + 4096*time.Microsecond); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
 }
 
 // perfWorld builds the Decide scenario's world: default VCU, one in-range

@@ -24,6 +24,7 @@ import (
 	"time"
 
 	"repro/internal/network"
+	"repro/internal/obs"
 	"repro/internal/sim"
 	"repro/internal/telemetry"
 	"repro/internal/trace"
@@ -268,10 +269,15 @@ type Injector struct {
 	plan   *Plan
 	cursor time.Duration
 
-	tracer  *trace.Tracer
-	metrics *telemetry.Registry
-	m       injectorMetrics
+	tracer   *trace.Tracer
+	metrics  *telemetry.Registry
+	recorder *obs.Recorder
+	m        injectorMetrics
 }
+
+// SetRecorder attaches a flight recorder: every outage window entered or
+// left emits a structured event stamped at the window edge. Nil detaches.
+func (in *Injector) SetRecorder(rec *obs.Recorder) { in.recorder = rec }
 
 // injectorMetrics holds the injector's interned metric handles, resolved
 // once in Instrument. The per-site counters can all be resolved up front
@@ -406,7 +412,7 @@ func (in *Injector) AdvanceTo(now time.Duration) {
 				in.siteDown(sp.site, w)
 			}
 			if w.To > in.cursor && w.To <= now {
-				in.siteUp(sp.site)
+				in.siteUp(sp.site, w.To)
 			}
 		}
 		sp.outageCur = advanceWindowCursor(sp.outages, sp.outageCur, now)
@@ -428,7 +434,7 @@ func (in *Injector) Schedule(eng *sim.Engine) error {
 		for _, w := range sp.outages {
 			w := w
 			eng.At(w.From, func() { in.siteDown(sp.site, w) })
-			eng.At(w.To, func() { in.siteUp(sp.site) })
+			eng.At(w.To, func() { in.siteUp(sp.site, w.To) })
 		}
 	}
 	return nil
@@ -444,11 +450,19 @@ func (in *Injector) siteDown(s *xedge.Site, w Window) {
 		in.tracer.SpanAt("faults", "faults.outage", w.From, w.To,
 			trace.String("site", s.Name()), trace.Dur("length", w.To-w.From))
 	}
+	if in.recorder.Enabled() {
+		in.recorder.Emit(w.From, "faults", obs.SevWarn, "outage.begin",
+			obs.String("site", s.Name()), obs.Dur("length", w.To-w.From))
+	}
 }
 
-func (in *Injector) siteUp(s *xedge.Site) {
+func (in *Injector) siteUp(s *xedge.Site, at time.Duration) {
 	s.SetAvailable(true)
 	in.m.siteUp.Inc()
+	if in.recorder.Enabled() {
+		in.recorder.Emit(at, "faults", obs.SevInfo, "outage.end",
+			obs.String("site", s.Name()))
+	}
 }
 
 // AdjustPath implements offload.PathAdjuster: inside a degradation

@@ -55,6 +55,10 @@ type Fleet struct {
 	// legacy shared-registry Instrument).
 	tele *telemetryLanes
 
+	// flight holds the per-vehicle flight-recorder lanes installed by
+	// EnableFlightRecorder (nil when disabled).
+	flight *flightLanes
+
 	// Per-round working buffers, preallocated at vehicle count and reused
 	// by every invokeAll / shardedInvokeAll round so the steady-state
 	// invocation loop allocates nothing per round.

@@ -40,6 +40,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/sim"
 	"repro/internal/telemetry"
 	"repro/internal/trace"
@@ -155,6 +156,80 @@ func (f *Fleet) MergedTelemetry() (*telemetry.Registry, *trace.Tracer) {
 	return reg, trc
 }
 
+// flightLanes is the per-vehicle flight-recorder set, laned exactly like
+// telemetryLanes and for the same reason: events emitted during the
+// parallel decision phase must land on per-vehicle rings so the canonical
+// merge (fleet lane, injector lane, vehicles by index) breaks
+// same-timestamp ties identically for every shard count.
+type flightLanes struct {
+	capacity int
+	fleet    *obs.Recorder // epoch-barrier phase markers
+	inj      *obs.Recorder // fault outage windows
+	vehicles []*obs.Recorder
+}
+
+// EnableFlightRecorder installs bounded per-vehicle event rings of the
+// given capacity (obs.DefaultEventCapacity when non-positive) plus a fleet
+// lane for commit-phase markers and an injector lane for outage windows.
+// Call after New (so resilience breakers created by traffic pick up their
+// transition hook) and read the merged log with MergedFlightRecorder.
+func (f *Fleet) EnableFlightRecorder(capacity int) {
+	lanes := &flightLanes{
+		capacity: capacity,
+		fleet:    obs.NewRecorder(capacity),
+		inj:      obs.NewRecorder(capacity),
+		vehicles: make([]*obs.Recorder, len(f.vehicles)),
+	}
+	for i, v := range f.vehicles {
+		lanes.vehicles[i] = obs.NewRecorder(capacity)
+		v.Engine.SetRecorder(lanes.vehicles[i])
+	}
+	if f.injector != nil {
+		f.injector.SetRecorder(lanes.inj)
+	}
+	f.flight = lanes
+}
+
+// MergedFlightRecorder merges the flight-recorder lanes into one ring in
+// canonical order — the fleet lane, the injector lane, then vehicles by
+// index — sized to hold every retained event, so the merged log is
+// identical for every shard count. Nil when EnableFlightRecorder was not
+// called.
+func (f *Fleet) MergedFlightRecorder() *obs.Recorder {
+	if f.flight == nil {
+		return nil
+	}
+	total := f.flight.fleet.Len() + f.flight.inj.Len()
+	for _, r := range f.flight.vehicles {
+		total += r.Len()
+	}
+	if total == 0 {
+		total = 1
+	}
+	merged := obs.NewRecorder(total)
+	merged.Merge(f.flight.fleet)
+	merged.Merge(f.flight.inj)
+	for _, r := range f.flight.vehicles {
+		merged.Merge(r)
+	}
+	return merged
+}
+
+// WatchTelemetry registers the fleet's telemetry lanes with a sampler in
+// canonical merge order (injector lane first, then vehicles by index), so
+// sampled series accumulate cross-lane sums in a shard-count-independent
+// order. Requires InstrumentSharded.
+func (f *Fleet) WatchTelemetry(sp *obs.Sampler) error {
+	if f.tele == nil {
+		return fmt.Errorf("fleet: WatchTelemetry requires InstrumentSharded")
+	}
+	sp.Watch(f.tele.injReg)
+	for _, reg := range f.tele.vehicleRegs {
+		sp.Watch(reg)
+	}
+	return nil
+}
+
 // ShardedInvokeAll runs one epoch-barrier invocation round of the named
 // service across the fleet at virtual time now (see the package-section
 // comment at the top of this file for the phase structure and the
@@ -224,14 +299,30 @@ func (f *Fleet) shardedInvokeAll(service string, now time.Duration, tolerant boo
 
 	// Commit phase: apply shared-site interactions in canonical
 	// vehicle-index order on the caller's goroutine.
+	if f.flight != nil {
+		pending := 0
+		for _, p := range f.prepBuf {
+			if p != nil {
+				pending++
+			}
+		}
+		f.flight.fleet.Emit(now, "fleet", obs.SevDebug, "commit.begin",
+			obs.Int("offloads", pending))
+	}
+	committed := 0
 	for i, v := range f.vehicles {
 		if p := f.prepBuf[i]; p != nil {
 			f.prepBuf[i] = nil
 			f.resBuf[i], f.errBuf[i] = v.Manager.CommitInvoke(p)
+			committed++
 		}
 		if f.errBuf[i] != nil && !tolerant {
 			return f.aggregate(i), fmt.Errorf("%s: %w", v.Name, f.errBuf[i])
 		}
+	}
+	if f.flight != nil {
+		f.flight.fleet.Emit(now, "fleet", obs.SevDebug, "commit.end",
+			obs.Int("committed", committed))
 	}
 	return f.aggregate(len(f.vehicles)), nil
 }

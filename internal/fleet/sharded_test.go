@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"repro/internal/faults"
+	"repro/internal/obs"
 	"repro/internal/offload"
 	"repro/internal/runner"
 	"repro/internal/sim"
@@ -279,5 +280,80 @@ func BenchmarkShardedInvokeAllRound(b *testing.B) {
 		if _, err := f.ShardedInvokeAll("kidnapper-search", time.Duration(i)*time.Millisecond); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// obsRun drives rounds epochs with the flight recorder and a telemetry
+// sampler enabled, returning the merged event table and series render.
+func obsRun(t *testing.T, cfg Config, rounds int) (string, string) {
+	t.Helper()
+	f, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.InstrumentSharded(false)
+	f.EnableFlightRecorder(4096)
+	store := obs.NewSeriesStore(256)
+	sp := obs.NewSampler(store, 100*time.Millisecond)
+	if err := f.WatchTelemetry(sp); err != nil {
+		t.Fatal(err)
+	}
+	eng := sim.NewEngine(0)
+	stop, err := sp.Start(eng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for r := 0; r < rounds; r++ {
+		now := time.Duration(r) * 400 * time.Millisecond
+		if _, err := f.ShardedInvokeAllTolerant("kidnapper-search", now); err != nil {
+			t.Fatal(err)
+		}
+		if err := eng.RunUntil(now + 400*time.Millisecond); err != nil {
+			t.Fatal(err)
+		}
+	}
+	stop()
+	return f.MergedFlightRecorder().RenderTable(), store.Render()
+}
+
+// TestFlightRecorderAndSeriesShardCountInvariant extends the differential
+// contract to the observability layer: merged flight-recorder tables and
+// sampled series renders are byte-identical for any shard count.
+func TestFlightRecorderAndSeriesShardCountInvariant(t *testing.T) {
+	const vehicles, rounds, seed = 12, 6, 42
+	baseEvents, baseSeries := obsRun(t, chaosConfig(vehicles, 1, seed), rounds)
+	if !strings.Contains(baseEvents, "commit.begin") {
+		t.Fatalf("no commit-phase events recorded:\n%s", baseEvents)
+	}
+	if !strings.Contains(baseEvents, "outage.begin") {
+		t.Fatalf("no outage events recorded:\n%s", baseEvents)
+	}
+	if !strings.Contains(baseSeries, "edgeos.invocations") {
+		t.Fatalf("sampled series missing invocation counters:\n%s", baseSeries)
+	}
+	for _, shards := range []int{2, 5} {
+		events, series := obsRun(t, chaosConfig(vehicles, shards, seed), rounds)
+		if events != baseEvents {
+			t.Fatalf("shards=%d flight-recorder table diverged from shards=1:\n%s\nvs\n%s", shards, events, baseEvents)
+		}
+		if series != baseSeries {
+			t.Fatalf("shards=%d series render diverged from shards=1:\n%s\nvs\n%s", shards, series, baseSeries)
+		}
+	}
+}
+
+// TestMergedFlightRecorderNilWithoutEnable: reading the merged log without
+// EnableFlightRecorder is nil (and nil-safe to render).
+func TestMergedFlightRecorderNilWithoutEnable(t *testing.T) {
+	f, err := New(chaosConfig(3, 1, 7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec := f.MergedFlightRecorder(); rec != nil {
+		t.Fatal("merged recorder without enable should be nil")
+	}
+	sp := obs.NewSampler(obs.NewSeriesStore(8), time.Second)
+	if err := f.WatchTelemetry(sp); err == nil {
+		t.Fatal("WatchTelemetry without InstrumentSharded should fail")
 	}
 }

@@ -86,6 +86,20 @@ func (e *Executor) ActiveEnergyJ() float64 { return e.busyJ }
 // Completed returns the number of submissions accepted.
 func (e *Executor) Completed() int { return e.completed }
 
+// PendingWork returns the total committed busy time still ahead of now
+// across all slots — the device's queue depth expressed in virtual time.
+// Read-only, so health samplers may call it from the parallel decision
+// phase.
+func (e *Executor) PendingWork(now time.Duration) time.Duration {
+	var sum time.Duration
+	for _, f := range e.slotFree {
+		if f > now {
+			sum += f - now
+		}
+	}
+	return sum
+}
+
 // Utilization returns the fraction of [0, horizon] the device's slots were
 // executing work, aggregated across slots and capped at 1. Horizon must be
 // positive.

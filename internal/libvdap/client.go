@@ -12,6 +12,7 @@ import (
 
 	"repro/internal/ddi"
 	"repro/internal/edgeos"
+	"repro/internal/obs"
 	"repro/internal/vcu"
 )
 
@@ -177,6 +178,76 @@ func (c *Client) Invoke(service string) (InvokeResponse, error) {
 	var out InvokeResponse
 	err := c.do(http.MethodPost, "/api/v1/services/"+url.PathEscape(service)+"/invoke", nil, &out)
 	return out, err
+}
+
+// MetricsSeries fetches the sampled metric time-series after the given
+// virtual-time watermark (pass a negative duration for everything).
+func (c *Client) MetricsSeries(since time.Duration) (obs.Payload, error) {
+	var out obs.Payload
+	path := "/api/v1/metrics/series"
+	if since >= 0 {
+		path += "?since=" + strconv.FormatFloat(since.Seconds(), 'f', -1, 64)
+	}
+	err := c.do(http.MethodGet, path, nil, &out)
+	return out, err
+}
+
+// Events fetches flight-recorder events after the given watermark, filtered
+// by component (empty = all) and minimum severity.
+func (c *Client) Events(since time.Duration, component string, minSev obs.Severity) ([]obs.Event, error) {
+	v := url.Values{}
+	if since >= 0 {
+		v.Set("since", strconv.FormatFloat(since.Seconds(), 'f', -1, 64))
+	}
+	if component != "" {
+		v.Set("component", component)
+	}
+	v.Set("severity", minSev.String())
+	var out EventsResponse
+	if err := c.do(http.MethodGet, "/api/v1/events?"+v.Encode(), nil, &out); err != nil {
+		return nil, err
+	}
+	return out.Events, nil
+}
+
+// StreamFrames reads up to n incremental frames from /v1/stream starting at
+// the given watermark.
+func (c *Client) StreamFrames(since time.Duration, n int) ([]obs.Frame, error) {
+	v := url.Values{}
+	if since >= 0 {
+		v.Set("since", strconv.FormatFloat(since.Seconds(), 'f', -1, 64))
+	}
+	v.Set("frames", strconv.Itoa(n))
+	v.Set("poll", "0.01")
+	req, err := http.NewRequest(http.MethodGet, c.base+"/api/v1/stream?"+v.Encode(), nil)
+	if err != nil {
+		return nil, fmt.Errorf("build request: %w", err)
+	}
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return nil, fmt.Errorf("GET /api/v1/stream: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode >= 400 {
+		var apiErr apiError
+		if decodeErr := json.NewDecoder(resp.Body).Decode(&apiErr); decodeErr == nil && apiErr.Error != "" {
+			return nil, fmt.Errorf("GET /api/v1/stream: %s (HTTP %d)", apiErr.Error, resp.StatusCode)
+		}
+		return nil, fmt.Errorf("GET /api/v1/stream: HTTP %d", resp.StatusCode)
+	}
+	dec := json.NewDecoder(resp.Body)
+	var frames []obs.Frame
+	for {
+		var f obs.Frame
+		if err := dec.Decode(&f); err != nil {
+			if err == io.EOF {
+				break
+			}
+			return nil, fmt.Errorf("decode frame: %w", err)
+		}
+		frames = append(frames, f)
+	}
+	return frames, nil
 }
 
 // FetchMessages reads a topic as the given service.

@@ -1,14 +1,17 @@
 package libvdap
 
 import (
+	"compress/gzip"
 	"encoding/json"
 	"fmt"
 	"net/http"
 	"strconv"
+	"strings"
 	"time"
 
 	"repro/internal/ddi"
 	"repro/internal/edgeos"
+	"repro/internal/obs"
 	"repro/internal/telemetry"
 	"repro/internal/trace"
 	"repro/internal/vcu"
@@ -29,6 +32,8 @@ type Server struct {
 	elastic  *edgeos.ElasticManager
 	metrics  *telemetry.Registry
 	tracer   *trace.Tracer
+	series   *obs.SeriesStore
+	events   *obs.Recorder
 	clock    Clock
 	mux      *http.ServeMux
 }
@@ -63,6 +68,14 @@ func (s *Server) AttachTelemetry(reg *telemetry.Registry) { s.metrics = reg }
 // tracer.
 func (s *Server) AttachTracer(tr *trace.Tracer) { s.tracer = tr }
 
+// AttachSeries backs GET /v1/metrics/series (and the series half of
+// /v1/stream) with the given store.
+func (s *Server) AttachSeries(store *obs.SeriesStore) { s.series = store }
+
+// AttachEvents backs GET /v1/events (and the event half of /v1/stream)
+// with the given flight recorder.
+func (s *Server) AttachEvents(rec *obs.Recorder) { s.events = rec }
+
 // ServeHTTP implements http.Handler.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
 
@@ -81,10 +94,42 @@ func (s *Server) routes() {
 	s.mux.HandleFunc("GET /api/v1/sharing/fetch", s.handleFetch)
 	s.mux.HandleFunc("GET /api/v1/services", s.handleListServices)
 	s.mux.HandleFunc("POST /api/v1/services/{name}/invoke", s.handleInvokeService)
-	s.mux.HandleFunc("GET /api/v1/metrics", s.handleMetrics)
-	s.mux.HandleFunc("GET /v1/metrics", s.handleMetrics)
-	s.mux.HandleFunc("GET /api/v1/trace", s.handleTrace)
-	s.mux.HandleFunc("GET /v1/trace", s.handleTrace)
+	s.mux.HandleFunc("GET /api/v1/metrics", gzipped(s.handleMetrics))
+	s.mux.HandleFunc("GET /v1/metrics", gzipped(s.handleMetrics))
+	s.mux.HandleFunc("GET /api/v1/trace", gzipped(s.handleTrace))
+	s.mux.HandleFunc("GET /v1/trace", gzipped(s.handleTrace))
+	s.mux.HandleFunc("GET /api/v1/metrics/series", gzipped(s.handleSeries))
+	s.mux.HandleFunc("GET /v1/metrics/series", gzipped(s.handleSeries))
+	s.mux.HandleFunc("GET /api/v1/events", s.handleEvents)
+	s.mux.HandleFunc("GET /v1/events", s.handleEvents)
+	s.mux.HandleFunc("GET /api/v1/stream", s.handleStream)
+	s.mux.HandleFunc("GET /v1/stream", s.handleStream)
+}
+
+// gzipWriter forwards writes through a gzip stream while keeping the
+// underlying ResponseWriter's headers.
+type gzipWriter struct {
+	http.ResponseWriter
+	gz *gzip.Writer
+}
+
+func (g *gzipWriter) Write(b []byte) (int, error) { return g.gz.Write(b) }
+
+// gzipped wraps a handler with Accept-Encoding-negotiated gzip response
+// compression — the bulk endpoints (metrics, trace, series) serve the
+// largest bodies of the API.
+func gzipped(h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if !strings.Contains(r.Header.Get("Accept-Encoding"), "gzip") {
+			h(w, r)
+			return
+		}
+		w.Header().Set("Content-Encoding", "gzip")
+		w.Header().Add("Vary", "Accept-Encoding")
+		gz := gzip.NewWriter(w)
+		defer gz.Close()
+		h(&gzipWriter{ResponseWriter: w, gz: gz}, r)
+	}
 }
 
 // handleMetrics serves the telemetry snapshot. The default is the JSON
@@ -122,9 +167,141 @@ func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusInternalServerError, err)
 		return
 	}
-	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
 	w.WriteHeader(http.StatusOK)
 	w.Write(out)
+}
+
+// parseSince reads an optional virtual-time watermark in seconds; an empty
+// value means "everything" (a negative watermark).
+func parseSince(s string) (time.Duration, error) {
+	if s == "" {
+		return -1, nil
+	}
+	return parseSeconds(s)
+}
+
+// handleSeries serves the sampled metric time-series: delta-encoded
+// timestamps, values, and windowed rates per metric, optionally restricted
+// to points after ?since=<seconds of virtual time>.
+func (s *Server) handleSeries(w http.ResponseWriter, r *http.Request) {
+	if s.series == nil {
+		writeErr(w, http.StatusServiceUnavailable, fmt.Errorf("series store not attached"))
+		return
+	}
+	since, err := parseSince(r.URL.Query().Get("since"))
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, s.series.Payload(since))
+}
+
+// EventsResponse is the `/v1/events` payload.
+type EventsResponse struct {
+	Events  []obs.Event `json:"events"`
+	Dropped int         `json:"dropped,omitempty"`
+}
+
+// handleEvents serves the flight-recorder log with ?since=<seconds>,
+// ?component= and ?severity=<minimum> filters; ?format=table renders the
+// text table instead.
+func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	if s.events == nil {
+		writeErr(w, http.StatusServiceUnavailable, fmt.Errorf("flight recorder not attached"))
+		return
+	}
+	if r.URL.Query().Get("format") == "table" {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		w.WriteHeader(http.StatusOK)
+		fmt.Fprint(w, s.events.RenderTable())
+		return
+	}
+	since, err := parseSince(r.URL.Query().Get("since"))
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	minSev := obs.SevDebug
+	if sev := r.URL.Query().Get("severity"); sev != "" {
+		if minSev, err = obs.ParseSeverity(sev); err != nil {
+			writeErr(w, http.StatusBadRequest, err)
+			return
+		}
+	}
+	component := r.URL.Query().Get("component")
+	writeJSON(w, http.StatusOK, EventsResponse{
+		Events:  s.events.EventsSince(since, component, minSev),
+		Dropped: s.events.Dropped(),
+	})
+}
+
+// handleStream serves chunked newline-delimited JSON frames keyed on
+// virtual-time watermarks: each frame carries only the series points and
+// events past the previous frame's watermark, so a long-lived client never
+// re-reads a full snapshot. ?since=<seconds> seeds the first watermark,
+// ?frames=<n> bounds the frame count (0 streams until the client
+// disconnects), and ?poll=<seconds> sets the wall-clock re-check interval.
+func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
+	if s.series == nil && s.events == nil {
+		writeErr(w, http.StatusServiceUnavailable, fmt.Errorf("observability not attached"))
+		return
+	}
+	watermark, err := parseSince(r.URL.Query().Get("since"))
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	frames := 0
+	if fs := r.URL.Query().Get("frames"); fs != "" {
+		if frames, err = strconv.Atoi(fs); err != nil || frames < 0 {
+			writeErr(w, http.StatusBadRequest, fmt.Errorf("bad frames %q", fs))
+			return
+		}
+	}
+	poll := 100 * time.Millisecond
+	if ps := r.URL.Query().Get("poll"); ps != "" {
+		if poll, err = parseSeconds(ps); err != nil || poll <= 0 {
+			writeErr(w, http.StatusBadRequest, fmt.Errorf("bad poll %q", ps))
+			return
+		}
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson; charset=utf-8")
+	w.WriteHeader(http.StatusOK)
+	flusher, _ := w.(http.Flusher)
+	enc := json.NewEncoder(w)
+	sent := 0
+	for {
+		now := s.clock()
+		// The first frame ships the backlog immediately; later frames wait
+		// for the watermark to advance.
+		if sent == 0 || now > watermark {
+			frame := obs.Frame{WatermarkNs: int64(now)}
+			if s.series != nil {
+				p := s.series.Payload(watermark)
+				frame.Series = &p
+			}
+			if s.events != nil {
+				frame.Events = s.events.EventsSince(watermark, "", obs.SevDebug)
+			}
+			if err := enc.Encode(frame); err != nil {
+				return
+			}
+			if flusher != nil {
+				flusher.Flush()
+			}
+			watermark = now
+			sent++
+		}
+		if frames > 0 && sent >= frames {
+			return
+		}
+		select {
+		case <-r.Context().Done():
+			return
+		case <-time.After(poll):
+		}
+	}
 }
 
 // ServiceInfo summarizes one EdgeOSv service over the API.
@@ -198,7 +375,7 @@ func (s *Server) handleInvokeService(w http.ResponseWriter, r *http.Request) {
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {
-	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
 	w.WriteHeader(status)
 	if err := json.NewEncoder(w).Encode(v); err != nil {
 		// Headers are gone; nothing more to do.

@@ -51,6 +51,24 @@ type Breaker struct {
 	openedAt time.Duration // virtual time the breaker last opened
 	probing  bool          // a half-open probe has been admitted and is unresolved
 	opens    int           // lifetime count of closed/half-open -> open transitions
+	onChange func(from, to BreakerState, now time.Duration)
+}
+
+// OnChange registers a callback fired on every real state transition (the
+// flight-recorder hook). It runs synchronously on the breaker's goroutine
+// and must not call back into the breaker.
+func (b *Breaker) OnChange(fn func(from, to BreakerState, now time.Duration)) {
+	b.onChange = fn
+}
+
+// transition moves the breaker to state to, notifying only when the state
+// actually changes.
+func (b *Breaker) transition(to BreakerState, now time.Duration) {
+	from := b.state
+	b.state = to
+	if from != to && b.onChange != nil {
+		b.onChange(from, to, now)
+	}
 }
 
 // NewBreaker builds a breaker. Thresholds below 1 are clamped to 1;
@@ -68,7 +86,7 @@ func NewBreaker(threshold int, cooldown time.Duration) *Breaker {
 // materialize ages an expired open state into half-open as of now.
 func (b *Breaker) materialize(now time.Duration) {
 	if b.state == BreakerOpen && now >= b.openedAt+b.cooldown {
-		b.state = BreakerHalfOpen
+		b.transition(BreakerHalfOpen, now)
 		b.probing = false
 	}
 }
@@ -103,7 +121,7 @@ func (b *Breaker) Allow(now time.Duration) bool {
 // failure count.
 func (b *Breaker) RecordSuccess(now time.Duration) {
 	b.materialize(now)
-	b.state = BreakerClosed
+	b.transition(BreakerClosed, now)
 	b.fails = 0
 	b.probing = false
 }
@@ -129,7 +147,7 @@ func (b *Breaker) RecordFailure(now time.Duration) {
 }
 
 func (b *Breaker) open(now time.Duration) {
-	b.state = BreakerOpen
+	b.transition(BreakerOpen, now)
 	b.openedAt = now
 	b.fails = 0
 	b.probing = false

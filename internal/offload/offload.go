@@ -14,6 +14,7 @@ import (
 
 	"repro/internal/geo"
 	"repro/internal/network"
+	"repro/internal/obs"
 	"repro/internal/tasks"
 	"repro/internal/telemetry"
 	"repro/internal/trace"
@@ -98,10 +99,11 @@ type Engine struct {
 	budgetBytes float64
 	spentBytes  float64
 
-	tracer  *trace.Tracer
-	metrics *telemetry.Registry
-	meter   *network.Meter
-	m       engineMetrics
+	tracer   *trace.Tracer
+	metrics  *telemetry.Registry
+	meter    *network.Meter
+	m        engineMetrics
+	recorder *obs.Recorder
 
 	// pathAdjust, when set, layers externally-injected link conditions
 	// (fault windows, chaos schedules) onto every access path after the
@@ -212,6 +214,16 @@ func (e *Engine) Instrument(tr *trace.Tracer, reg *telemetry.Registry) {
 		dynamic:            make(map[string]*telemetry.Counter),
 	}
 }
+
+// SetRecorder attaches a flight recorder: circuit-breaker transitions and
+// resilience-ladder rungs emit structured events stamped at the virtual
+// time they happen. Install before traffic so lazily-created breakers pick
+// up their hook; nil detaches (breakers already hooked keep emitting to the
+// old recorder until resilience is reset).
+func (e *Engine) SetRecorder(rec *obs.Recorder) { e.recorder = rec }
+
+// Recorder returns the attached flight recorder (nil when detached).
+func (e *Engine) Recorder() *obs.Recorder { return e.recorder }
 
 // dynCounter interns a dynamically-named counter (prefix + key) on first
 // use; subsequent bumps reuse the handle without rebuilding the name.

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/tasks"
 	"repro/internal/trace"
 	"repro/internal/xedge"
@@ -139,11 +140,24 @@ func (e *Engine) BreakerState(dest string, now time.Duration) (BreakerState, boo
 	return b.State(now), true
 }
 
-// breakerFor returns (creating if needed) the breaker guarding dest.
+// breakerFor returns (creating if needed) the breaker guarding dest. New
+// breakers are hooked to the flight recorder so every open/half-open/close
+// transition leaves a structured event.
 func (e *Engine) breakerFor(dest string) *Breaker {
 	b, ok := e.breakers[dest]
 	if !ok {
 		b = NewBreaker(e.policy.BreakerThreshold, e.policy.BreakerCooldown)
+		if e.recorder.Enabled() {
+			rec, dest := e.recorder, dest
+			b.OnChange(func(from, to BreakerState, now time.Duration) {
+				sev := obs.SevInfo
+				if to == BreakerOpen {
+					sev = obs.SevWarn
+				}
+				rec.Emit(now, "offload", sev, "breaker."+to.String(),
+					obs.String("dest", dest), obs.String("from", from.String()))
+			})
+		}
 		e.breakers[dest] = b
 	}
 	return b
@@ -232,6 +246,11 @@ func (e *Engine) ExecuteResilient(dag *tasks.DAG, est Estimate, now, deadline ti
 		out.Dest = dest
 		if dest != est.Dest {
 			out.FellBackTo = dest
+			if e.recorder.Enabled() {
+				e.recorder.Emit(t, "offload", obs.SevInfo, "resilient.fallback",
+					obs.String("dag", dag.Name), obs.String("from", est.Dest),
+					obs.String("to", dest))
+			}
 		}
 		out.DeadlineMet = deadline <= 0 || done <= deadline
 		e.recordResilient(out, true)
@@ -243,6 +262,11 @@ func (e *Engine) ExecuteResilient(dag *tasks.DAG, est Estimate, now, deadline ti
 		if est.Dest != OnboardName {
 			out.FellBackTo = OnboardName
 			out.Fallbacks++
+			if e.recorder.Enabled() {
+				e.recorder.Emit(t, "offload", obs.SevWarn, "resilient.onboard",
+					obs.String("dag", dag.Name), obs.String("from", est.Dest),
+					obs.Bool("degraded", out.Degraded))
+			}
 		}
 		out.DeadlineMet = deadline <= 0 || done <= deadline
 		e.recordResilient(out, true)
@@ -251,6 +275,10 @@ func (e *Engine) ExecuteResilient(dag *tasks.DAG, est Estimate, now, deadline ti
 	}
 	err := fmt.Errorf("offload: resilient execution exhausted for %s after %d attempts",
 		dag.Name, out.Attempts)
+	if e.recorder.Enabled() {
+		e.recorder.Emit(t, "offload", obs.SevError, "resilient.exhausted",
+			obs.String("dag", dag.Name), obs.Int("attempts", out.Attempts))
+	}
 	e.recordResilient(out, false)
 	finishSpan(t, err)
 	return 0, out, err
@@ -295,6 +323,10 @@ func (e *Engine) onboardRung(dag *tasks.DAG, t, deadline time.Duration, pol Poli
 			runDag, ob = dd, alt
 			out.Degraded = true
 			e.m.degraded.Inc()
+			if e.recorder.Enabled() {
+				e.recorder.Emit(t, "offload", obs.SevWarn, "resilient.degraded",
+					obs.String("dag", dag.Name), obs.F64("factor", pol.DegradeFactor))
+			}
 		}
 	}
 	if !ob.Feasible {

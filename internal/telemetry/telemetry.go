@@ -61,6 +61,16 @@ func (c *Counter) Add(delta float64) {
 // Inc increments the counter by one.
 func (c *Counter) Inc() { c.Add(1) }
 
+// Touched reports whether the counter was ever added to. Samplers use it to
+// skip never-bumped pre-resolved handles, mirroring Snapshot/Render/Merge
+// visibility.
+func (c *Counter) Touched() bool {
+	if c == nil {
+		return false
+	}
+	return c.touched.Load()
+}
+
 // Value returns the current count (0 for a nil handle).
 func (c *Counter) Value() float64 {
 	if c == nil {
@@ -91,6 +101,19 @@ func (hh *HistogramHandle) ObserveDuration(d time.Duration) {
 	hh.Observe(float64(d) / float64(time.Millisecond))
 }
 
+// CountSum returns the histogram's exact sample count and total without
+// copying retained samples — the allocation-free read samplers poll every
+// tick. A nil handle reads as empty.
+func (hh *HistogramHandle) CountSum() (int, float64) {
+	if hh == nil {
+		return 0, 0
+	}
+	hh.mu.Lock()
+	c, s := hh.h.count, hh.h.sum
+	hh.mu.Unlock()
+	return c, s
+}
+
 // Registry holds named metrics. It is safe for concurrent use (the REST
 // tier reaches it from server goroutines). The registry mutex guards the
 // name → handle maps; the metric cells themselves are a lock-free Counter
@@ -106,6 +129,20 @@ type Registry struct {
 	// to a deterministic reservoir of k samples (fleet-scale mode).
 	reservoirK    int
 	reservoirSeed int64
+
+	// gen increments whenever a counter or histogram is interned, letting
+	// samplers detect (cheaply, without the registry lock) that their cached
+	// handle lists went stale.
+	gen atomic.Uint64
+}
+
+// Generation returns a monotonically increasing value bumped every time a
+// new counter or histogram is interned. Zero for a nil registry.
+func (r *Registry) Generation() uint64 {
+	if r == nil {
+		return 0
+	}
+	return r.gen.Load()
 }
 
 // NewRegistry returns an empty registry.
@@ -135,6 +172,7 @@ func (r *Registry) counterLocked(name string) *Counter {
 	if !ok {
 		c = &Counter{}
 		r.counters[name] = c
+		r.gen.Add(1)
 	}
 	return c
 }
@@ -163,6 +201,7 @@ func (r *Registry) histogramLocked(name string) *HistogramHandle {
 		}
 		hh = &HistogramHandle{h: h}
 		r.histograms[name] = hh
+		r.gen.Add(1)
 	}
 	return hh
 }
@@ -267,6 +306,41 @@ func (r *Registry) Merge(src *Registry) {
 			cur.mu.Unlock()
 		} else {
 			r.histograms[n] = &HistogramHandle{h: h}
+			r.gen.Add(1)
+		}
+	}
+}
+
+// EachMetric calls counterFn for every interned counter and histFn for every
+// interned histogram, each in name-sorted order, under the registry lock.
+// Untouched counters and never-observed histograms are included — callers
+// that mirror report visibility filter with Counter.Touched / CountSum.
+// Callbacks must not call back into the registry. Either callback may be
+// nil to skip that metric class.
+func (r *Registry) EachMetric(counterFn func(name string, c *Counter), histFn func(name string, h *HistogramHandle)) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if counterFn != nil {
+		names := make([]string, 0, len(r.counters))
+		for n := range r.counters {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		for _, n := range names {
+			counterFn(n, r.counters[n])
+		}
+	}
+	if histFn != nil {
+		names := make([]string, 0, len(r.histograms))
+		for n := range r.histograms {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		for _, n := range names {
+			histFn(n, r.histograms[n])
 		}
 	}
 }

@@ -437,3 +437,119 @@ func TestPreResolvedHandlesInvisibleUntilUsed(t *testing.T) {
 		t.Fatal("histogram after first observe missing")
 	}
 }
+
+// TestMergeReservoirQuantilesShardCountInvariant: the sharded-runner
+// contract with EnableReservoir active — distributing the same per-shard
+// observations over any worker count and merging in index order must yield
+// identical quantile summaries, run after run.
+func TestMergeReservoirQuantilesShardCountInvariant(t *testing.T) {
+	buildShards := func() []*Registry {
+		shards := make([]*Registry, 4)
+		for i := range shards {
+			shards[i] = NewRegistry()
+			shards[i].EnableReservoir(16, 7+int64(i)) // runner: seed + index
+			for j := 0; j < 200; j++ {
+				shards[i].Observe("offload.uplink_ms", float64(i*1000+j))
+			}
+		}
+		return shards
+	}
+	merge := func(shards []*Registry) HistogramSummary {
+		m := NewRegistry()
+		for _, s := range shards {
+			m.Merge(s)
+		}
+		return m.Histogram("offload.uplink_ms").Summary()
+	}
+	first := merge(buildShards())
+	for run := 0; run < 3; run++ {
+		if got := merge(buildShards()); got != first {
+			t.Fatalf("merged summary varies across runs:\n%+v\nvs\n%+v", got, first)
+		}
+	}
+	if first.Count != 800 || first.Retained != 64 {
+		t.Fatalf("merged count/retained = %d/%d, want 800/64", first.Count, first.Retained)
+	}
+	if first.Min != 0 || first.Max != 3199 {
+		t.Fatalf("merged min/max = %v/%v", first.Min, first.Max)
+	}
+	if math.IsNaN(first.P50) || first.P50 < first.Min || first.P50 > first.Max {
+		t.Fatalf("merged p50 out of range: %v", first.P50)
+	}
+}
+
+// TestGenerationTracksInterning: samplers rely on Generation moving exactly
+// when a counter or histogram is interned.
+func TestGenerationTracksInterning(t *testing.T) {
+	r := NewRegistry()
+	g0 := r.Generation()
+	c := r.CounterHandle("a")
+	if r.Generation() != g0+1 {
+		t.Fatalf("generation after counter intern = %d", r.Generation())
+	}
+	r.CounterHandle("a") // re-resolve: no bump
+	c.Add(5)             // value changes: no bump
+	if r.Generation() != g0+1 {
+		t.Fatal("generation moved without interning")
+	}
+	r.HistogramHandle("h")
+	r.Set("gauge", 1) // gauges are not sampled: no bump
+	if r.Generation() != g0+2 {
+		t.Fatalf("generation after histogram intern = %d", r.Generation())
+	}
+
+	src := NewRegistry()
+	src.Observe("h2", 1)
+	r.Merge(src)
+	if r.Generation() != g0+3 {
+		t.Fatalf("generation after merge with new histogram = %d", r.Generation())
+	}
+	var nilReg *Registry
+	if nilReg.Generation() != 0 {
+		t.Fatal("nil registry generation")
+	}
+}
+
+// TestEachMetricSortedAndComplete: EachMetric enumerates interned handles
+// (touched or not) in name order.
+func TestEachMetricSortedAndComplete(t *testing.T) {
+	r := NewRegistry()
+	r.CounterHandle("z.count")
+	r.Add("a.count", 1)
+	r.HistogramHandle("m.lat_ms")
+	var counters, hists []string
+	r.EachMetric(
+		func(name string, c *Counter) { counters = append(counters, name) },
+		func(name string, h *HistogramHandle) { hists = append(hists, name) },
+	)
+	if len(counters) != 2 || counters[0] != "a.count" || counters[1] != "z.count" {
+		t.Fatalf("counters = %v", counters)
+	}
+	if len(hists) != 1 || hists[0] != "m.lat_ms" {
+		t.Fatalf("hists = %v", hists)
+	}
+	var nilReg *Registry
+	nilReg.EachMetric(nil, nil) // must not panic
+}
+
+// TestCountSum: the sampler's allocation-free histogram read.
+func TestCountSum(t *testing.T) {
+	r := NewRegistry()
+	h := r.HistogramHandle("lat_ms")
+	if c, s := h.CountSum(); c != 0 || s != 0 {
+		t.Fatalf("empty CountSum = %d/%v", c, s)
+	}
+	h.Observe(2)
+	h.Observe(3)
+	if c, s := h.CountSum(); c != 2 || s != 5 {
+		t.Fatalf("CountSum = %d/%v", c, s)
+	}
+	var nilH *HistogramHandle
+	if c, s := nilH.CountSum(); c != 0 || s != 0 {
+		t.Fatal("nil CountSum")
+	}
+	var nilC *Counter
+	if nilC.Touched() {
+		t.Fatal("nil counter touched")
+	}
+}

@@ -365,6 +365,17 @@ func (s *Site) Utilization(horizon time.Duration) float64 {
 	return sum / float64(len(s.execs))
 }
 
+// PendingWork returns the total committed busy time still ahead of now
+// across the site's executors — its queue depth expressed in virtual time.
+// Read-only (no freeze assertion), so health gauges may sample it any time.
+func (s *Site) PendingWork(now time.Duration) time.Duration {
+	var sum time.Duration
+	for _, e := range s.execs {
+		sum += e.PendingWork(now)
+	}
+	return sum
+}
+
 // PlaceAlongRoad instantiates RSU sites for every RSU station on the road.
 func PlaceAlongRoad(road *geo.Road) ([]*Site, error) {
 	if road == nil {
