@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race verify determinism bench microbench clean
+.PHONY: build test vet race verify determinism bench bench-serve microbench clean
 
 build:
 	$(GO) build ./...
@@ -56,6 +56,14 @@ bench:
 	/tmp/vdapbench -exp perf -benchout BENCH_PERF.json
 	/tmp/vdapbench -exp scale -benchout BENCH_PERF.json
 	/tmp/vdapbench -exp obs -runreport RUN_REPORT.json > /dev/null
+
+# bench-serve runs the E18 serving-tier load test at full scale — 1000
+# concurrent clients against a live advancing platform — and refreshes
+# BENCH_SERVE.json (schema openvdap.bench_serve/v1): per-endpoint
+# p50/p99/p999 latency, error rates, and response-cache hit ratios.
+bench-serve:
+	$(GO) build -o /tmp/vdapbench ./cmd/vdapbench
+	/tmp/vdapbench -exp serve -clients 1000 -servedur 5s -serveout BENCH_SERVE.json
 
 microbench:
 	$(GO) test -bench=. -benchmem ./...

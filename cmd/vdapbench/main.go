@@ -18,6 +18,7 @@ import (
 	"time"
 
 	"repro/internal/experiments"
+	"repro/internal/libvdap"
 	"repro/internal/telemetry"
 	"repro/internal/trace"
 )
@@ -37,6 +38,10 @@ func main() {
 		vehicles   = flag.String("vehicles", "", "-exp scale comma-separated fleet sizes (default 100,1000,10000)")
 		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProfile = flag.String("memprofile", "", "write a heap profile to this file on exit")
+		clients    = flag.Int("clients", 1000, "-exp serve concurrent HTTP clients")
+		serveDur   = flag.Duration("servedur", 5*time.Second, "-exp serve wall-clock load duration")
+		mix        = flag.String("mix", "", "-exp serve endpoint mix, e.g. status=30,metrics=25,series=25,events=15,stream=5 (default: built-in mix)")
+		serveOut   = flag.String("serveout", "BENCH_SERVE.json", "output path for the -exp serve report")
 	)
 	flag.Parse()
 	if *cpuProfile != "" {
@@ -52,7 +57,8 @@ func main() {
 		}
 		defer pprof.StopCPUProfile()
 	}
-	if err := run(*exp, *seed, *duration, *dir, *traceOut, *benchOut, *runReport, *vehicles, *reps, *parallel, *shards); err != nil {
+	serve := serveOpts{clients: *clients, duration: *serveDur, mix: *mix, out: *serveOut}
+	if err := run(*exp, *seed, *duration, *dir, *traceOut, *benchOut, *runReport, *vehicles, *reps, *parallel, *shards, serve); err != nil {
 		fmt.Fprintln(os.Stderr, "vdapbench:", err)
 		os.Exit(1)
 	}
@@ -102,6 +108,7 @@ var experimentList = []experimentInfo{
 	{"perf", "hot-path micro-benchmarks -> BENCH_PERF.json (E15)", false},
 	{"scale", "fleet scaling meta-benchmark -> BENCH_PERF.json (E16)", false},
 	{"obs", "flight-recorder fleet run -> RUN_REPORT.json (E17)", false},
+	{"serve", "libvdap serving tier under load -> BENCH_SERVE.json (E18)", false},
 }
 
 // expNames renders the one-line flag usage: all|table1|...|obs.
@@ -142,7 +149,15 @@ func parseFleetSizes(s string) ([]int, error) {
 	return out, nil
 }
 
-func run(exp string, seed int64, duration time.Duration, dir, traceOut, benchOut, runReport, vehicles string, reps, parallel, shards int) error {
+// serveOpts carries the -exp serve flag values.
+type serveOpts struct {
+	clients  int
+	duration time.Duration
+	mix      string
+	out      string
+}
+
+func run(exp string, seed int64, duration time.Duration, dir, traceOut, benchOut, runReport, vehicles string, reps, parallel, shards int, serve serveOpts) error {
 	// With -trace, instrument-aware experiments report spans and metrics;
 	// virtual-time determinism makes the file byte-identical per seed.
 	var tracer *trace.Tracer
@@ -380,6 +395,34 @@ func run(exp string, seed int64, duration time.Duration, dir, traceOut, benchOut
 				}
 				fmt.Fprintf(os.Stderr, "vdapbench: wrote %s (%s)\n", runReport, experiments.RunReportSchema)
 			}
+			return nil
+		},
+		// serve is E18: the serving-tier load test. Like perf/scale it is a
+		// machine-dependent meta-benchmark, so it stays out of -exp all.
+		"serve": func() error {
+			mixEntries, err := libvdap.ParseMix(serve.mix)
+			if err != nil {
+				return err
+			}
+			cfg := experiments.DefaultServeConfig()
+			cfg.Clients = serve.clients
+			cfg.Duration = serve.duration
+			cfg.Mix = mixEntries
+			cfg.Seed = seed
+			cfg.DataDir = dir
+			rep, err := experiments.RunServe(cfg)
+			if err != nil {
+				return err
+			}
+			fmt.Println(experiments.ServeTable(rep))
+			out, err := rep.Marshal()
+			if err != nil {
+				return err
+			}
+			if err := os.WriteFile(serve.out, out, 0o644); err != nil {
+				return err
+			}
+			fmt.Fprintf(os.Stderr, "vdapbench: wrote %s (%s)\n", serve.out, experiments.ServeSchema)
 			return nil
 		},
 		"ddi": func() error {

@@ -17,7 +17,7 @@ func TestRunEachExperiment(t *testing.T) {
 	for _, exp := range fast {
 		exp := exp
 		t.Run(exp, func(t *testing.T) {
-			if err := run(exp, 7, 4*time.Second, t.TempDir(), "", "", "", "", 4, 2, 0); err != nil {
+			if err := run(exp, 7, 4*time.Second, t.TempDir(), "", "", "", "", 4, 2, 0, serveOpts{}); err != nil {
 				t.Fatalf("run(%s): %v", exp, err)
 			}
 		})
@@ -25,13 +25,13 @@ func TestRunEachExperiment(t *testing.T) {
 }
 
 func TestRunFig2Short(t *testing.T) {
-	if err := run("fig2", 7, 4*time.Second, "", "", "", "", "", 4, 2, 0); err != nil {
+	if err := run("fig2", 7, 4*time.Second, "", "", "", "", "", 4, 2, 0, serveOpts{}); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunDDI(t *testing.T) {
-	if err := run("ddi", 7, time.Second, t.TempDir(), "", "", "", "", 4, 2, 0); err != nil {
+	if err := run("ddi", 7, time.Second, t.TempDir(), "", "", "", "", 4, 2, 0, serveOpts{}); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -69,7 +69,7 @@ func captureStdout(t *testing.T, f func() error) []byte {
 func TestRunSweepDeterministicAcrossParallel(t *testing.T) {
 	at := func(parallel int) []byte {
 		return captureStdout(t, func() error {
-			return run("sweep", 42, time.Second, "", "", "", "", "", 8, parallel, 0)
+			return run("sweep", 42, time.Second, "", "", "", "", "", 8, parallel, 0, serveOpts{})
 		})
 	}
 	serial := at(1)
@@ -93,7 +93,7 @@ func TestRunScaleDeterministicAcrossShards(t *testing.T) {
 	at := func(shards int) []byte {
 		bench := filepath.Join(t.TempDir(), "bench.json")
 		out := captureStdout(t, func() error {
-			return run("scale", 42, time.Second, "", "", bench, "", "64", 4, 2, shards)
+			return run("scale", 42, time.Second, "", "", bench, "", "64", 4, 2, shards, serveOpts{})
 		})
 		data, err := os.ReadFile(bench)
 		if err != nil {
@@ -130,7 +130,7 @@ func TestRunArchTraced(t *testing.T) {
 	once := func() []byte {
 		t.Helper()
 		out := filepath.Join(t.TempDir(), "out.json")
-		if err := run("arch", 7, time.Second, "", out, "", "", "", 4, 2, 0); err != nil {
+		if err := run("arch", 7, time.Second, "", out, "", "", "", 4, 2, 0, serveOpts{}); err != nil {
 			t.Fatal(err)
 		}
 		data, err := os.ReadFile(out)
@@ -169,7 +169,7 @@ func TestRunArchTraced(t *testing.T) {
 }
 
 func TestRunUnknownExperiment(t *testing.T) {
-	err := run("warp-drive", 1, time.Second, "", "", "", "", "", 4, 2, 0)
+	err := run("warp-drive", 1, time.Second, "", "", "", "", "", 4, 2, 0, serveOpts{})
 	if err == nil {
 		t.Fatal("unknown experiment accepted")
 	}
@@ -216,7 +216,7 @@ func TestRunObsDeterministic(t *testing.T) {
 	at := func(parallel, shards int) ([]byte, []byte) {
 		report := filepath.Join(t.TempDir(), "run_report.json")
 		out := captureStdout(t, func() error {
-			return run("obs", 42, time.Second, "", "", "", report, "", 2, parallel, shards)
+			return run("obs", 42, time.Second, "", "", "", report, "", 2, parallel, shards, serveOpts{})
 		})
 		data, err := os.ReadFile(report)
 		if err != nil {

@@ -139,7 +139,9 @@ func run(listen, dataDir string, speedMPH float64, seed int64, tick time.Duratio
 	for {
 		select {
 		case <-ticker.C:
-			if err := p.Engine().RunUntil(p.Engine().Now() + time.Second); err != nil {
+			// AdvanceTo holds the API server's run lock for the step, so
+			// in-flight handlers never observe a half-advanced platform.
+			if err := p.AdvanceTo(p.Engine().Now() + time.Second); err != nil {
 				srv.Close()
 				return err
 			}

@@ -92,10 +92,16 @@ func DefaultConfig(dataDir string) Config {
 // Platform is one running OpenVDAP vehicle node.
 //
 // Concurrency: the simulation state (kernel, road, VCU, offload engine,
-// sites, EdgeOSv modules) is owned by a single goroutine; only the
-// telemetry registry and tracer tolerate concurrent readers (the REST
-// tier). Replication harnesses that need many platforms at once build one
-// per worker and merge telemetry afterwards (see internal/runner).
+// sites, EdgeOSv modules) is owned by a single run loop. To serve live
+// HTTP traffic while that loop advances, the loop MUST step the kernel
+// through AdvanceTo (which holds the API server's run lock exclusively)
+// rather than calling Engine().RunUntil directly; libvdap handlers take
+// the same lock shared or exclusive per the contract documented on
+// libvdap.Server. The purely observational stores (telemetry registry,
+// tracer, series store, flight recorder, virtual clock) are internally
+// synchronized and readable lock-free at any time. Replication harnesses
+// that need many platforms at once build one per worker and merge
+// telemetry afterwards (see internal/runner).
 type Platform struct {
 	cfg Config
 
@@ -344,6 +350,23 @@ func (p *Platform) Registry() *libvdap.Registry { return p.registry }
 
 // API returns the libvdap RESTful handler, ready for http.ListenAndServe.
 func (p *Platform) API() http.Handler { return p.api }
+
+// Server returns the libvdap API server itself, for serve-tier tuning
+// (admission bounds, cache stats) and its Advance run lock.
+func (p *Platform) Server() *libvdap.Server { return p.api }
+
+// AdvanceTo advances the simulation kernel to virtual time t under the API
+// server's exclusive run lock. This is the only safe way to step a
+// platform that is concurrently serving HTTP traffic; see the Platform
+// concurrency note.
+func (p *Platform) AdvanceTo(t time.Duration) error {
+	return p.api.Advance(func() error {
+		if t <= p.engine.Now() {
+			return nil
+		}
+		return p.engine.RunUntil(t)
+	})
+}
 
 // SetSpeedMPH changes the vehicle's cruise speed, propagating to the
 // offloading engine's network-degradation model.

@@ -1,0 +1,267 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/faults"
+	"repro/internal/libvdap"
+)
+
+// ServeSchema versions the BENCH_SERVE.json layout. Bump on any field
+// change so trajectory tooling can refuse mixed files.
+const ServeSchema = "openvdap.bench_serve/v1"
+
+// ServeConfig parameterizes the E18 serving-tier load test: a live
+// platform advancing on a wall-clock tick loop behind a real TCP
+// libvdap.Server, hammered by concurrent HTTP clients.
+type ServeConfig struct {
+	// Clients is the number of concurrent load clients.
+	Clients int
+	// Duration is the wall-clock length of the load phase.
+	Duration time.Duration
+	// Mix weights the endpoints; nil means libvdap.DefaultMix.
+	Mix []libvdap.MixEntry
+	// Seed keys the platform and every client's RNG stream.
+	Seed int64
+	// TickWall is the wall-clock interval between simulation steps.
+	TickWall time.Duration
+	// TickStep is the virtual time advanced per step.
+	TickStep time.Duration
+	// DataDir holds the DDI disk tier (temp dir when empty).
+	DataDir string
+}
+
+// DefaultServeConfig is the E18 shape: 1000 clients for 5 wall seconds
+// against a platform advancing 100 ms of virtual time every 50 ms of wall
+// time — 2x real time, the cadence of a vdapd tick loop, leaving the bulk
+// of the machine to the serving tier the way a real deployment would.
+func DefaultServeConfig() ServeConfig {
+	return ServeConfig{
+		Clients:  1000,
+		Duration: 5 * time.Second,
+		Seed:     1,
+		TickWall: 50 * time.Millisecond,
+		TickStep: 100 * time.Millisecond,
+	}
+}
+
+// ServeCacheRow is one endpoint cache's steady-state outcome.
+type ServeCacheRow struct {
+	Endpoint string  `json:"endpoint"`
+	Hits     int64   `json:"hits"`
+	Misses   int64   `json:"misses"`
+	Shed     int64   `json:"shed"`
+	HitRatio float64 `json:"hitRatio"`
+}
+
+// ServeReport is the schema-versioned payload written to BENCH_SERVE.json.
+type ServeReport struct {
+	Schema    string `json:"schema"`
+	GoVersion string `json:"goVersion"`
+	GOOS      string `json:"goos"`
+	GOARCH    string `json:"goarch"`
+	Seed      int64  `json:"seed"`
+
+	TickWallMS   float64 `json:"tickWallMs"`
+	TickStepMS   float64 `json:"tickStepMs"`
+	VirtualEndMS float64 `json:"virtualEndMs"`
+	Ticks        int64   `json:"ticks"`
+
+	Load   libvdap.LoadResult  `json:"load"`
+	Caches []ServeCacheRow     `json:"caches"`
+	Server libvdap.ServerStats `json:"server"`
+}
+
+// serveFaults sizes a fault plan to the run's virtual horizon so the
+// events and stream endpoints carry real traffic during the load test.
+func serveFaults(horizon time.Duration) *faults.PlanConfig {
+	return &faults.PlanConfig{
+		Horizon:             horizon,
+		MeanTimeToOutage:    2500 * time.Millisecond,
+		MeanOutage:          600 * time.Millisecond,
+		MeanTimeToDegrade:   2 * time.Second,
+		MeanDegrade:         800 * time.Millisecond,
+		MeanTimeToExecFault: 1500 * time.Millisecond,
+		MeanExecFault:       400 * time.Millisecond,
+	}
+}
+
+// RunServe runs E18: it builds a platform with data collection, metric
+// sampling, and fault injection live, serves its API over real TCP,
+// advances virtual time on a wall-clock tick loop through the server's
+// run lock, and drives the configured client fleet against it.
+func RunServe(cfg ServeConfig) (*ServeReport, error) {
+	if cfg.Clients <= 0 || cfg.Duration <= 0 {
+		return nil, fmt.Errorf("serve: clients and duration must be positive")
+	}
+	if cfg.TickWall <= 0 {
+		cfg.TickWall = 5 * time.Millisecond
+	}
+	if cfg.TickStep <= 0 {
+		cfg.TickStep = 100 * time.Millisecond
+	}
+	dataDir := cfg.DataDir
+	if dataDir == "" {
+		tmp, err := os.MkdirTemp("", "vdap-serve-*")
+		if err != nil {
+			return nil, err
+		}
+		defer os.RemoveAll(tmp)
+		dataDir = tmp
+	}
+
+	// Virtual horizon: every wall tick advances TickStep, plus slack for
+	// scheduling jitter.
+	ticksExpected := int64(cfg.Duration/cfg.TickWall) + 1
+	horizon := time.Duration(2*ticksExpected) * cfg.TickStep
+
+	pcfg := core.DefaultConfig(dataDir)
+	pcfg.Seed = cfg.Seed
+	pcfg.Faults = serveFaults(horizon)
+	p, err := core.New(pcfg)
+	if err != nil {
+		return nil, err
+	}
+	defer p.Close()
+	if err := p.StartCollection(time.Second); err != nil {
+		return nil, err
+	}
+	if err := p.StartSampling(0); err != nil {
+		return nil, err
+	}
+
+	ts := httptest.NewServer(p.API())
+	defer ts.Close()
+
+	// The tick loop is the platform's single writer: it advances the
+	// kernel only through AdvanceTo, which holds the API run lock.
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	var ticks int64
+	var tickErr error
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		ticker := time.NewTicker(cfg.TickWall)
+		defer ticker.Stop()
+		for {
+			select {
+			case <-stop:
+				return
+			case <-ticker.C:
+				if err := p.AdvanceTo(p.Engine().Now() + cfg.TickStep); err != nil {
+					tickErr = err
+					return
+				}
+				ticks++
+			}
+		}
+	}()
+
+	client := &http.Client{
+		Transport: &http.Transport{
+			MaxIdleConns:        cfg.Clients,
+			MaxIdleConnsPerHost: cfg.Clients,
+		},
+		Timeout: 30 * time.Second,
+	}
+	load, loadErr := libvdap.RunLoad(libvdap.LoadGenConfig{
+		BaseURL:  ts.URL,
+		Client:   client,
+		Clients:  cfg.Clients,
+		Duration: cfg.Duration,
+		Mix:      cfg.Mix,
+		Seed:     cfg.Seed,
+	})
+	close(stop)
+	wg.Wait()
+	if loadErr != nil {
+		return nil, loadErr
+	}
+	if tickErr != nil {
+		return nil, fmt.Errorf("serve: tick loop: %w", tickErr)
+	}
+
+	rep := &ServeReport{
+		Schema:       ServeSchema,
+		GoVersion:    runtime.Version(),
+		GOOS:         runtime.GOOS,
+		GOARCH:       runtime.GOARCH,
+		Seed:         cfg.Seed,
+		TickWallMS:   float64(cfg.TickWall) / float64(time.Millisecond),
+		TickStepMS:   float64(cfg.TickStep) / float64(time.Millisecond),
+		VirtualEndMS: float64(p.Engine().Now()) / float64(time.Millisecond),
+		Ticks:        ticks,
+		Load:         load,
+		Server:       p.Server().Stats(),
+	}
+	stats := p.Server().CacheStats()
+	names := make([]string, 0, len(stats))
+	for name := range stats {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		st := stats[name]
+		rep.Caches = append(rep.Caches, ServeCacheRow{
+			Endpoint: name,
+			Hits:     st.Hits,
+			Misses:   st.Misses,
+			Shed:     st.Shed,
+			HitRatio: st.HitRatio(),
+		})
+	}
+	return rep, nil
+}
+
+// Marshal renders the report as indented JSON ready for BENCH_SERVE.json.
+func (r *ServeReport) Marshal() ([]byte, error) {
+	out, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(out, '\n'), nil
+}
+
+// ServeTable renders the E18 report: per-endpoint latency and error rows
+// followed by the response-cache rows.
+func ServeTable(r *ServeReport) string {
+	t := &Table{
+		Title: fmt.Sprintf("E18: serving tier under load (%d clients, %.0f rps, %d ticks)",
+			r.Load.Clients, r.Load.RPS, r.Ticks),
+		Columns: []string{"endpoint", "requests", "p50 ms", "p99 ms", "p999 ms", "max ms", "errors", "rejected", "err-rate"},
+	}
+	for _, e := range r.Load.Endpoints {
+		t.Rows = append(t.Rows, []string{
+			e.Endpoint,
+			fmt.Sprintf("%d", e.Requests),
+			f2(e.P50MS), f2(e.P99MS), f2(e.P999MS), f2(e.MaxMS),
+			fmt.Sprintf("%d", e.Errors),
+			fmt.Sprintf("%d", e.Rejected),
+			fmt.Sprintf("%.4f", e.ErrorRate()),
+		})
+	}
+	c := &Table{
+		Title:   "E18: watermark response caches",
+		Columns: []string{"cache", "hits", "misses", "shed", "hit-ratio"},
+	}
+	for _, row := range r.Caches {
+		c.Rows = append(c.Rows, []string{
+			row.Endpoint,
+			fmt.Sprintf("%d", row.Hits),
+			fmt.Sprintf("%d", row.Misses),
+			fmt.Sprintf("%d", row.Shed),
+			fmt.Sprintf("%.4f", row.HitRatio),
+		})
+	}
+	return t.String() + "\n" + c.String()
+}

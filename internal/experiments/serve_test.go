@@ -1,0 +1,68 @@
+package experiments
+
+import (
+	"encoding/json"
+	"testing"
+	"time"
+
+	"repro/internal/libvdap"
+)
+
+// TestRunServeSmoke runs a small E18 shape end to end: live platform, tick
+// loop, real TCP, a handful of clients — and checks the report invariants
+// the full benchmark relies on.
+func TestRunServeSmoke(t *testing.T) {
+	cfg := DefaultServeConfig()
+	cfg.Clients = 16
+	cfg.Duration = 400 * time.Millisecond
+	cfg.TickWall = 5 * time.Millisecond
+	cfg.TickStep = 50 * time.Millisecond
+	cfg.DataDir = t.TempDir()
+	rep, err := RunServe(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Schema != ServeSchema {
+		t.Fatalf("schema = %q", rep.Schema)
+	}
+	if rep.Load.Requests == 0 || len(rep.Load.Endpoints) == 0 {
+		t.Fatalf("no load recorded: %+v", rep.Load)
+	}
+	if rep.Ticks == 0 || rep.VirtualEndMS == 0 {
+		t.Fatalf("platform never advanced: ticks=%d virtual=%vms", rep.Ticks, rep.VirtualEndMS)
+	}
+	for _, e := range rep.Load.Endpoints {
+		if e.Requests > 0 && e.P50MS == 0 && e.Errors == 0 && e.Rejected == 0 {
+			t.Fatalf("endpoint %s recorded requests but no latency samples: %+v", e.Endpoint, e)
+		}
+	}
+	if len(rep.Caches) != 4 {
+		t.Fatalf("cache rows = %d, want 4", len(rep.Caches))
+	}
+	out, err := rep.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc map[string]any
+	if err := json.Unmarshal(out, &doc); err != nil {
+		t.Fatalf("report not valid JSON: %v", err)
+	}
+	if table := ServeTable(rep); table == "" {
+		t.Fatal("empty table")
+	}
+}
+
+func TestParseMix(t *testing.T) {
+	mix, err := libvdap.ParseMix("status=3,stream=1")
+	if err != nil || len(mix) != 2 || mix[0].Weight != 3 {
+		t.Fatalf("ParseMix = %+v, %v", mix, err)
+	}
+	if def, err := libvdap.ParseMix(""); err != nil || len(def) == 0 {
+		t.Fatalf("default mix = %+v, %v", def, err)
+	}
+	for _, bad := range []string{"status", "warp=1", "status=0", "status=x"} {
+		if _, err := libvdap.ParseMix(bad); err == nil {
+			t.Fatalf("ParseMix(%q) accepted", bad)
+		}
+	}
+}

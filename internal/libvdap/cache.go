@@ -1,0 +1,100 @@
+package libvdap
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// errBusy is returned by a cache get when the rebuild backlog exceeds the
+// configured bound; handlers translate it into 503 + Retry-After.
+var errBusy = errors.New("libvdap: snapshot rebuild backlog full")
+
+// DefaultMaxPendingBuilds bounds how many requests may queue behind one
+// in-flight snapshot build before further misses are shed with 503. The
+// bound tracks simulation lag: the only way the backlog grows is the
+// watermark advancing faster than payloads can be marshaled.
+const DefaultMaxPendingBuilds = 64
+
+// cacheEntry is one immutable published payload. Readers get the pointer
+// atomically and never see partial bytes: the body is fully built before
+// the pointer is swapped in.
+type cacheEntry struct {
+	watermark time.Duration
+	body      []byte
+}
+
+// wmCache memoizes one endpoint's marshaled response, keyed on the
+// virtual-time watermark. The body is rebuilt at most once per watermark
+// advance — concurrent misses single-flight behind a mutex and every
+// waiter reuses the first builder's bytes — so a thousand concurrent
+// clients cost one marshal per tick, not one per request.
+type wmCache struct {
+	val        atomic.Pointer[cacheEntry]
+	mu         sync.Mutex // serializes rebuilds
+	pending    atomic.Int32
+	maxPending int32
+
+	hits   atomic.Int64
+	misses atomic.Int64
+	shed   atomic.Int64
+}
+
+func newWMCache(maxPending int32) *wmCache {
+	if maxPending <= 0 {
+		maxPending = DefaultMaxPendingBuilds
+	}
+	return &wmCache{maxPending: maxPending}
+}
+
+// get returns the cached body for watermark now, rebuilding via build on
+// the first miss at each watermark, and reports whether the lookup was a
+// hit. Returns errBusy without calling build when more than maxPending
+// requests are already queued on the builder.
+func (c *wmCache) get(now time.Duration, build func() ([]byte, error)) (body []byte, hit bool, err error) {
+	if e := c.val.Load(); e != nil && e.watermark == now {
+		c.hits.Add(1)
+		return e.body, true, nil
+	}
+	if c.pending.Add(1) > c.maxPending {
+		c.pending.Add(-1)
+		c.shed.Add(1)
+		return nil, false, errBusy
+	}
+	defer c.pending.Add(-1)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	// Another waiter may have published this watermark while we queued.
+	if e := c.val.Load(); e != nil && e.watermark == now {
+		c.hits.Add(1)
+		return e.body, true, nil
+	}
+	c.misses.Add(1)
+	body, err = build()
+	if err != nil {
+		return nil, false, err
+	}
+	c.val.Store(&cacheEntry{watermark: now, body: body})
+	return body, false, nil
+}
+
+// CacheStat is one endpoint cache's counters, exported for the serve
+// benchmark and /v1/status.
+type CacheStat struct {
+	Hits   int64 `json:"hits"`
+	Misses int64 `json:"misses"`
+	Shed   int64 `json:"shed"`
+}
+
+// HitRatio is hits over lookups (0 when the cache was never consulted).
+func (s CacheStat) HitRatio() float64 {
+	if total := s.Hits + s.Misses; total > 0 {
+		return float64(s.Hits) / float64(total)
+	}
+	return 0
+}
+
+func (c *wmCache) stat() CacheStat {
+	return CacheStat{Hits: c.hits.Load(), Misses: c.misses.Load(), Shed: c.shed.Load()}
+}

@@ -1,0 +1,256 @@
+package libvdap
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/sim"
+)
+
+// MixEntry weights one endpoint in the load mix.
+type MixEntry struct {
+	Endpoint string // status | metrics | series | events | stream
+	Weight   int
+}
+
+// loadEndpoints maps mix endpoint names to request paths. Stream requests
+// ask for a single frame so each request has a bounded lifetime.
+var loadEndpoints = map[string]string{
+	"status":  "/api/v1/status",
+	"metrics": "/v1/metrics",
+	"series":  "/v1/metrics/series",
+	"events":  "/v1/events",
+	"stream":  "/v1/stream?frames=1",
+}
+
+// DefaultMix is the serve benchmark's default endpoint mix: snapshot reads
+// dominate, with a steady trickle of stream frames.
+func DefaultMix() []MixEntry {
+	return []MixEntry{
+		{"status", 30},
+		{"metrics", 25},
+		{"series", 25},
+		{"events", 15},
+		{"stream", 5},
+	}
+}
+
+// ParseMix parses "status=30,metrics=25,stream=5" into a mix.
+func ParseMix(s string) ([]MixEntry, error) {
+	if s == "" {
+		return DefaultMix(), nil
+	}
+	var mix []MixEntry
+	for _, part := range strings.Split(s, ",") {
+		name, weight, ok := strings.Cut(strings.TrimSpace(part), "=")
+		if !ok {
+			return nil, fmt.Errorf("libvdap: bad mix entry %q (want name=weight)", part)
+		}
+		if _, known := loadEndpoints[name]; !known {
+			return nil, fmt.Errorf("libvdap: unknown mix endpoint %q", name)
+		}
+		var w int
+		if _, err := fmt.Sscanf(weight, "%d", &w); err != nil || w <= 0 {
+			return nil, fmt.Errorf("libvdap: bad mix weight %q", part)
+		}
+		mix = append(mix, MixEntry{Endpoint: name, Weight: w})
+	}
+	return mix, nil
+}
+
+// LoadGenConfig parameterizes one load-generation run against a live
+// server.
+type LoadGenConfig struct {
+	// BaseURL is the server root, e.g. "http://127.0.0.1:8947".
+	BaseURL string
+	// Client issues the requests; its transport should allow at least
+	// Clients idle connections per host.
+	Client *http.Client
+	// Clients is the number of concurrent client goroutines.
+	Clients int
+	// Duration is the wall-clock run length.
+	Duration time.Duration
+	// Mix weights the endpoints; nil means DefaultMix.
+	Mix []MixEntry
+	// Seed keys each client's private RNG stream.
+	Seed int64
+}
+
+// EndpointStats aggregates one endpoint's samples from a load run.
+type EndpointStats struct {
+	Endpoint string  `json:"endpoint"`
+	Requests int64   `json:"requests"`
+	Errors   int64   `json:"errors"`   // transport failures + non-503 5xx
+	Rejected int64   `json:"rejected"` // 503 sheds (admission / backlog)
+	P50MS    float64 `json:"p50Ms"`
+	P99MS    float64 `json:"p99Ms"`
+	P999MS   float64 `json:"p999Ms"`
+	MaxMS    float64 `json:"maxMs"`
+}
+
+// ErrorRate is errors over requests (0 when the endpoint saw no traffic).
+func (e EndpointStats) ErrorRate() float64 {
+	if e.Requests == 0 {
+		return 0
+	}
+	return float64(e.Errors) / float64(e.Requests)
+}
+
+// LoadResult is one load run's aggregate outcome.
+type LoadResult struct {
+	Clients   int             `json:"clients"`
+	WallMS    float64         `json:"wallMs"`
+	Requests  int64           `json:"requests"`
+	RPS       float64         `json:"rps"`
+	Errors    int64           `json:"errors"`
+	Rejected  int64           `json:"rejected"`
+	Endpoints []EndpointStats `json:"endpoints"`
+}
+
+type clientTally struct {
+	requests, errors, rejected int64
+	samples                    []float64 // latency ms, successful requests only
+}
+
+// RunLoad drives cfg.Clients concurrent clients against the server until
+// cfg.Duration of wall time elapses, then folds every client's samples
+// into per-endpoint latency percentiles and error rates. Each client picks
+// endpoints from its own seeded RNG stream, so the offered mix is stable
+// across runs of the same seed.
+func RunLoad(cfg LoadGenConfig) (LoadResult, error) {
+	if cfg.Clients <= 0 {
+		return LoadResult{}, fmt.Errorf("libvdap: loadgen needs at least 1 client")
+	}
+	if cfg.Duration <= 0 {
+		return LoadResult{}, fmt.Errorf("libvdap: loadgen needs a positive duration")
+	}
+	if cfg.Client == nil {
+		cfg.Client = http.DefaultClient
+	}
+	mix := cfg.Mix
+	if len(mix) == 0 {
+		mix = DefaultMix()
+	}
+	// Expand the weighted mix into a pick table once.
+	var picks []string
+	for _, m := range mix {
+		if _, ok := loadEndpoints[m.Endpoint]; !ok {
+			return LoadResult{}, fmt.Errorf("libvdap: unknown mix endpoint %q", m.Endpoint)
+		}
+		for i := 0; i < m.Weight; i++ {
+			picks = append(picks, m.Endpoint)
+		}
+	}
+	if len(picks) == 0 {
+		return LoadResult{}, fmt.Errorf("libvdap: empty endpoint mix")
+	}
+
+	start := time.Now()
+	deadline := start.Add(cfg.Duration)
+	tallies := make([]map[string]*clientTally, cfg.Clients)
+	var wg sync.WaitGroup
+	for i := 0; i < cfg.Clients; i++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			rng := sim.NewStream(cfg.Seed, uint64(id))
+			tally := make(map[string]*clientTally, len(loadEndpoints))
+			tallies[id] = tally
+			for time.Now().Before(deadline) {
+				name := picks[rng.Intn(len(picks))]
+				t := tally[name]
+				if t == nil {
+					t = &clientTally{}
+					tally[name] = t
+				}
+				t.requests++
+				reqStart := time.Now()
+				resp, err := cfg.Client.Get(cfg.BaseURL + loadEndpoints[name])
+				if err != nil {
+					t.errors++
+					continue
+				}
+				_, cErr := io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				elapsed := time.Since(reqStart)
+				switch {
+				case cErr != nil || resp.StatusCode >= 500 && resp.StatusCode != http.StatusServiceUnavailable:
+					t.errors++
+				case resp.StatusCode == http.StatusServiceUnavailable:
+					t.rejected++
+				default:
+					t.samples = append(t.samples, float64(elapsed)/float64(time.Millisecond))
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	wall := time.Since(start)
+
+	merged := make(map[string]*clientTally, len(loadEndpoints))
+	for _, tally := range tallies {
+		for name, t := range tally {
+			m := merged[name]
+			if m == nil {
+				m = &clientTally{}
+				merged[name] = m
+			}
+			m.requests += t.requests
+			m.errors += t.errors
+			m.rejected += t.rejected
+			m.samples = append(m.samples, t.samples...)
+		}
+	}
+
+	res := LoadResult{
+		Clients: cfg.Clients,
+		WallMS:  float64(wall) / float64(time.Millisecond),
+	}
+	names := make([]string, 0, len(merged))
+	for name := range merged {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		t := merged[name]
+		sort.Float64s(t.samples)
+		st := EndpointStats{
+			Endpoint: name,
+			Requests: t.requests,
+			Errors:   t.errors,
+			Rejected: t.rejected,
+			P50MS:    percentile(t.samples, 0.50),
+			P99MS:    percentile(t.samples, 0.99),
+			P999MS:   percentile(t.samples, 0.999),
+		}
+		if n := len(t.samples); n > 0 {
+			st.MaxMS = t.samples[n-1]
+		}
+		res.Endpoints = append(res.Endpoints, st)
+		res.Requests += t.requests
+		res.Errors += t.errors
+		res.Rejected += t.rejected
+	}
+	if wall > 0 {
+		res.RPS = float64(res.Requests) / wall.Seconds()
+	}
+	return res, nil
+}
+
+// percentile reads the p-quantile from ascending-sorted samples via the
+// nearest-rank method.
+func percentile(sorted []float64, p float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	idx := int(p * float64(len(sorted)))
+	if idx >= len(sorted) {
+		idx = len(sorted) - 1
+	}
+	return sorted[idx]
+}

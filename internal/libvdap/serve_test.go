@@ -1,0 +1,277 @@
+package libvdap
+
+import (
+	"bufio"
+	"compress/gzip"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/telemetry"
+)
+
+// TestGzipWriterForwardsFlush pins the streaming contract of the gzip
+// wrapper: the wrapped writer must satisfy http.Flusher, push compressed
+// bytes through on Flush, and drop any stale Content-Length.
+func TestGzipWriterForwardsFlush(t *testing.T) {
+	rec := httptest.NewRecorder()
+	h := gzipped(func(w http.ResponseWriter, r *http.Request) {
+		f, ok := w.(http.Flusher)
+		if !ok {
+			t.Fatal("gzipped writer does not forward http.Flusher")
+		}
+		w.Header().Set("Content-Length", "5") // stale: compressed length differs
+		fmt.Fprint(w, "first")
+		f.Flush()
+		fmt.Fprint(w, " second")
+	})
+	req := httptest.NewRequest("GET", "/v1/metrics", nil)
+	req.Header.Set("Accept-Encoding", "gzip")
+	h(rec, req)
+
+	if !rec.Flushed {
+		t.Fatal("Flush did not reach the underlying writer")
+	}
+	if cl := rec.Header().Get("Content-Length"); cl != "" {
+		t.Fatalf("stale Content-Length %q survived", cl)
+	}
+	gz, err := gzip.NewReader(rec.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out strings.Builder
+	if _, err := io.Copy(&out, gz); err != nil {
+		t.Fatal(err)
+	}
+	if out.String() != "first second" {
+		t.Fatalf("body = %q", out.String())
+	}
+}
+
+// TestGzipFlushMidStream reads a gzipped streaming response over a real
+// connection frame by frame: the first flushed chunk must arrive before
+// the handler finishes.
+func TestGzipFlushMidStream(t *testing.T) {
+	release := make(chan struct{})
+	ts := httptest.NewServer(gzipped(func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprintln(w, `{"frame":1}`)
+		w.(http.Flusher).Flush()
+		<-release
+		fmt.Fprintln(w, `{"frame":2}`)
+	}))
+	defer ts.Close()
+	defer close(release)
+
+	req, _ := http.NewRequest("GET", ts.URL, nil)
+	req.Header.Set("Accept-Encoding", "gzip")
+	resp, err := http.DefaultTransport.RoundTrip(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	gz, err := gzip.NewReader(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	line := make(chan string, 1)
+	go func() {
+		l, _ := bufio.NewReader(gz).ReadString('\n')
+		line <- l
+	}()
+	select {
+	case l := <-line:
+		if !strings.Contains(l, `"frame":1`) {
+			t.Fatalf("first flushed line = %q", l)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("flushed gzip frame never arrived while the handler was still running")
+	}
+}
+
+// failingWriter fails every write after the first n bytes, standing in for
+// a client that hung up mid-body.
+type failingWriter struct {
+	header http.Header
+	code   int
+}
+
+func (f *failingWriter) Header() http.Header {
+	if f.header == nil {
+		f.header = http.Header{}
+	}
+	return f.header
+}
+func (f *failingWriter) WriteHeader(code int)      { f.code = code }
+func (f *failingWriter) Write([]byte) (int, error) { return 0, errors.New("broken pipe") }
+
+// TestWriteJSONCountsWriteErrors pins satellite bug 4: a mid-body write
+// failure must land in libvdap.write_errors instead of vanishing.
+func TestWriteJSONCountsWriteErrors(t *testing.T) {
+	srv, err := NewServer(nil, nil, nil, nil, func() time.Duration { return 0 })
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := telemetry.NewRegistry()
+	srv.AttachTelemetry(reg)
+
+	srv.writeJSON(&failingWriter{}, http.StatusOK, map[string]string{"k": "v"})
+	if got := srv.Stats().WriteErrors; got != 1 {
+		t.Fatalf("WriteErrors = %d, want 1", got)
+	}
+	if got := reg.Snapshot().Counters["libvdap.write_errors"]; got != 1 {
+		t.Fatalf("libvdap.write_errors = %v, want 1", got)
+	}
+
+	// Unmarshalable values count too (and produce a clean 500).
+	fw := &failingWriter{}
+	srv.writeJSON(fw, http.StatusOK, map[string]any{"bad": func() {}})
+	if got := srv.Stats().WriteErrors; got != 2 {
+		t.Fatalf("WriteErrors after marshal failure = %d, want 2", got)
+	}
+}
+
+// TestWriteErrorsWithoutTelemetry: the counter path must be nil-safe
+// before AttachTelemetry.
+func TestWriteErrorsWithoutTelemetry(t *testing.T) {
+	srv, err := NewServer(nil, nil, nil, nil, func() time.Duration { return 0 })
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv.writeJSON(&failingWriter{}, http.StatusOK, "x")
+	if got := srv.Stats().WriteErrors; got != 1 {
+		t.Fatalf("WriteErrors = %d, want 1", got)
+	}
+}
+
+// TestStreamSlowClientDisconnect pins satellite bug 3: a client that goes
+// away mid-stream must be observed and the handler must exit instead of
+// polling forever.
+func TestStreamSlowClientDisconnect(t *testing.T) {
+	now := time.Second
+	srv, err := NewServer(nil, nil, nil, nil, func() time.Duration { return now })
+	if err != nil {
+		t.Fatal(err)
+	}
+	store := obs.NewSeriesStore(16)
+	store.RecordGauge("g", 100*time.Millisecond, 1)
+	srv.AttachSeries(store)
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	// Raw TCP client: read the first frame, then vanish without a clean
+	// shutdown. frames=0 would otherwise stream forever.
+	conn, err := net.Dial("tcp", ts.Listener.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	fmt.Fprintf(conn, "GET /v1/stream?frames=0&poll=0.005 HTTP/1.1\r\nHost: x\r\n\r\n")
+	br := bufio.NewReader(conn)
+	sawFrame := false
+	for i := 0; i < 64; i++ {
+		line, err := br.ReadString('\n')
+		if err != nil {
+			t.Fatalf("reading response: %v", err)
+		}
+		if strings.Contains(line, "watermarkNs") {
+			sawFrame = true
+			break
+		}
+	}
+	if !sawFrame {
+		t.Fatal("never saw a stream frame")
+	}
+	if got := srv.ActiveStreams(); got != 1 {
+		t.Fatalf("ActiveStreams = %d, want 1", got)
+	}
+	conn.Close()
+
+	deadline := time.Now().Add(5 * time.Second)
+	for srv.ActiveStreams() != 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("stream handler still running %v after client disconnect", 5*time.Second)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestAdmissionControlSheds pins the overload contract: when the run-lock
+// backlog is full, simulation-touching endpoints shed with 503 +
+// Retry-After JSON instead of queueing without bound.
+func TestAdmissionControlSheds(t *testing.T) {
+	ts, _, _ := newTestServer(t)
+	srv := fetchServer(t, ts)
+	srv.SetMaxSimInflight(1)
+
+	// Hold the run lock as a tick loop would mid-step.
+	holding := make(chan struct{})
+	release := make(chan struct{})
+	done := make(chan error, 1)
+	go func() {
+		done <- srv.Advance(func() error {
+			close(holding)
+			<-release
+			return nil
+		})
+	}()
+	<-holding
+
+	// First request takes the only admission slot and parks on the lock.
+	parked := make(chan struct{})
+	go func() {
+		defer close(parked)
+		resp, err := http.Get(ts.URL + "/api/v1/resources")
+		if err == nil {
+			resp.Body.Close()
+		}
+	}()
+	// Wait until the slot is actually taken before probing, otherwise the
+	// probe itself could grab it and park on the held lock.
+	gateDeadline := time.Now().Add(5 * time.Second)
+	for len(srv.simGate) == 0 {
+		if time.Now().After(gateDeadline) {
+			t.Fatal("parked request never took the admission slot")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	resp, err := http.Get(ts.URL + "/api/v1/resources")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("probe status = %d, want 503", resp.StatusCode)
+	}
+	if ra := resp.Header.Get("Retry-After"); ra == "" {
+		t.Fatal("503 missing Retry-After")
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.Contains(ct, "application/json") {
+		t.Fatalf("503 Content-Type = %q, want JSON", ct)
+	}
+	if srv.Stats().Rejected == 0 {
+		t.Fatal("shed requests not counted")
+	}
+
+	close(release)
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	<-parked
+}
+
+// fetchServer digs the *Server back out of a test fixture; newTestServer
+// returns only the httptest wrapper.
+func fetchServer(t *testing.T, ts *httptest.Server) *Server {
+	t.Helper()
+	srv, ok := ts.Config.Handler.(*Server)
+	if !ok {
+		t.Fatalf("handler is %T, want *Server", ts.Config.Handler)
+	}
+	return srv
+}

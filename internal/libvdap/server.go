@@ -7,6 +7,8 @@ import (
 	"net/http"
 	"strconv"
 	"strings"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/ddi"
@@ -18,12 +20,48 @@ import (
 )
 
 // Clock supplies virtual time to API handlers so HTTP access participates
-// in the simulation's timeline.
+// in the simulation's timeline. It must be safe for concurrent use (the
+// kernel's clock is atomic; see sim.Clock).
 type Clock func() time.Duration
+
+// DefaultMaxSimInflight bounds how many requests may hold or wait on the
+// simulation lock at once before further ones are shed with 503.
+const DefaultMaxSimInflight = 64
+
+// DefaultStreamWriteDeadline is how long one /v1/stream frame write may
+// stall on a slow client before the connection is abandoned.
+const DefaultStreamWriteDeadline = 10 * time.Second
 
 // Server is the uniform RESTful API of Figure 8. Every handler fronts one
 // of the four resource groups: model library, VCU system resources, data
 // sharing, and DDI.
+//
+// # Concurrency contract
+//
+// The simulation state behind the API (kernel, VCU, DDI, EdgeOSv modules)
+// is owned by a single run loop, but the server is hammered by arbitrary
+// client goroutines. Three tiers keep that safe:
+//
+//  1. The run loop advances the simulation ONLY through Advance, which
+//     holds the server's run lock exclusively for the duration of the
+//     step. Callers that bypass Advance (running the engine directly
+//     while serving) void the contract.
+//  2. Handlers that touch simulation-owned state take the run lock:
+//     exclusively when they mutate (data upload/query, sharing
+//     publish/fetch, service invoke), shared when they only read
+//     (resources, services, topics, model registry). Lock admission is
+//     bounded (SetMaxSimInflight): when the simulation lags and the
+//     backlog exceeds the bound, requests are shed with 503 +
+//     Retry-After instead of queueing without limit.
+//  3. The hot observability endpoints (status, metrics, series, events,
+//     stream) never take the run lock. They read only internally
+//     synchronized stores (telemetry.Registry, obs.SeriesStore,
+//     obs.Recorder, trace.Tracer) plus the atomic virtual clock, and the
+//     snapshot-shaped ones are served from a response cache keyed on the
+//     virtual-time watermark: the payload is marshaled once per watermark
+//     advance, concurrent misses single-flight behind one builder, and
+//     every reader gets an immutable byte slice (old or new, never torn).
+//     Requests carrying query parameters bypass the cache.
 type Server struct {
 	registry *Registry
 	mhep     *vcu.MHEP
@@ -36,6 +74,28 @@ type Server struct {
 	events   *obs.Recorder
 	clock    Clock
 	mux      *http.ServeMux
+
+	// simMu is the run lock of the concurrency contract above.
+	simMu   sync.RWMutex
+	simGate chan struct{}
+
+	statusCache  *wmCache
+	metricsCache *wmCache
+	seriesCache  *wmCache
+	eventsCache  *wmCache
+
+	streamDeadline time.Duration
+	streams        atomic.Int64
+
+	// Telemetry mirrors of the internal stats (nil-safe before
+	// AttachTelemetry).
+	cacheHits   *telemetry.Counter
+	cacheMisses *telemetry.Counter
+	rejected    *telemetry.Counter
+	writeErrs   *telemetry.Counter
+
+	writeErrors atomic.Int64
+	shedTotal   atomic.Int64
 }
 
 // NewServer wires the API. Any resource group may be nil; its endpoints
@@ -45,12 +105,18 @@ func NewServer(registry *Registry, mhep *vcu.MHEP, store *ddi.DDI, sharing *edge
 		return nil, fmt.Errorf("libvdap: nil clock")
 	}
 	s := &Server{
-		registry: registry,
-		mhep:     mhep,
-		store:    store,
-		sharing:  sharing,
-		clock:    clock,
-		mux:      http.NewServeMux(),
+		registry:       registry,
+		mhep:           mhep,
+		store:          store,
+		sharing:        sharing,
+		clock:          clock,
+		mux:            http.NewServeMux(),
+		simGate:        make(chan struct{}, DefaultMaxSimInflight),
+		statusCache:    newWMCache(0),
+		metricsCache:   newWMCache(0),
+		seriesCache:    newWMCache(0),
+		eventsCache:    newWMCache(0),
+		streamDeadline: DefaultStreamWriteDeadline,
 	}
 	s.routes()
 	return s, nil
@@ -61,8 +127,17 @@ func NewServer(registry *Registry, mhep *vcu.MHEP, store *ddi.DDI, sharing *edge
 func (s *Server) AttachElastic(m *edgeos.ElasticManager) { s.elastic = m }
 
 // AttachTelemetry backs GET /api/v1/metrics (alias /v1/metrics) with the
-// given registry.
-func (s *Server) AttachTelemetry(reg *telemetry.Registry) { s.metrics = reg }
+// given registry and mirrors the server's own counters (libvdap.cache.*,
+// libvdap.rejected, libvdap.write_errors) into it.
+func (s *Server) AttachTelemetry(reg *telemetry.Registry) {
+	s.metrics = reg
+	if reg != nil {
+		s.cacheHits = reg.CounterHandle("libvdap.cache.hits")
+		s.cacheMisses = reg.CounterHandle("libvdap.cache.misses")
+		s.rejected = reg.CounterHandle("libvdap.rejected")
+		s.writeErrs = reg.CounterHandle("libvdap.write_errors")
+	}
+}
 
 // AttachTracer backs GET /api/v1/trace (alias /v1/trace) with the given
 // tracer.
@@ -76,6 +151,88 @@ func (s *Server) AttachSeries(store *obs.SeriesStore) { s.series = store }
 // with the given flight recorder.
 func (s *Server) AttachEvents(rec *obs.Recorder) { s.events = rec }
 
+// SetMaxSimInflight bounds how many requests may hold or wait on the run
+// lock at once (DefaultMaxSimInflight when non-positive). Configure before
+// serving traffic.
+func (s *Server) SetMaxSimInflight(n int) {
+	if n <= 0 {
+		n = DefaultMaxSimInflight
+	}
+	s.simGate = make(chan struct{}, n)
+}
+
+// SetMaxPendingBuilds bounds the snapshot-rebuild backlog per cached
+// endpoint (DefaultMaxPendingBuilds when non-positive). Configure before
+// serving traffic.
+func (s *Server) SetMaxPendingBuilds(n int) {
+	s.statusCache = newWMCache(int32(n))
+	s.metricsCache = newWMCache(int32(n))
+	s.seriesCache = newWMCache(int32(n))
+	s.eventsCache = newWMCache(int32(n))
+}
+
+// SetStreamWriteDeadline bounds how long one /v1/stream frame write may
+// stall on a slow client (non-positive disables the deadline).
+func (s *Server) SetStreamWriteDeadline(d time.Duration) { s.streamDeadline = d }
+
+// Advance runs one simulation step under the exclusive run lock. This is
+// the ONLY safe way to advance the platform while the server is handling
+// traffic; see the Server concurrency contract.
+func (s *Server) Advance(step func() error) error {
+	s.simMu.Lock()
+	defer s.simMu.Unlock()
+	return step()
+}
+
+// ActiveStreams reports how many /v1/stream handlers are currently live.
+func (s *Server) ActiveStreams() int64 { return s.streams.Load() }
+
+// ServerStats aggregates the server's self-counters.
+type ServerStats struct {
+	CacheHits   int64 `json:"cacheHits"`
+	CacheMisses int64 `json:"cacheMisses"`
+	Rejected    int64 `json:"rejected"`
+	WriteErrors int64 `json:"writeErrors"`
+}
+
+// Stats returns the aggregate self-counters (cache hits/misses across all
+// cached endpoints, shed requests, response write failures).
+func (s *Server) Stats() ServerStats {
+	var st ServerStats
+	for _, c := range s.caches() {
+		cs := c.cache.stat()
+		st.CacheHits += cs.Hits
+		st.CacheMisses += cs.Misses
+	}
+	st.Rejected = s.shedTotal.Load()
+	st.WriteErrors = s.writeErrors.Load()
+	return st
+}
+
+type namedCache struct {
+	name  string
+	cache *wmCache
+}
+
+func (s *Server) caches() []namedCache {
+	return []namedCache{
+		{"status", s.statusCache},
+		{"metrics", s.metricsCache},
+		{"series", s.seriesCache},
+		{"events", s.eventsCache},
+	}
+}
+
+// CacheStats returns per-endpoint response-cache counters, keyed by
+// endpoint ("status", "metrics", "series", "events").
+func (s *Server) CacheStats() map[string]CacheStat {
+	out := make(map[string]CacheStat, 4)
+	for _, c := range s.caches() {
+		out[c.name] = c.cache.stat()
+	}
+	return out
+}
+
 // ServeHTTP implements http.Handler.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
 
@@ -83,17 +240,17 @@ var _ http.Handler = (*Server)(nil)
 
 func (s *Server) routes() {
 	s.mux.HandleFunc("GET /api/v1/status", s.handleStatus)
-	s.mux.HandleFunc("GET /api/v1/models", s.handleListModels)
-	s.mux.HandleFunc("GET /api/v1/models/{name}", s.handleModelInfo)
-	s.mux.HandleFunc("POST /api/v1/models/{name}/predict", s.handlePredict)
-	s.mux.HandleFunc("GET /api/v1/resources", s.handleResources)
-	s.mux.HandleFunc("POST /api/v1/data/upload", s.handleUpload)
-	s.mux.HandleFunc("GET /api/v1/data/query", s.handleQuery)
-	s.mux.HandleFunc("GET /api/v1/sharing/topics", s.handleTopics)
-	s.mux.HandleFunc("POST /api/v1/sharing/publish", s.handlePublish)
-	s.mux.HandleFunc("GET /api/v1/sharing/fetch", s.handleFetch)
-	s.mux.HandleFunc("GET /api/v1/services", s.handleListServices)
-	s.mux.HandleFunc("POST /api/v1/services/{name}/invoke", s.handleInvokeService)
+	s.mux.HandleFunc("GET /api/v1/models", s.lockedRead(s.handleListModels))
+	s.mux.HandleFunc("GET /api/v1/models/{name}", s.lockedRead(s.handleModelInfo))
+	s.mux.HandleFunc("POST /api/v1/models/{name}/predict", s.lockedRead(s.handlePredict))
+	s.mux.HandleFunc("GET /api/v1/resources", s.lockedRead(s.handleResources))
+	s.mux.HandleFunc("POST /api/v1/data/upload", s.locked(s.handleUpload))
+	s.mux.HandleFunc("GET /api/v1/data/query", s.locked(s.handleQuery))
+	s.mux.HandleFunc("GET /api/v1/sharing/topics", s.lockedRead(s.handleTopics))
+	s.mux.HandleFunc("POST /api/v1/sharing/publish", s.locked(s.handlePublish))
+	s.mux.HandleFunc("GET /api/v1/sharing/fetch", s.locked(s.handleFetch))
+	s.mux.HandleFunc("GET /api/v1/services", s.lockedRead(s.handleListServices))
+	s.mux.HandleFunc("POST /api/v1/services/{name}/invoke", s.locked(s.handleInvokeService))
 	s.mux.HandleFunc("GET /api/v1/metrics", gzipped(s.handleMetrics))
 	s.mux.HandleFunc("GET /v1/metrics", gzipped(s.handleMetrics))
 	s.mux.HandleFunc("GET /api/v1/trace", gzipped(s.handleTrace))
@@ -106,14 +263,94 @@ func (s *Server) routes() {
 	s.mux.HandleFunc("GET /v1/stream", s.handleStream)
 }
 
-// gzipWriter forwards writes through a gzip stream while keeping the
-// underlying ResponseWriter's headers.
-type gzipWriter struct {
-	http.ResponseWriter
-	gz *gzip.Writer
+// admit takes one admission slot, or sheds the request with 503 +
+// Retry-After when the run-lock backlog is full (the simulation is lagging
+// behind offered load). The caller must release() on true.
+func (s *Server) admit(w http.ResponseWriter) (release func(), ok bool) {
+	select {
+	case s.simGate <- struct{}{}:
+		return func() { <-s.simGate }, true
+	default:
+		s.shed(w)
+		return nil, false
+	}
 }
 
-func (g *gzipWriter) Write(b []byte) (int, error) { return g.gz.Write(b) }
+// shed rejects a request the serving tier cannot absorb right now.
+func (s *Server) shed(w http.ResponseWriter) {
+	s.shedTotal.Add(1)
+	s.rejected.Inc()
+	w.Header().Set("Retry-After", "1")
+	s.writeErrRes(w, http.StatusServiceUnavailable, fmt.Errorf("server overloaded, retry"))
+}
+
+// locked wraps a handler that mutates simulation-owned state: bounded
+// admission, then the exclusive run lock.
+func (s *Server) locked(h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		release, ok := s.admit(w)
+		if !ok {
+			return
+		}
+		defer release()
+		s.simMu.Lock()
+		defer s.simMu.Unlock()
+		h(w, r)
+	}
+}
+
+// lockedRead wraps a handler that only reads simulation-owned state:
+// bounded admission, then the shared run lock (concurrent with other
+// readers, exclusive against Advance and mutating handlers).
+func (s *Server) lockedRead(h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		release, ok := s.admit(w)
+		if !ok {
+			return
+		}
+		defer release()
+		s.simMu.RLock()
+		defer s.simMu.RUnlock()
+		h(w, r)
+	}
+}
+
+// gzipWriter forwards writes through a gzip stream while keeping the
+// underlying ResponseWriter's headers. It forwards Flush so streaming
+// handlers keep streaming when gzipped, and strips any stale
+// Content-Length before the first write (the compressed length differs).
+type gzipWriter struct {
+	http.ResponseWriter
+	gz          *gzip.Writer
+	wroteHeader bool
+}
+
+func (g *gzipWriter) WriteHeader(code int) {
+	if g.wroteHeader {
+		return
+	}
+	g.wroteHeader = true
+	g.Header().Del("Content-Length")
+	g.ResponseWriter.WriteHeader(code)
+}
+
+func (g *gzipWriter) Write(b []byte) (int, error) {
+	if !g.wroteHeader {
+		g.WriteHeader(http.StatusOK)
+	}
+	return g.gz.Write(b)
+}
+
+// Flush implements http.Flusher: it pushes buffered compressed bytes to
+// the client so gzipped streaming responses make progress frame by frame.
+func (g *gzipWriter) Flush() {
+	g.gz.Flush()
+	if f, ok := g.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+var _ http.Flusher = (*gzipWriter)(nil)
 
 // gzipped wraps a handler with Accept-Encoding-negotiated gzip response
 // compression — the bulk endpoints (metrics, trace, series) serve the
@@ -132,20 +369,64 @@ func gzipped(h http.HandlerFunc) http.HandlerFunc {
 	}
 }
 
+// jsonBody marshals v exactly as json.Encoder.Encode would (compact JSON
+// plus a trailing newline), so cached bodies and per-request encodes are
+// byte-identical.
+func jsonBody(v any) ([]byte, error) {
+	out, err := json.Marshal(v)
+	if err != nil {
+		return nil, err
+	}
+	return append(out, '\n'), nil
+}
+
+// cached serves one watermark-keyed cacheable endpoint: requests without
+// query parameters hit the response cache; the rest marshal per request.
+func (s *Server) cached(w http.ResponseWriter, r *http.Request, c *wmCache, build func() (any, error)) {
+	if r.URL.RawQuery != "" {
+		v, err := build()
+		if err != nil {
+			s.writeErrRes(w, http.StatusInternalServerError, err)
+			return
+		}
+		s.writeJSON(w, http.StatusOK, v)
+		return
+	}
+	body, hit, err := c.get(s.clock(), func() ([]byte, error) {
+		v, err := build()
+		if err != nil {
+			return nil, err
+		}
+		return jsonBody(v)
+	})
+	if err == errBusy {
+		s.shed(w)
+		return
+	}
+	if err != nil {
+		s.writeErrRes(w, http.StatusInternalServerError, err)
+		return
+	}
+	if hit {
+		s.cacheHits.Inc()
+	} else {
+		s.cacheMisses.Inc()
+	}
+	s.writeBody(w, http.StatusOK, "application/json; charset=utf-8", body)
+}
+
 // handleMetrics serves the telemetry snapshot. The default is the JSON
 // Snapshot shape; ?format=text renders the sorted human-readable table.
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	if s.metrics == nil {
-		writeErr(w, http.StatusServiceUnavailable, fmt.Errorf("telemetry not attached"))
+		s.writeErrRes(w, http.StatusServiceUnavailable, fmt.Errorf("telemetry not attached"))
 		return
 	}
 	if r.URL.Query().Get("format") == "text" {
-		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-		w.WriteHeader(http.StatusOK)
-		fmt.Fprint(w, s.metrics.Render())
+		s.writeBody(w, http.StatusOK, "text/plain; charset=utf-8", []byte(s.metrics.Render()))
 		return
 	}
-	writeJSON(w, http.StatusOK, s.metrics.Snapshot())
+	s.cached(w, r, s.metricsCache, func() (any, error) { return s.metrics.Snapshot(), nil })
 }
 
 // handleTrace serves the recorded span forest. The default is Chrome
@@ -153,23 +434,19 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 // renders the indented text tree.
 func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
 	if s.tracer == nil {
-		writeErr(w, http.StatusServiceUnavailable, fmt.Errorf("tracer not attached"))
+		s.writeErrRes(w, http.StatusServiceUnavailable, fmt.Errorf("tracer not attached"))
 		return
 	}
 	if r.URL.Query().Get("format") == "tree" {
-		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-		w.WriteHeader(http.StatusOK)
-		fmt.Fprint(w, s.tracer.RenderTree())
+		s.writeBody(w, http.StatusOK, "text/plain; charset=utf-8", []byte(s.tracer.RenderTree()))
 		return
 	}
 	out, err := s.tracer.ChromeTrace()
 	if err != nil {
-		writeErr(w, http.StatusInternalServerError, err)
+		s.writeErrRes(w, http.StatusInternalServerError, err)
 		return
 	}
-	w.Header().Set("Content-Type", "application/json; charset=utf-8")
-	w.WriteHeader(http.StatusOK)
-	w.Write(out)
+	s.writeBody(w, http.StatusOK, "application/json; charset=utf-8", out)
 }
 
 // parseSince reads an optional virtual-time watermark in seconds; an empty
@@ -186,15 +463,15 @@ func parseSince(s string) (time.Duration, error) {
 // to points after ?since=<seconds of virtual time>.
 func (s *Server) handleSeries(w http.ResponseWriter, r *http.Request) {
 	if s.series == nil {
-		writeErr(w, http.StatusServiceUnavailable, fmt.Errorf("series store not attached"))
+		s.writeErrRes(w, http.StatusServiceUnavailable, fmt.Errorf("series store not attached"))
 		return
 	}
 	since, err := parseSince(r.URL.Query().Get("since"))
 	if err != nil {
-		writeErr(w, http.StatusBadRequest, err)
+		s.writeErrRes(w, http.StatusBadRequest, err)
 		return
 	}
-	writeJSON(w, http.StatusOK, s.series.Payload(since))
+	s.cached(w, r, s.seriesCache, func() (any, error) { return s.series.Payload(since), nil })
 }
 
 // EventsResponse is the `/v1/events` payload.
@@ -208,31 +485,31 @@ type EventsResponse struct {
 // text table instead.
 func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 	if s.events == nil {
-		writeErr(w, http.StatusServiceUnavailable, fmt.Errorf("flight recorder not attached"))
+		s.writeErrRes(w, http.StatusServiceUnavailable, fmt.Errorf("flight recorder not attached"))
 		return
 	}
 	if r.URL.Query().Get("format") == "table" {
-		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-		w.WriteHeader(http.StatusOK)
-		fmt.Fprint(w, s.events.RenderTable())
+		s.writeBody(w, http.StatusOK, "text/plain; charset=utf-8", []byte(s.events.RenderTable()))
 		return
 	}
 	since, err := parseSince(r.URL.Query().Get("since"))
 	if err != nil {
-		writeErr(w, http.StatusBadRequest, err)
+		s.writeErrRes(w, http.StatusBadRequest, err)
 		return
 	}
 	minSev := obs.SevDebug
 	if sev := r.URL.Query().Get("severity"); sev != "" {
 		if minSev, err = obs.ParseSeverity(sev); err != nil {
-			writeErr(w, http.StatusBadRequest, err)
+			s.writeErrRes(w, http.StatusBadRequest, err)
 			return
 		}
 	}
 	component := r.URL.Query().Get("component")
-	writeJSON(w, http.StatusOK, EventsResponse{
-		Events:  s.events.EventsSince(since, component, minSev),
-		Dropped: s.events.Dropped(),
+	s.cached(w, r, s.eventsCache, func() (any, error) {
+		return EventsResponse{
+			Events:  s.events.EventsSince(since, component, minSev),
+			Dropped: s.events.Dropped(),
+		}, nil
 	})
 }
 
@@ -242,36 +519,53 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 // re-reads a full snapshot. ?since=<seconds> seeds the first watermark,
 // ?frames=<n> bounds the frame count (0 streams until the client
 // disconnects), and ?poll=<seconds> sets the wall-clock re-check interval.
+//
+// A single reused timer paces the polling (no per-iteration allocation),
+// client disconnect is observed both in the poll wait and between encode
+// and flush, and each frame write runs under SetStreamWriteDeadline so a
+// stalled client cannot pin the handler forever.
 func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 	if s.series == nil && s.events == nil {
-		writeErr(w, http.StatusServiceUnavailable, fmt.Errorf("observability not attached"))
+		s.writeErrRes(w, http.StatusServiceUnavailable, fmt.Errorf("observability not attached"))
 		return
 	}
 	watermark, err := parseSince(r.URL.Query().Get("since"))
 	if err != nil {
-		writeErr(w, http.StatusBadRequest, err)
+		s.writeErrRes(w, http.StatusBadRequest, err)
 		return
 	}
 	frames := 0
 	if fs := r.URL.Query().Get("frames"); fs != "" {
 		if frames, err = strconv.Atoi(fs); err != nil || frames < 0 {
-			writeErr(w, http.StatusBadRequest, fmt.Errorf("bad frames %q", fs))
+			s.writeErrRes(w, http.StatusBadRequest, fmt.Errorf("bad frames %q", fs))
 			return
 		}
 	}
 	poll := 100 * time.Millisecond
 	if ps := r.URL.Query().Get("poll"); ps != "" {
 		if poll, err = parseSeconds(ps); err != nil || poll <= 0 {
-			writeErr(w, http.StatusBadRequest, fmt.Errorf("bad poll %q", ps))
+			s.writeErrRes(w, http.StatusBadRequest, fmt.Errorf("bad poll %q", ps))
 			return
 		}
 	}
+	s.streams.Add(1)
+	defer s.streams.Add(-1)
 	w.Header().Set("Content-Type", "application/x-ndjson; charset=utf-8")
 	w.WriteHeader(http.StatusOK)
 	flusher, _ := w.(http.Flusher)
+	rc := http.NewResponseController(w)
 	enc := json.NewEncoder(w)
+	ctx := r.Context()
 	sent := 0
+	timer := time.NewTimer(time.Hour)
+	if !timer.Stop() {
+		<-timer.C
+	}
+	defer timer.Stop()
 	for {
+		if ctx.Err() != nil {
+			return
+		}
 		now := s.clock()
 		// The first frame ships the backlog immediately; later frames wait
 		// for the watermark to advance.
@@ -284,7 +578,15 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 			if s.events != nil {
 				frame.Events = s.events.EventsSince(watermark, "", obs.SevDebug)
 			}
+			if s.streamDeadline > 0 {
+				rc.SetWriteDeadline(time.Now().Add(s.streamDeadline))
+			}
 			if err := enc.Encode(frame); err != nil {
+				return
+			}
+			// The client may have vanished while the frame was encoded;
+			// don't keep flushing into a dead connection.
+			if ctx.Err() != nil {
 				return
 			}
 			if flusher != nil {
@@ -296,10 +598,14 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 		if frames > 0 && sent >= frames {
 			return
 		}
+		timer.Reset(poll)
 		select {
-		case <-r.Context().Done():
+		case <-ctx.Done():
+			if !timer.Stop() {
+				<-timer.C
+			}
 			return
-		case <-time.After(poll):
+		case <-timer.C:
 		}
 	}
 }
@@ -318,7 +624,7 @@ type ServiceInfo struct {
 
 func (s *Server) handleListServices(w http.ResponseWriter, r *http.Request) {
 	if s.elastic == nil {
-		writeErr(w, http.StatusServiceUnavailable, fmt.Errorf("EdgeOSv not attached"))
+		s.writeErrRes(w, http.StatusServiceUnavailable, fmt.Errorf("EdgeOSv not attached"))
 		return
 	}
 	services := s.elastic.Services()
@@ -342,7 +648,7 @@ func (s *Server) handleListServices(w http.ResponseWriter, r *http.Request) {
 		}
 		out = append(out, info)
 	}
-	writeJSON(w, http.StatusOK, out)
+	s.writeJSON(w, http.StatusOK, out)
 }
 
 // InvokeResponse reports one API-triggered service invocation.
@@ -356,16 +662,16 @@ type InvokeResponse struct {
 
 func (s *Server) handleInvokeService(w http.ResponseWriter, r *http.Request) {
 	if s.elastic == nil {
-		writeErr(w, http.StatusServiceUnavailable, fmt.Errorf("EdgeOSv not attached"))
+		s.writeErrRes(w, http.StatusServiceUnavailable, fmt.Errorf("EdgeOSv not attached"))
 		return
 	}
 	name := r.PathValue("name")
 	res, err := s.elastic.Invoke(name, s.clock())
 	if err != nil {
-		writeErr(w, http.StatusBadRequest, err)
+		s.writeErrRes(w, http.StatusBadRequest, err)
 		return
 	}
-	writeJSON(w, http.StatusOK, InvokeResponse{
+	s.writeJSON(w, http.StatusOK, InvokeResponse{
 		Service:   res.Service,
 		Pipeline:  res.Pipeline,
 		Dest:      res.Dest,
@@ -374,55 +680,73 @@ func (s *Server) handleInvokeService(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
-func writeJSON(w http.ResponseWriter, status int, v any) {
-	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+// writeBody writes a fully-materialized response, counting write failures
+// (client hangups mid-body) in libvdap.write_errors so the serve sweep can
+// report them instead of hiding them.
+func (s *Server) writeBody(w http.ResponseWriter, status int, contentType string, body []byte) {
+	w.Header().Set("Content-Type", contentType)
 	w.WriteHeader(status)
-	if err := json.NewEncoder(w).Encode(v); err != nil {
-		// Headers are gone; nothing more to do.
+	if _, err := w.Write(body); err != nil {
+		s.writeErrors.Add(1)
+		s.writeErrs.Inc()
+	}
+}
+
+// writeJSON marshals v up front — a marshal failure is reported as a clean
+// 500 instead of a torn body — and counts mid-body write failures.
+func (s *Server) writeJSON(w http.ResponseWriter, status int, v any) {
+	body, err := jsonBody(v)
+	if err != nil {
+		s.writeErrors.Add(1)
+		s.writeErrs.Inc()
+		http.Error(w, `{"error":"encode response"}`, http.StatusInternalServerError)
 		return
 	}
+	s.writeBody(w, status, "application/json; charset=utf-8", body)
 }
 
 type apiError struct {
 	Error string `json:"error"`
 }
 
-func writeErr(w http.ResponseWriter, status int, err error) {
-	writeJSON(w, status, apiError{Error: err.Error()})
+func (s *Server) writeErrRes(w http.ResponseWriter, status int, err error) {
+	s.writeJSON(w, status, apiError{Error: err.Error()})
 }
 
 func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, map[string]any{
-		"platform":    "openvdap",
-		"virtualTime": s.clock().Seconds(),
-		"groups": map[string]bool{
-			"models":    s.registry != nil,
-			"resources": s.mhep != nil,
-			"data":      s.store != nil,
-			"sharing":   s.sharing != nil,
-		},
+	s.cached(w, r, s.statusCache, func() (any, error) {
+		return map[string]any{
+			"platform":    "openvdap",
+			"virtualTime": s.clock().Seconds(),
+			"groups": map[string]bool{
+				"models":    s.registry != nil,
+				"resources": s.mhep != nil,
+				"data":      s.store != nil,
+				"sharing":   s.sharing != nil,
+			},
+		}, nil
 	})
 }
 
 func (s *Server) handleListModels(w http.ResponseWriter, r *http.Request) {
 	if s.registry == nil {
-		writeErr(w, http.StatusServiceUnavailable, fmt.Errorf("model library not attached"))
+		s.writeErrRes(w, http.StatusServiceUnavailable, fmt.Errorf("model library not attached"))
 		return
 	}
-	writeJSON(w, http.StatusOK, s.registry.List())
+	s.writeJSON(w, http.StatusOK, s.registry.List())
 }
 
 func (s *Server) handleModelInfo(w http.ResponseWriter, r *http.Request) {
 	if s.registry == nil {
-		writeErr(w, http.StatusServiceUnavailable, fmt.Errorf("model library not attached"))
+		s.writeErrRes(w, http.StatusServiceUnavailable, fmt.Errorf("model library not attached"))
 		return
 	}
 	info, err := s.registry.Info(r.PathValue("name"))
 	if err != nil {
-		writeErr(w, http.StatusNotFound, err)
+		s.writeErrRes(w, http.StatusNotFound, err)
 		return
 	}
-	writeJSON(w, http.StatusOK, info)
+	s.writeJSON(w, http.StatusOK, info)
 }
 
 // PredictRequest is the body of POST /models/{name}/predict.
@@ -438,25 +762,25 @@ type PredictResponse struct {
 
 func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 	if s.registry == nil {
-		writeErr(w, http.StatusServiceUnavailable, fmt.Errorf("model library not attached"))
+		s.writeErrRes(w, http.StatusServiceUnavailable, fmt.Errorf("model library not attached"))
 		return
 	}
 	var req PredictRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		writeErr(w, http.StatusBadRequest, fmt.Errorf("decode request: %w", err))
+		s.writeErrRes(w, http.StatusBadRequest, fmt.Errorf("decode request: %w", err))
 		return
 	}
 	probs, class, err := s.registry.Predict(r.PathValue("name"), req.Features)
 	if err != nil {
-		writeErr(w, http.StatusBadRequest, err)
+		s.writeErrRes(w, http.StatusBadRequest, err)
 		return
 	}
-	writeJSON(w, http.StatusOK, PredictResponse{Probabilities: probs, Class: class})
+	s.writeJSON(w, http.StatusOK, PredictResponse{Probabilities: probs, Class: class})
 }
 
 func (s *Server) handleResources(w http.ResponseWriter, r *http.Request) {
 	if s.mhep == nil {
-		writeErr(w, http.StatusServiceUnavailable, fmt.Errorf("VCU not attached"))
+		s.writeErrRes(w, http.StatusServiceUnavailable, fmt.Errorf("VCU not attached"))
 		return
 	}
 	now := s.clock()
@@ -464,7 +788,7 @@ func (s *Server) handleResources(w http.ResponseWriter, r *http.Request) {
 	if horizon == 0 {
 		horizon = time.Second
 	}
-	writeJSON(w, http.StatusOK, s.mhep.Profiles(now, horizon))
+	s.writeJSON(w, http.StatusOK, s.mhep.Profiles(now, horizon))
 }
 
 // UploadRequest is the body of POST /data/upload.
@@ -482,20 +806,20 @@ type UploadResponse struct {
 
 func (s *Server) handleUpload(w http.ResponseWriter, r *http.Request) {
 	if s.store == nil {
-		writeErr(w, http.StatusServiceUnavailable, fmt.Errorf("DDI not attached"))
+		s.writeErrRes(w, http.StatusServiceUnavailable, fmt.Errorf("DDI not attached"))
 		return
 	}
 	var req UploadRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		writeErr(w, http.StatusBadRequest, fmt.Errorf("decode request: %w", err))
+		s.writeErrRes(w, http.StatusBadRequest, fmt.Errorf("decode request: %w", err))
 		return
 	}
 	rec, err := s.store.Upload(s.clock(), ddi.Source(req.Source), req.X, req.Y, req.Payload)
 	if err != nil {
-		writeErr(w, http.StatusBadRequest, err)
+		s.writeErrRes(w, http.StatusBadRequest, err)
 		return
 	}
-	writeJSON(w, http.StatusOK, UploadResponse{ID: rec.ID})
+	s.writeJSON(w, http.StatusOK, UploadResponse{ID: rec.ID})
 }
 
 // QueryResponse carries a DDI range query's results and simulated latency.
@@ -506,33 +830,33 @@ type QueryResponse struct {
 
 func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	if s.store == nil {
-		writeErr(w, http.StatusServiceUnavailable, fmt.Errorf("DDI not attached"))
+		s.writeErrRes(w, http.StatusServiceUnavailable, fmt.Errorf("DDI not attached"))
 		return
 	}
 	q := ddi.Query{Source: ddi.Source(r.URL.Query().Get("source"))}
 	var err error
 	if q.From, err = parseSeconds(r.URL.Query().Get("from")); err != nil {
-		writeErr(w, http.StatusBadRequest, err)
+		s.writeErrRes(w, http.StatusBadRequest, err)
 		return
 	}
 	if q.To, err = parseSeconds(r.URL.Query().Get("to")); err != nil {
-		writeErr(w, http.StatusBadRequest, err)
+		s.writeErrRes(w, http.StatusBadRequest, err)
 		return
 	}
 	if limit := r.URL.Query().Get("limit"); limit != "" {
 		n, err := strconv.Atoi(limit)
 		if err != nil || n < 0 {
-			writeErr(w, http.StatusBadRequest, fmt.Errorf("bad limit %q", limit))
+			s.writeErrRes(w, http.StatusBadRequest, fmt.Errorf("bad limit %q", limit))
 			return
 		}
 		q.Limit = n
 	}
 	recs, latency, err := s.store.Download(s.clock(), q)
 	if err != nil {
-		writeErr(w, http.StatusInternalServerError, err)
+		s.writeErrRes(w, http.StatusInternalServerError, err)
 		return
 	}
-	writeJSON(w, http.StatusOK, QueryResponse{
+	s.writeJSON(w, http.StatusOK, QueryResponse{
 		Records:   recs,
 		LatencyMS: float64(latency) / float64(time.Millisecond),
 	})
@@ -551,10 +875,10 @@ func parseSeconds(s string) (time.Duration, error) {
 
 func (s *Server) handleTopics(w http.ResponseWriter, r *http.Request) {
 	if s.sharing == nil {
-		writeErr(w, http.StatusServiceUnavailable, fmt.Errorf("data sharing not attached"))
+		s.writeErrRes(w, http.StatusServiceUnavailable, fmt.Errorf("data sharing not attached"))
 		return
 	}
-	writeJSON(w, http.StatusOK, s.sharing.Topics())
+	s.writeJSON(w, http.StatusOK, s.sharing.Topics())
 }
 
 // PublishRequest is the body of POST /sharing/publish. The service token
@@ -567,39 +891,39 @@ type PublishRequest struct {
 
 func (s *Server) handlePublish(w http.ResponseWriter, r *http.Request) {
 	if s.sharing == nil {
-		writeErr(w, http.StatusServiceUnavailable, fmt.Errorf("data sharing not attached"))
+		s.writeErrRes(w, http.StatusServiceUnavailable, fmt.Errorf("data sharing not attached"))
 		return
 	}
 	var req PublishRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		writeErr(w, http.StatusBadRequest, fmt.Errorf("decode request: %w", err))
+		s.writeErrRes(w, http.StatusBadRequest, fmt.Errorf("decode request: %w", err))
 		return
 	}
 	token := r.Header.Get("X-VDAP-Token")
 	if err := s.sharing.Publish(req.Service, token, req.Topic, s.clock(), req.Payload); err != nil {
-		writeErr(w, http.StatusForbidden, err)
+		s.writeErrRes(w, http.StatusForbidden, err)
 		return
 	}
-	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	s.writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 }
 
 func (s *Server) handleFetch(w http.ResponseWriter, r *http.Request) {
 	if s.sharing == nil {
-		writeErr(w, http.StatusServiceUnavailable, fmt.Errorf("data sharing not attached"))
+		s.writeErrRes(w, http.StatusServiceUnavailable, fmt.Errorf("data sharing not attached"))
 		return
 	}
 	service := r.URL.Query().Get("service")
 	topic := r.URL.Query().Get("topic")
 	since, err := parseSeconds(r.URL.Query().Get("since"))
 	if err != nil {
-		writeErr(w, http.StatusBadRequest, err)
+		s.writeErrRes(w, http.StatusBadRequest, err)
 		return
 	}
 	token := r.Header.Get("X-VDAP-Token")
 	msgs, err := s.sharing.Fetch(service, token, topic, since)
 	if err != nil {
-		writeErr(w, http.StatusForbidden, err)
+		s.writeErrRes(w, http.StatusForbidden, err)
 		return
 	}
-	writeJSON(w, http.StatusOK, msgs)
+	s.writeJSON(w, http.StatusOK, msgs)
 }

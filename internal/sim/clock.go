@@ -7,30 +7,37 @@
 // random source, and a small process abstraction for periodic activities.
 package sim
 
-import "time"
+import (
+	"sync/atomic"
+	"time"
+)
 
 // Clock is a virtual clock. The zero value starts at time zero.
 //
-// Clock is not safe for concurrent use; the simulation kernel is
-// single-threaded by design (determinism is the point).
+// Clock has a single-writer contract: only the simulation loop may call
+// Advance or Set, but Now is safe to call from any goroutine (the REST
+// tier reads virtual time concurrently with a live run). The stored time
+// is an atomic cell, so readers never observe a torn value.
 type Clock struct {
-	now time.Duration
+	now atomic.Int64 // time.Duration bits
 }
 
 // Now returns the current virtual time as an offset from simulation start.
-func (c *Clock) Now() time.Duration { return c.now }
+// Safe for concurrent use.
+func (c *Clock) Now() time.Duration { return time.Duration(c.now.Load()) }
 
 // Advance moves the clock forward by d. Negative d is ignored: virtual time
-// is monotonic.
+// is monotonic. Single writer only.
 func (c *Clock) Advance(d time.Duration) {
 	if d > 0 {
-		c.now += d
+		c.now.Store(c.now.Load() + int64(d))
 	}
 }
 
-// Set jumps the clock to t if t is later than the current time.
+// Set jumps the clock to t if t is later than the current time. Single
+// writer only.
 func (c *Clock) Set(t time.Duration) {
-	if t > c.now {
-		c.now = t
+	if int64(t) > c.now.Load() {
+		c.now.Store(int64(t))
 	}
 }
