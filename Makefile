@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race verify determinism bench bench-serve microbench clean
+.PHONY: build test vet race verify determinism bench bench-serve bench-chaos microbench clean
 
 build:
 	$(GO) build ./...
@@ -46,6 +46,10 @@ determinism:
 	diff -u /tmp/obs-p1.txt /tmp/obs-s4.txt
 	diff -u /tmp/obs-p1.json /tmp/obs-s4.json
 	@echo "determinism: obs series + events byte-identical across -shards levels"
+	/tmp/vdapbench -exp chaosserve -clients 0 -seed 7 -parallel 1 > /tmp/netchaos-p1.txt
+	/tmp/vdapbench -exp chaosserve -clients 0 -seed 7 -parallel 4 > /tmp/netchaos-p4.txt
+	diff -u /tmp/netchaos-p1.txt /tmp/netchaos-p4.txt
+	@echo "determinism: E19 chaos plan byte-identical across -parallel levels"
 
 # bench runs the tracked E15 hot-path suite and the E16 scaling sweep,
 # refreshing BENCH_PERF.json (schema openvdap.bench_perf/v1) — one point
@@ -64,6 +68,14 @@ bench:
 bench-serve:
 	$(GO) build -o /tmp/vdapbench ./cmd/vdapbench
 	/tmp/vdapbench -exp serve -clients 1000 -servedur 5s -serveout BENCH_SERVE.json
+
+# bench-chaos runs the E19 paired chaos-proxy load test — the same seeded
+# network-fault plan with client resilience off, then on — and refreshes
+# BENCH_CHAOS.json (schema openvdap.bench_chaos/v1): paired success rates,
+# retries, hedge wins, stream reconnects, and latency percentiles.
+bench-chaos:
+	$(GO) build -o /tmp/vdapbench ./cmd/vdapbench
+	/tmp/vdapbench -exp chaosserve -clients 200 -servedur 4s -seed 1 -chaosout BENCH_CHAOS.json
 
 microbench:
 	$(GO) test -bench=. -benchmem ./...

@@ -42,6 +42,7 @@ func main() {
 		serveDur   = flag.Duration("servedur", 5*time.Second, "-exp serve wall-clock load duration")
 		mix        = flag.String("mix", "", "-exp serve endpoint mix, e.g. status=30,metrics=25,series=25,events=15,stream=5 (default: built-in mix)")
 		serveOut   = flag.String("serveout", "BENCH_SERVE.json", "output path for the -exp serve report")
+		chaosOut   = flag.String("chaosout", "BENCH_CHAOS.json", "output path for the -exp chaosserve report")
 	)
 	flag.Parse()
 	if *cpuProfile != "" {
@@ -57,7 +58,7 @@ func main() {
 		}
 		defer pprof.StopCPUProfile()
 	}
-	serve := serveOpts{clients: *clients, duration: *serveDur, mix: *mix, out: *serveOut}
+	serve := serveOpts{clients: *clients, duration: *serveDur, mix: *mix, out: *serveOut, chaosOut: *chaosOut}
 	if err := run(*exp, *seed, *duration, *dir, *traceOut, *benchOut, *runReport, *vehicles, *reps, *parallel, *shards, serve); err != nil {
 		fmt.Fprintln(os.Stderr, "vdapbench:", err)
 		os.Exit(1)
@@ -109,6 +110,7 @@ var experimentList = []experimentInfo{
 	{"scale", "fleet scaling meta-benchmark -> BENCH_PERF.json (E16)", false},
 	{"obs", "flight-recorder fleet run -> RUN_REPORT.json (E17)", false},
 	{"serve", "libvdap serving tier under load -> BENCH_SERVE.json (E18)", false},
+	{"chaosserve", "paired chaos-proxy load test, resilience off vs. on -> BENCH_CHAOS.json (E19)", false},
 }
 
 // expNames renders the one-line flag usage: all|table1|...|obs.
@@ -155,6 +157,7 @@ type serveOpts struct {
 	duration time.Duration
 	mix      string
 	out      string
+	chaosOut string
 }
 
 func run(exp string, seed int64, duration time.Duration, dir, traceOut, benchOut, runReport, vehicles string, reps, parallel, shards int, serve serveOpts) error {
@@ -423,6 +426,46 @@ func run(exp string, seed int64, duration time.Duration, dir, traceOut, benchOut
 				return err
 			}
 			fmt.Fprintf(os.Stderr, "vdapbench: wrote %s (%s)\n", serve.out, experiments.ServeSchema)
+			return nil
+		},
+		// chaosserve is E19: the E18 stack behind a seeded chaos proxy, run
+		// as a paired resilience-off/on comparison. -clients 0 skips the
+		// traffic entirely and prints only the compiled chaos plan, which is
+		// byte-identical at every -parallel level — `make determinism` diffs
+		// that output across worker counts.
+		"chaosserve": func() error {
+			mixEntries, err := libvdap.ParseMix(serve.mix)
+			if err != nil {
+				return err
+			}
+			cfg := experiments.DefaultChaosServeConfig()
+			cfg.Clients = serve.clients
+			cfg.Duration = serve.duration
+			cfg.Mix = mixEntries
+			cfg.Seed = seed
+			cfg.DataDir = dir
+			cfg.Parallel = parallel
+			if serve.clients == 0 {
+				plan, err := experiments.CompileChaosPlan(cfg)
+				if err != nil {
+					return err
+				}
+				fmt.Print(plan.Describe())
+				return nil
+			}
+			rep, err := experiments.RunChaosServe(cfg)
+			if err != nil {
+				return err
+			}
+			fmt.Println(experiments.ChaosServeTable(rep))
+			out, err := rep.Marshal()
+			if err != nil {
+				return err
+			}
+			if err := os.WriteFile(serve.chaosOut, out, 0o644); err != nil {
+				return err
+			}
+			fmt.Fprintf(os.Stderr, "vdapbench: wrote %s (%s)\n", serve.chaosOut, experiments.ChaosServeSchema)
 			return nil
 		},
 		"ddi": func() error {

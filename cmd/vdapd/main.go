@@ -9,6 +9,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -34,9 +35,11 @@ func main() {
 		traceOut = flag.String("trace", "", "write a Chrome trace_event JSON file at shutdown")
 		sample   = flag.Duration("sample", obs.DefaultSampleInterval,
 			"virtual-time metric sampling interval for /v1/metrics/series (0 disables)")
+		drainTimeout = flag.Duration("drain-timeout", 10*time.Second,
+			"graceful-shutdown budget: in-flight requests and streams get this long to finish (0 closes immediately)")
 	)
 	flag.Parse()
-	if err := run(*listen, *dataDir, *speedMPH, *seed, *tick, *traceOut, *sample); err != nil {
+	if err := run(*listen, *dataDir, *speedMPH, *seed, *tick, *traceOut, *sample, *drainTimeout); err != nil {
 		log.Fatal("vdapd: ", err)
 	}
 }
@@ -99,7 +102,7 @@ func dumpTrace(p *core.Platform, path string) error {
 	return nil
 }
 
-func run(listen, dataDir string, speedMPH float64, seed int64, tick time.Duration, traceOut string, sample time.Duration) error {
+func run(listen, dataDir string, speedMPH float64, seed int64, tick time.Duration, traceOut string, sample, drainTimeout time.Duration) error {
 	if dataDir == "" {
 		tmp, err := os.MkdirTemp("", "vdapd-*")
 		if err != nil {
@@ -148,14 +151,29 @@ func run(listen, dataDir string, speedMPH float64, seed int64, tick time.Duratio
 		case err := <-errCh:
 			return err
 		case <-stop:
-			log.Printf("shutting down at virtual time %v", p.Engine().Now())
-			fmt.Println(p.Report())
+			log.Printf("draining at virtual time %v (budget %v)", p.Engine().Now(), drainTimeout)
 			if traceOut != "" {
 				if err := dumpTrace(p, traceOut); err != nil {
 					log.Printf("trace dump: %v", err)
 				}
 			}
-			return srv.Close()
+			if drainTimeout <= 0 {
+				fmt.Println(p.Report())
+				return srv.Close()
+			}
+			// Two-stage drain: the libvdap server stops admission and
+			// finishes in-flight work (streams get a final frame), then the
+			// HTTP listener closes out whatever keep-alive conns remain.
+			ctx, cancel := context.WithTimeout(context.Background(), drainTimeout)
+			defer cancel()
+			if err := p.Server().Shutdown(ctx); err != nil {
+				log.Printf("drain: %v", err)
+			}
+			fmt.Println(p.Report())
+			if err := srv.Shutdown(ctx); err != nil {
+				return srv.Close()
+			}
+			return nil
 		}
 	}
 }

@@ -4,6 +4,7 @@ import (
 	"bufio"
 	"encoding/json"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"sort"
@@ -47,7 +48,13 @@ func OpenDiskStore(dir string) (*DiskStore, error) {
 	return s, nil
 }
 
-// load replays the log into the index.
+// load replays the log into the index. Every record is appended as one
+// "json\n" write, so a crash can only tear the log's final line — and a
+// torn tail has no trailing newline, because the newline is the last byte
+// of the write. load therefore drops (and truncates away) an unparseable
+// unterminated final line, but refuses to open on any newline-terminated
+// line that does not parse: that is mid-file corruption, and silently
+// skipping it would drop durable records.
 func (s *DiskStore) load() error {
 	f, err := os.Open(s.path)
 	if os.IsNotExist(err) {
@@ -57,28 +64,46 @@ func (s *DiskStore) load() error {
 		return fmt.Errorf("open store log: %w", err)
 	}
 	defer f.Close()
-	sc := bufio.NewScanner(f)
-	sc.Buffer(make([]byte, 0, 1<<16), 1<<24)
-	for sc.Scan() {
-		line := sc.Bytes()
-		if len(line) == 0 {
-			continue
+	br := bufio.NewReaderSize(f, 1<<16)
+	var offset int64
+	tornAt := int64(-1)
+	for {
+		line, rerr := br.ReadBytes('\n')
+		if rerr != nil && rerr != io.EOF {
+			return fmt.Errorf("scan store log: %w", rerr)
 		}
-		var r Record
-		if err := json.Unmarshal(line, &r); err != nil {
-			// A torn final line from a crash is tolerated; anything else
-			// mid-file is corruption worth surfacing.
-			continue
+		terminated := len(line) > 0 && line[len(line)-1] == '\n'
+		body := line
+		if terminated {
+			body = body[:len(body)-1]
 		}
-		rec := r
-		s.index[rec.ID] = &rec
-		s.byTime = append(s.byTime, rec.ID)
-		if rec.ID >= s.nextID {
-			s.nextID = rec.ID + 1
+		if len(body) > 0 {
+			var r Record
+			if uerr := json.Unmarshal(body, &r); uerr != nil {
+				if terminated {
+					return fmt.Errorf("ddi: corrupt store log %s at offset %d: %w", s.path, offset, uerr)
+				}
+				tornAt = offset
+			} else {
+				rec := r
+				s.index[rec.ID] = &rec
+				s.byTime = append(s.byTime, rec.ID)
+				if rec.ID >= s.nextID {
+					s.nextID = rec.ID + 1
+				}
+			}
+		}
+		offset += int64(len(line))
+		if rerr == io.EOF {
+			break
 		}
 	}
-	if err := sc.Err(); err != nil {
-		return fmt.Errorf("scan store log: %w", err)
+	if tornAt >= 0 {
+		// Cut the torn tail off so the next append starts on a clean line
+		// instead of gluing new JSON onto the partial record.
+		if err := os.Truncate(s.path, tornAt); err != nil {
+			return fmt.Errorf("truncate torn store log: %w", err)
+		}
 	}
 	s.sortByTime()
 	return nil

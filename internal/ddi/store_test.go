@@ -1,6 +1,10 @@
 package ddi
 
 import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
 	"testing"
 	"time"
 
@@ -235,6 +239,94 @@ func TestStoreReopenFuzz(t *testing.T) {
 		if got.At != w.At || got.X != w.X || string(got.Payload) != string(w.Payload) {
 			t.Fatalf("record %d corrupted: %+v != %+v", id, got, w)
 		}
+	}
+}
+
+// writeLogFixture seeds a store directory with records and then applies
+// mutate to the raw log bytes, emulating what a crash or disk corruption
+// leaves behind for the next open to find.
+func writeLogFixture(t *testing.T, mutate func(log []byte) []byte) string {
+	t.Helper()
+	dir := t.TempDir()
+	s, err := OpenDiskStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i <= 3; i++ {
+		if _, err := s.Put(rec(SourceOBD, time.Duration(i)*time.Second, float64(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, "ddi.log")
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, mutate(raw), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return dir
+}
+
+// TestLoadToleratesTornFinalLine: a crash mid-append leaves a final line
+// with no trailing newline. The store must open, keep every complete
+// record, drop the torn tail, and stay appendable — the truncated tail
+// must not glue itself onto the next record.
+func TestLoadToleratesTornFinalLine(t *testing.T) {
+	dir := writeLogFixture(t, func(log []byte) []byte {
+		// Tear the last record: drop its trailing newline and half its bytes.
+		lines := bytes.SplitAfter(log, []byte("\n"))
+		last := lines[len(lines)-2] // final element is the empty post-\n slice
+		torn := last[:len(last)/2]
+		return append(bytes.Join(lines[:len(lines)-2], nil), torn...)
+	})
+	s, err := OpenDiskStore(dir)
+	if err != nil {
+		t.Fatalf("torn tail rejected: %v", err)
+	}
+	if s.Count() != 2 {
+		t.Fatalf("count after torn tail = %d, want 2", s.Count())
+	}
+	if _, err := s.Put(rec(SourceOBD, 9*time.Second, 9)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// The append after the torn tail must survive a reopen intact.
+	s2, err := OpenDiskStore(dir)
+	if err != nil {
+		t.Fatalf("reopen after torn-tail repair: %v", err)
+	}
+	defer s2.Close()
+	if s2.Count() != 3 {
+		t.Fatalf("count after repair+append = %d, want 3", s2.Count())
+	}
+}
+
+// TestLoadRejectsMidFileCorruption: the same mutation in the middle of the
+// log is not a crash artifact — it means stored records are gone, and the
+// store must refuse to open with the corruption offset rather than
+// silently skipping the line.
+func TestLoadRejectsMidFileCorruption(t *testing.T) {
+	dir := writeLogFixture(t, func(log []byte) []byte {
+		lines := bytes.SplitAfter(log, []byte("\n"))
+		// Mangle the second of three records, newline intact.
+		mid := lines[1]
+		for i := 0; i < len(mid)/2; i++ {
+			mid[i] = '#'
+		}
+		return bytes.Join(lines, nil)
+	})
+	_, err := OpenDiskStore(dir)
+	if err == nil {
+		t.Fatal("mid-file corruption accepted")
+	}
+	if !strings.Contains(err.Error(), "corrupt store log") || !strings.Contains(err.Error(), "offset") {
+		t.Fatalf("corruption error missing context: %v", err)
 	}
 }
 

@@ -1,0 +1,407 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"runtime"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/faults"
+	"repro/internal/libvdap"
+)
+
+// ChaosServeSchema versions the BENCH_CHAOS.json layout. Bump on any
+// field change so trajectory tooling can refuse mixed files.
+const ChaosServeSchema = "openvdap.bench_chaos/v1"
+
+// ChaosServeConfig parameterizes E19: the E18 serving stack with a seeded
+// chaos proxy wedged between the clients and the server, run twice on the
+// SAME compiled fault plan — once with raw single-attempt clients, once
+// with the full client resilience policy.
+type ChaosServeConfig struct {
+	// Clients is the number of concurrent load clients per mode.
+	Clients int
+	// Duration is the wall-clock length of each mode's load phase.
+	Duration time.Duration
+	// Mix weights the endpoints; nil means libvdap.DefaultMix.
+	Mix []libvdap.MixEntry
+	// Seed keys the platform, the chaos plan, and every client stream.
+	Seed int64
+	// TickWall / TickStep drive the simulation tick loop (E18 semantics).
+	TickWall time.Duration
+	TickStep time.Duration
+	// DataDir holds the DDI disk tier (temp dir when empty).
+	DataDir string
+	// Chaos is the network fault recipe; zero means DefaultChaosServePlan.
+	Chaos faults.NetChaosConfig
+	// Retry is the resilience policy for the "on" mode; nil means
+	// DefaultChaosRetryPolicy.
+	Retry *libvdap.RetryPolicy
+	// Parallel is the plan-compilation worker count (the compiled plan is
+	// byte-identical at any value — `make determinism` diffs it).
+	Parallel int
+	// StreamFrames is how many /v1/stream frames the side consumer reads
+	// in the resilient mode to exercise auto-reconnect (0 disables).
+	StreamFrames int
+}
+
+// DefaultChaosServeConfig is the E19 shape: 200 clients for 4 wall
+// seconds per mode behind an aggressive chaos plan — nearly every
+// connection carries a byte budget, so the no-resilience baseline visibly
+// fails while the resilient mode retries its way to ~100% success.
+func DefaultChaosServeConfig() ChaosServeConfig {
+	return ChaosServeConfig{
+		Clients:      200,
+		Duration:     4 * time.Second,
+		Seed:         1,
+		TickWall:     50 * time.Millisecond,
+		TickStep:     100 * time.Millisecond,
+		Parallel:     1,
+		StreamFrames: 20,
+	}
+}
+
+// DefaultChaosServePlan is the E19 fault recipe: byte budgets on ~90% of
+// connections (45% RST + 45% clean truncation, small budgets so every
+// connection dies within a handful of responses), latency on a fifth,
+// and occasional accept stalls.
+func DefaultChaosServePlan(seed int64) faults.NetChaosConfig {
+	cfg := faults.DefaultNetChaos(seed, 4096)
+	cfg.ResetMinBytes = 1 << 9
+	cfg.ResetMaxBytes = 8 << 10
+	cfg.TruncateMinBytes = 1 << 9
+	cfg.TruncateMaxBytes = 6 << 10
+	return cfg
+}
+
+// DefaultChaosRetryPolicy is the E19 "resilience on" client shape.
+func DefaultChaosRetryPolicy() *libvdap.RetryPolicy {
+	return &libvdap.RetryPolicy{
+		MaxAttempts:       8,
+		BaseBackoff:       5 * time.Millisecond,
+		MaxBackoff:        250 * time.Millisecond,
+		PerRequestTimeout: 2 * time.Second,
+		HedgeDelay:        250 * time.Millisecond,
+		BreakerThreshold:  20,
+		BreakerCooldown:   200 * time.Millisecond,
+	}
+}
+
+// ChaosPlanInfo summarizes the compiled fault plan both modes ran under.
+type ChaosPlanInfo struct {
+	Digest    string `json:"digest"`
+	Conns     int    `json:"conns"`
+	Latency   int    `json:"latencyFaults"`
+	Resets    int    `json:"resetFaults"`
+	Truncates int    `json:"truncateFaults"`
+	Stalls    int    `json:"stallFaults"`
+}
+
+// ChaosStreamResult is the resilient-mode stream consumer's outcome.
+type ChaosStreamResult struct {
+	FramesWanted int   `json:"framesWanted"`
+	FramesGot    int   `json:"framesGot"`
+	Reconnects   int64 `json:"reconnects"`
+	Completed    bool  `json:"completed"`
+}
+
+// ChaosModeResult is one half of the paired run.
+type ChaosModeResult struct {
+	Mode        string                 `json:"mode"` // "resilience-off" | "resilience-on"
+	PlanDigest  string                 `json:"planDigest"`
+	SuccessRate float64                `json:"successRate"`
+	Load        libvdap.LoadResult     `json:"load"`
+	Proxy       faults.ChaosProxyStats `json:"proxy"`
+	Server      libvdap.ServerStats    `json:"server"`
+	Ticks       int64                  `json:"ticks"`
+	Stream      *ChaosStreamResult     `json:"stream,omitempty"`
+}
+
+// ChaosServeReport is the schema-versioned BENCH_CHAOS.json payload.
+type ChaosServeReport struct {
+	Schema    string  `json:"schema"`
+	GoVersion string  `json:"goVersion"`
+	GOOS      string  `json:"goos"`
+	GOARCH    string  `json:"goarch"`
+	Seed      int64   `json:"seed"`
+	Clients   int     `json:"clients"`
+	WallMS    float64 `json:"wallMsPerMode"`
+
+	Plan      ChaosPlanInfo   `json:"plan"`
+	Baseline  ChaosModeResult `json:"baseline"`
+	Resilient ChaosModeResult `json:"resilient"`
+}
+
+// CompileChaosPlan compiles the run's network fault plan; exposed so
+// `make determinism` can diff the canonical plan text across -parallel
+// levels without running any traffic.
+func CompileChaosPlan(cfg ChaosServeConfig) (*faults.NetPlan, error) {
+	chaos := cfg.Chaos
+	if chaos.Conns == 0 {
+		chaos = DefaultChaosServePlan(cfg.Seed)
+		chaos.Seed = cfg.Seed
+	}
+	parallel := cfg.Parallel
+	if parallel <= 0 {
+		parallel = 1
+	}
+	return faults.CompileNetPlan(chaos, parallel)
+}
+
+// runChaosMode runs one half of the pair: fresh platform, fresh proxy on
+// a freshly compiled (byte-identical) plan, one load phase.
+func runChaosMode(cfg ChaosServeConfig, retry *libvdap.RetryPolicy, mode string) (ChaosModeResult, error) {
+	var res ChaosModeResult
+	res.Mode = mode
+
+	dataDir := cfg.DataDir
+	if dataDir == "" {
+		tmp, err := os.MkdirTemp("", "vdap-chaos-*")
+		if err != nil {
+			return res, err
+		}
+		defer os.RemoveAll(tmp)
+		dataDir = tmp
+	}
+
+	ticksExpected := int64(cfg.Duration/cfg.TickWall) + 1
+	horizon := time.Duration(2*ticksExpected) * cfg.TickStep
+
+	pcfg := core.DefaultConfig(dataDir)
+	pcfg.Seed = cfg.Seed
+	pcfg.Faults = serveFaults(horizon)
+	p, err := core.New(pcfg)
+	if err != nil {
+		return res, err
+	}
+	defer p.Close()
+	if err := p.StartCollection(time.Second); err != nil {
+		return res, err
+	}
+	if err := p.StartSampling(0); err != nil {
+		return res, err
+	}
+
+	ts := httptest.NewServer(p.API())
+	defer ts.Close()
+
+	plan, err := CompileChaosPlan(cfg)
+	if err != nil {
+		return res, err
+	}
+	res.PlanDigest = plan.Digest()
+	proxy, err := faults.NewChaosProxy(ts.Listener.Addr().String(), plan)
+	if err != nil {
+		return res, err
+	}
+	defer proxy.Close()
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	var ticks int64
+	var tickErr error
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		ticker := time.NewTicker(cfg.TickWall)
+		defer ticker.Stop()
+		for {
+			select {
+			case <-stop:
+				return
+			case <-ticker.C:
+				if err := p.AdvanceTo(p.Engine().Now() + cfg.TickStep); err != nil {
+					tickErr = err
+					return
+				}
+				ticks++
+			}
+		}
+	}()
+
+	client := &http.Client{
+		Transport: &http.Transport{
+			MaxIdleConns:        cfg.Clients,
+			MaxIdleConnsPerHost: cfg.Clients,
+		},
+		Timeout: 5 * time.Second,
+	}
+
+	// The resilient mode also parks a stream consumer on the proxy so the
+	// auto-reconnect path runs under the same chaos as the load fleet.
+	var stream *ChaosStreamResult
+	var streamWG sync.WaitGroup
+	if retry != nil && cfg.StreamFrames > 0 {
+		stream = &ChaosStreamResult{FramesWanted: cfg.StreamFrames}
+		streamWG.Add(1)
+		go func() {
+			defer streamWG.Done()
+			cl, err := libvdap.NewClient(proxy.URL(), client)
+			if err != nil {
+				return
+			}
+			pol := *retry
+			pol.Seed = cfg.Seed ^ 0x73747265616d // "stream"
+			// A generous reconnect budget: chaos kills most connections,
+			// and surviving drops is exactly what this consumer measures.
+			pol.MaxAttempts = 4 * cfg.StreamFrames
+			pol.PerRequestTimeout = -1 // streams outlive per-request budgets
+			cl.SetRetryPolicy(&pol)
+			frames, err := cl.StreamFrames(0, cfg.StreamFrames)
+			stream.FramesGot = len(frames)
+			stream.Reconnects = cl.Stats().Reconnects
+			stream.Completed = err == nil && len(frames) >= cfg.StreamFrames
+		}()
+	}
+
+	load, loadErr := libvdap.RunLoad(libvdap.LoadGenConfig{
+		BaseURL:  proxy.URL(),
+		Client:   client,
+		Clients:  cfg.Clients,
+		Duration: cfg.Duration,
+		Mix:      cfg.Mix,
+		Seed:     cfg.Seed,
+		Retry:    retry,
+	})
+	streamWG.Wait()
+	close(stop)
+	wg.Wait()
+	if loadErr != nil {
+		return res, loadErr
+	}
+	if tickErr != nil {
+		return res, fmt.Errorf("chaosserve: tick loop: %w", tickErr)
+	}
+
+	res.SuccessRate = load.SuccessRate()
+	res.Load = load
+	res.Proxy = proxy.Stats()
+	res.Server = p.Server().Stats()
+	res.Ticks = ticks
+	res.Stream = stream
+	return res, nil
+}
+
+// RunChaosServe runs E19: the same seeded chaos plan twice — resilience
+// off, then on — and reports the paired client-observed outcomes. The two
+// modes compile their plans independently; a digest mismatch is a
+// determinism bug and fails the run.
+func RunChaosServe(cfg ChaosServeConfig) (*ChaosServeReport, error) {
+	if cfg.Clients <= 0 || cfg.Duration <= 0 {
+		return nil, fmt.Errorf("chaosserve: clients and duration must be positive")
+	}
+	if cfg.TickWall <= 0 {
+		cfg.TickWall = 50 * time.Millisecond
+	}
+	if cfg.TickStep <= 0 {
+		cfg.TickStep = 100 * time.Millisecond
+	}
+	retry := cfg.Retry
+	if retry == nil {
+		retry = DefaultChaosRetryPolicy()
+	}
+
+	plan, err := CompileChaosPlan(cfg)
+	if err != nil {
+		return nil, err
+	}
+	latency, resets, truncates, stalls := plan.CountFaults()
+
+	baseline, err := runChaosMode(cfg, nil, "resilience-off")
+	if err != nil {
+		return nil, fmt.Errorf("chaosserve baseline: %w", err)
+	}
+	resilient, err := runChaosMode(cfg, retry, "resilience-on")
+	if err != nil {
+		return nil, fmt.Errorf("chaosserve resilient: %w", err)
+	}
+	if baseline.PlanDigest != resilient.PlanDigest || baseline.PlanDigest != plan.Digest() {
+		return nil, fmt.Errorf("chaosserve: chaos plans diverged across the pair (%s vs %s)",
+			baseline.PlanDigest, resilient.PlanDigest)
+	}
+
+	return &ChaosServeReport{
+		Schema:    ChaosServeSchema,
+		GoVersion: runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+		Seed:      cfg.Seed,
+		Clients:   cfg.Clients,
+		WallMS:    float64(cfg.Duration) / float64(time.Millisecond),
+		Plan: ChaosPlanInfo{
+			Digest:    plan.Digest(),
+			Conns:     plan.Conns(),
+			Latency:   latency,
+			Resets:    resets,
+			Truncates: truncates,
+			Stalls:    stalls,
+		},
+		Baseline:  baseline,
+		Resilient: resilient,
+	}, nil
+}
+
+// Marshal renders the report as indented JSON ready for BENCH_CHAOS.json.
+func (r *ChaosServeReport) Marshal() ([]byte, error) {
+	out, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(out, '\n'), nil
+}
+
+// ChaosServeTable renders the E19 paired table.
+func ChaosServeTable(r *ChaosServeReport) string {
+	t := &Table{
+		Title: fmt.Sprintf("E19: serving through chaos (seed %d, %d clients/mode, plan %s: %d resets, %d truncates, %d stalls, %d delays)",
+			r.Seed, r.Clients, r.Plan.Digest[:12], r.Plan.Resets, r.Plan.Truncates, r.Plan.Stalls, r.Plan.Latency),
+		Columns: []string{"mode", "requests", "success", "errors", "rejected", "sheds", "retries", "retried-ok", "hedges", "hedge-wins", "p50 ms", "p99 ms"},
+	}
+	for _, m := range []ChaosModeResult{r.Baseline, r.Resilient} {
+		p50, p99 := aggregatePercentiles(m.Load)
+		t.Rows = append(t.Rows, []string{
+			m.Mode,
+			fmt.Sprintf("%d", m.Load.Requests),
+			fmt.Sprintf("%.4f", m.SuccessRate),
+			fmt.Sprintf("%d", m.Load.Errors),
+			fmt.Sprintf("%d", m.Load.Rejected),
+			fmt.Sprintf("%d", m.Load.Sheds),
+			fmt.Sprintf("%d", m.Load.Retries),
+			fmt.Sprintf("%d", m.Load.RetriedOK),
+			fmt.Sprintf("%d", m.Load.Hedges),
+			fmt.Sprintf("%d", m.Load.HedgeWins),
+			f2(p50), f2(p99),
+		})
+	}
+	out := t.String()
+	if s := r.Resilient.Stream; s != nil {
+		out += fmt.Sprintf("\nstream consumer: %d/%d frames, %d reconnects, completed=%v\n",
+			s.FramesGot, s.FramesWanted, s.Reconnects, s.Completed)
+	}
+	return out
+}
+
+// aggregatePercentiles folds per-endpoint percentiles into one
+// request-weighted p50/p99 pair for the summary row.
+func aggregatePercentiles(l libvdap.LoadResult) (p50, p99 float64) {
+	var weight int64
+	for _, e := range l.Endpoints {
+		n := e.Requests - e.Errors - e.Rejected
+		if n <= 0 {
+			continue
+		}
+		p50 += e.P50MS * float64(n)
+		p99 += e.P99MS * float64(n)
+		weight += n
+	}
+	if weight > 0 {
+		p50 /= float64(weight)
+		p99 /= float64(weight)
+	}
+	return p50, p99
+}

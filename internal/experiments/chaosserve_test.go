@@ -1,0 +1,96 @@
+package experiments
+
+import (
+	"encoding/json"
+	"testing"
+	"time"
+)
+
+// TestRunChaosServeSmoke runs a small E19 shape end to end: both modes of
+// the paired run through the chaos proxy, checking the invariants the full
+// benchmark relies on — matching plan digests, populated load results, and
+// a well-formed report.
+func TestRunChaosServeSmoke(t *testing.T) {
+	cfg := DefaultChaosServeConfig()
+	cfg.Clients = 12
+	cfg.Duration = 400 * time.Millisecond
+	cfg.TickWall = 5 * time.Millisecond
+	cfg.TickStep = 50 * time.Millisecond
+	cfg.DataDir = t.TempDir()
+	cfg.StreamFrames = 3
+	rep, err := RunChaosServe(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Schema != ChaosServeSchema {
+		t.Fatalf("schema = %q", rep.Schema)
+	}
+	if rep.Plan.Digest == "" || rep.Plan.Conns == 0 {
+		t.Fatalf("empty plan info: %+v", rep.Plan)
+	}
+	if rep.Baseline.PlanDigest != rep.Resilient.PlanDigest {
+		t.Fatalf("plan digests diverged: %s vs %s", rep.Baseline.PlanDigest, rep.Resilient.PlanDigest)
+	}
+	if rep.Baseline.PlanDigest != rep.Plan.Digest {
+		t.Fatalf("mode digest %s != reference digest %s", rep.Baseline.PlanDigest, rep.Plan.Digest)
+	}
+	for _, m := range []ChaosModeResult{rep.Baseline, rep.Resilient} {
+		if m.Load.Requests == 0 {
+			t.Fatalf("mode %s recorded no load", m.Mode)
+		}
+		if m.Ticks == 0 {
+			t.Fatalf("mode %s: platform never advanced", m.Mode)
+		}
+		if m.Proxy.Conns == 0 {
+			t.Fatalf("mode %s: no traffic crossed the proxy", m.Mode)
+		}
+	}
+	if rep.Baseline.Stream != nil {
+		t.Fatal("baseline must not run the stream consumer")
+	}
+	if s := rep.Resilient.Stream; s == nil {
+		t.Fatal("resilient mode missing stream consumer result")
+	} else if s.FramesWanted != 3 {
+		t.Fatalf("stream frames wanted = %d", s.FramesWanted)
+	}
+	// The resilient mode retries sheds and broken reads; under chaos it
+	// must not do worse than the raw baseline.
+	if rep.Resilient.SuccessRate < rep.Baseline.SuccessRate {
+		t.Fatalf("resilience hurt success: on=%.4f off=%.4f",
+			rep.Resilient.SuccessRate, rep.Baseline.SuccessRate)
+	}
+	out, err := rep.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc map[string]any
+	if err := json.Unmarshal(out, &doc); err != nil {
+		t.Fatalf("report not valid JSON: %v", err)
+	}
+	if table := ChaosServeTable(rep); table == "" {
+		t.Fatal("empty table")
+	}
+}
+
+// TestCompileChaosPlanDeterministic pins the `make determinism` contract:
+// the compiled plan must be byte-identical at any -parallel level.
+func TestCompileChaosPlanDeterministic(t *testing.T) {
+	cfg := DefaultChaosServeConfig()
+	cfg.Seed = 7
+	cfg.Parallel = 1
+	p1, err := CompileChaosPlan(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Parallel = 4
+	p4, err := CompileChaosPlan(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p1.Describe() != p4.Describe() {
+		t.Fatal("chaos plan text diverged across -parallel levels")
+	}
+	if p1.Digest() != p4.Digest() {
+		t.Fatalf("chaos plan digest diverged: %s vs %s", p1.Digest(), p4.Digest())
+	}
+}

@@ -238,7 +238,7 @@ func ServeTable(r *ServeReport) string {
 	t := &Table{
 		Title: fmt.Sprintf("E18: serving tier under load (%d clients, %.0f rps, %d ticks)",
 			r.Load.Clients, r.Load.RPS, r.Ticks),
-		Columns: []string{"endpoint", "requests", "p50 ms", "p99 ms", "p999 ms", "max ms", "errors", "rejected", "err-rate"},
+		Columns: []string{"endpoint", "requests", "p50 ms", "p99 ms", "p999 ms", "max ms", "errors", "rejected", "sheds", "retries", "retried-ok", "err-rate"},
 	}
 	for _, e := range r.Load.Endpoints {
 		t.Rows = append(t.Rows, []string{
@@ -247,6 +247,9 @@ func ServeTable(r *ServeReport) string {
 			f2(e.P50MS), f2(e.P99MS), f2(e.P999MS), f2(e.MaxMS),
 			fmt.Sprintf("%d", e.Errors),
 			fmt.Sprintf("%d", e.Rejected),
+			fmt.Sprintf("%d", e.Sheds),
+			fmt.Sprintf("%d", e.Retries),
+			fmt.Sprintf("%d", e.RetriedOK),
 			fmt.Sprintf("%.4f", e.ErrorRate()),
 		})
 	}

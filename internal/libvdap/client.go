@@ -18,11 +18,16 @@ import (
 
 // Client is the Go binding for the RESTful API — what third-party
 // developers link against (paper: "developers can access all software and
-// hardware resources by calling the API").
+// hardware resources by calling the API"). By default every call is a
+// single attempt; SetRetryPolicy turns on retries, hedging, per-request
+// timeouts, a circuit breaker, and stream auto-reconnect.
 type Client struct {
 	base  string
 	http  *http.Client
 	token string
+
+	retry    *retryState
+	counters clientCounters
 }
 
 // NewClient targets an API server at base (e.g. "http://127.0.0.1:8947").
@@ -40,40 +45,30 @@ func NewClient(base string, hc *http.Client) (*Client, error) {
 func (c *Client) SetToken(token string) { c.token = token }
 
 func (c *Client) do(method, path string, body, out any) error {
-	var reader io.Reader
-	if body != nil {
-		buf, err := json.Marshal(body)
-		if err != nil {
-			return fmt.Errorf("marshal request: %w", err)
-		}
-		reader = bytes.NewReader(buf)
+	return c.call(method, path, body, out, nil)
+}
+
+func marshalBody(body any) ([]byte, error) { return json.Marshal(body) }
+
+func newByteReader(b []byte) io.Reader { return bytes.NewReader(b) }
+
+// finishCall turns the winning attempt of a call into the caller-visible
+// result, preserving the single-attempt client's error formats.
+func finishCall(method, path string, res attemptResult, out any) error {
+	if res.err != nil {
+		return res.err
 	}
-	req, err := http.NewRequest(method, c.base+path, reader)
-	if err != nil {
-		return fmt.Errorf("build request: %w", err)
-	}
-	if body != nil {
-		req.Header.Set("Content-Type", "application/json")
-	}
-	if c.token != "" {
-		req.Header.Set("X-VDAP-Token", c.token)
-	}
-	resp, err := c.http.Do(req)
-	if err != nil {
-		return fmt.Errorf("%s %s: %w", method, path, err)
-	}
-	defer resp.Body.Close()
-	if resp.StatusCode >= 400 {
+	if res.status >= 400 {
 		var apiErr apiError
-		if decodeErr := json.NewDecoder(resp.Body).Decode(&apiErr); decodeErr == nil && apiErr.Error != "" {
-			return fmt.Errorf("%s %s: %s (HTTP %d)", method, path, apiErr.Error, resp.StatusCode)
+		if decodeErr := json.Unmarshal(res.body, &apiErr); decodeErr == nil && apiErr.Error != "" {
+			return fmt.Errorf("%s %s: %s (HTTP %d)", method, path, apiErr.Error, res.status)
 		}
-		return fmt.Errorf("%s %s: HTTP %d", method, path, resp.StatusCode)
+		return fmt.Errorf("%s %s: HTTP %d", method, path, res.status)
 	}
 	if out == nil {
 		return nil
 	}
-	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+	if err := json.Unmarshal(res.body, out); err != nil {
 		return fmt.Errorf("decode response: %w", err)
 	}
 	return nil
@@ -211,8 +206,16 @@ func (c *Client) Events(since time.Duration, component string, minSev obs.Severi
 }
 
 // StreamFrames reads up to n incremental frames from /v1/stream starting at
-// the given watermark.
+// the given watermark. With a RetryPolicy installed, a dropped stream is
+// re-dialed automatically, resuming from the last seen watermark so no
+// frame is re-read; it stops early on a drain-marked final frame.
 func (c *Client) StreamFrames(since time.Duration, n int) ([]obs.Frame, error) {
+	return c.streamFrames(since, n, nil)
+}
+
+// streamOnce is one stream connection: dial, decode frames until the
+// requested count, EOF, a transport/decode error, or a Final drain frame.
+func (c *Client) streamOnce(since time.Duration, n int) (frames []obs.Frame, final bool, err error) {
 	v := url.Values{}
 	if since >= 0 {
 		v.Set("since", strconv.FormatFloat(since.Seconds(), 'f', -1, 64))
@@ -221,33 +224,86 @@ func (c *Client) StreamFrames(since time.Duration, n int) ([]obs.Frame, error) {
 	v.Set("poll", "0.01")
 	req, err := http.NewRequest(http.MethodGet, c.base+"/api/v1/stream?"+v.Encode(), nil)
 	if err != nil {
-		return nil, fmt.Errorf("build request: %w", err)
+		return nil, false, fmt.Errorf("build request: %w", err)
+	}
+	if c.token != "" {
+		req.Header.Set("X-VDAP-Token", c.token)
 	}
 	resp, err := c.http.Do(req)
 	if err != nil {
-		return nil, fmt.Errorf("GET /api/v1/stream: %w", err)
+		return nil, false, fmt.Errorf("GET /api/v1/stream: %w", err)
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode >= 400 {
 		var apiErr apiError
 		if decodeErr := json.NewDecoder(resp.Body).Decode(&apiErr); decodeErr == nil && apiErr.Error != "" {
-			return nil, fmt.Errorf("GET /api/v1/stream: %s (HTTP %d)", apiErr.Error, resp.StatusCode)
+			return nil, false, fmt.Errorf("GET /api/v1/stream: %s (HTTP %d)", apiErr.Error, resp.StatusCode)
 		}
-		return nil, fmt.Errorf("GET /api/v1/stream: HTTP %d", resp.StatusCode)
+		return nil, false, fmt.Errorf("GET /api/v1/stream: HTTP %d", resp.StatusCode)
 	}
 	dec := json.NewDecoder(resp.Body)
-	var frames []obs.Frame
 	for {
 		var f obs.Frame
 		if err := dec.Decode(&f); err != nil {
 			if err == io.EOF {
-				break
+				return frames, false, nil
 			}
-			return nil, fmt.Errorf("decode frame: %w", err)
+			return frames, false, fmt.Errorf("decode frame: %w", err)
 		}
 		frames = append(frames, f)
+		if f.Final {
+			return frames, true, nil
+		}
 	}
-	return frames, nil
+}
+
+func (c *Client) streamFrames(since time.Duration, n int, cs *CallStats) ([]obs.Frame, error) {
+	rs := c.retry
+	if rs == nil {
+		frames, _, err := c.streamOnce(since, n)
+		if cs != nil {
+			cs.Attempts = 1
+		}
+		return frames, err
+	}
+	var frames []obs.Frame
+	cursor := since
+	// budget bounds CONSECUTIVE no-progress reconnects; any frame received
+	// refreshes it, so a long-lived stream survives any number of drops as
+	// long as the server keeps making progress between them.
+	budget := rs.policy.MaxAttempts
+	prevSleep := rs.policy.BaseBackoff
+	for dial := 0; ; dial++ {
+		if dial > 0 {
+			c.counters.reconnects.Add(1)
+			if cs != nil {
+				cs.Reconnects++
+			}
+			sleep := rs.backoff(prevSleep, 0)
+			prevSleep = sleep
+			time.Sleep(sleep)
+		}
+		if cs != nil {
+			cs.Attempts++
+		}
+		got, final, err := c.streamOnce(cursor, n-len(frames))
+		if len(got) > 0 {
+			frames = append(frames, got...)
+			cursor = time.Duration(frames[len(frames)-1].WatermarkNs)
+			budget = rs.policy.MaxAttempts
+			prevSleep = rs.policy.BaseBackoff
+		}
+		if final || len(frames) >= n {
+			return frames, nil
+		}
+		budget--
+		if budget <= 0 {
+			if err == nil {
+				err = fmt.Errorf("GET /api/v1/stream: stream closed after %d/%d frames", len(frames), n)
+			}
+			return frames, err
+		}
+	}
 }
 
 // FetchMessages reads a topic as the given service.

@@ -79,18 +79,30 @@ type LoadGenConfig struct {
 	Mix []MixEntry
 	// Seed keys each client's private RNG stream.
 	Seed int64
+	// Retry, when set, routes every request through a resilient
+	// libvdap.Client (one per load goroutine, seeded from Seed and the
+	// goroutine id) instead of raw single-attempt GETs. Sheds and errors
+	// then count only TERMINAL outcomes; recovered requests land in the
+	// latency samples with their retries itemized separately.
+	Retry *RetryPolicy
 }
 
 // EndpointStats aggregates one endpoint's samples from a load run.
+// Errors and Rejected are terminal outcomes: a request that recovered via
+// retry counts as a success, with its journey broken out in Sheds /
+// Retries / RetriedOK.
 type EndpointStats struct {
-	Endpoint string  `json:"endpoint"`
-	Requests int64   `json:"requests"`
-	Errors   int64   `json:"errors"`   // transport failures + non-503 5xx
-	Rejected int64   `json:"rejected"` // 503 sheds (admission / backlog)
-	P50MS    float64 `json:"p50Ms"`
-	P99MS    float64 `json:"p99Ms"`
-	P999MS   float64 `json:"p999Ms"`
-	MaxMS    float64 `json:"maxMs"`
+	Endpoint  string  `json:"endpoint"`
+	Requests  int64   `json:"requests"`
+	Errors    int64   `json:"errors"`    // terminal transport failures + non-503 5xx
+	Rejected  int64   `json:"rejected"`  // terminal 503 sheds (admission / backlog / drain)
+	Sheds     int64   `json:"sheds"`     // every 503 observed, including ones later retried away
+	Retries   int64   `json:"retries"`   // attempts beyond each request's first
+	RetriedOK int64   `json:"retriedOk"` // requests that succeeded only after >=1 retry
+	P50MS     float64 `json:"p50Ms"`
+	P99MS     float64 `json:"p99Ms"`
+	P999MS    float64 `json:"p999Ms"`
+	MaxMS     float64 `json:"maxMs"`
 }
 
 // ErrorRate is errors over requests (0 when the endpoint saw no traffic).
@@ -109,11 +121,27 @@ type LoadResult struct {
 	RPS       float64         `json:"rps"`
 	Errors    int64           `json:"errors"`
 	Rejected  int64           `json:"rejected"`
+	Sheds     int64           `json:"sheds"`
+	Retries   int64           `json:"retries"`
+	RetriedOK int64           `json:"retriedOk"`
+	Hedges    int64           `json:"hedges"`
+	HedgeWins int64           `json:"hedgeWins"`
 	Endpoints []EndpointStats `json:"endpoints"`
+}
+
+// SuccessRate is the client-observed fraction of requests that ended in a
+// usable response (after any retries).
+func (r LoadResult) SuccessRate() float64 {
+	if r.Requests == 0 {
+		return 0
+	}
+	return 1 - float64(r.Errors+r.Rejected)/float64(r.Requests)
 }
 
 type clientTally struct {
 	requests, errors, rejected int64
+	sheds, retries, retriedOK  int64
+	hedges, hedgeWins          int64
 	samples                    []float64 // latency ms, successful requests only
 }
 
@@ -159,6 +187,19 @@ func RunLoad(cfg LoadGenConfig) (LoadResult, error) {
 		go func(id int) {
 			defer wg.Done()
 			rng := sim.NewStream(cfg.Seed, uint64(id))
+			var resilient *Client
+			if cfg.Retry != nil {
+				// One resilient client per goroutine: the breaker and
+				// jitter RNG are per-client state, and per-goroutine seeds
+				// keep backoff draws deterministic for a given (Seed, id).
+				pol := *cfg.Retry
+				pol.Seed = cfg.Seed ^ (int64(id)+1)<<20
+				cl, err := NewClient(cfg.BaseURL, cfg.Client)
+				if err == nil {
+					cl.SetRetryPolicy(&pol)
+					resilient = cl
+				}
+			}
 			tally := make(map[string]*clientTally, len(loadEndpoints))
 			tallies[id] = tally
 			for time.Now().Before(deadline) {
@@ -170,6 +211,32 @@ func RunLoad(cfg LoadGenConfig) (LoadResult, error) {
 				}
 				t.requests++
 				reqStart := time.Now()
+				if resilient != nil {
+					cs, err := resilient.GetPath(loadEndpoints[name])
+					elapsed := time.Since(reqStart)
+					t.sheds += int64(cs.Sheds)
+					if cs.Attempts > 1 {
+						t.retries += int64(cs.Attempts - 1)
+					}
+					if cs.Hedged {
+						t.hedges++
+					}
+					if cs.HedgeWon {
+						t.hedgeWins++
+					}
+					switch {
+					case err == nil:
+						if cs.Attempts > 1 {
+							t.retriedOK++
+						}
+						t.samples = append(t.samples, float64(elapsed)/float64(time.Millisecond))
+					case cs.FinalStatus == http.StatusServiceUnavailable:
+						t.rejected++
+					default:
+						t.errors++
+					}
+					continue
+				}
 				resp, err := cfg.Client.Get(cfg.BaseURL + loadEndpoints[name])
 				if err != nil {
 					t.errors++
@@ -182,6 +249,7 @@ func RunLoad(cfg LoadGenConfig) (LoadResult, error) {
 				case cErr != nil || resp.StatusCode >= 500 && resp.StatusCode != http.StatusServiceUnavailable:
 					t.errors++
 				case resp.StatusCode == http.StatusServiceUnavailable:
+					t.sheds++
 					t.rejected++
 				default:
 					t.samples = append(t.samples, float64(elapsed)/float64(time.Millisecond))
@@ -203,6 +271,11 @@ func RunLoad(cfg LoadGenConfig) (LoadResult, error) {
 			m.requests += t.requests
 			m.errors += t.errors
 			m.rejected += t.rejected
+			m.sheds += t.sheds
+			m.retries += t.retries
+			m.retriedOK += t.retriedOK
+			m.hedges += t.hedges
+			m.hedgeWins += t.hedgeWins
 			m.samples = append(m.samples, t.samples...)
 		}
 	}
@@ -220,13 +293,16 @@ func RunLoad(cfg LoadGenConfig) (LoadResult, error) {
 		t := merged[name]
 		sort.Float64s(t.samples)
 		st := EndpointStats{
-			Endpoint: name,
-			Requests: t.requests,
-			Errors:   t.errors,
-			Rejected: t.rejected,
-			P50MS:    percentile(t.samples, 0.50),
-			P99MS:    percentile(t.samples, 0.99),
-			P999MS:   percentile(t.samples, 0.999),
+			Endpoint:  name,
+			Requests:  t.requests,
+			Errors:    t.errors,
+			Rejected:  t.rejected,
+			Sheds:     t.sheds,
+			Retries:   t.retries,
+			RetriedOK: t.retriedOK,
+			P50MS:     percentile(t.samples, 0.50),
+			P99MS:     percentile(t.samples, 0.99),
+			P999MS:    percentile(t.samples, 0.999),
 		}
 		if n := len(t.samples); n > 0 {
 			st.MaxMS = t.samples[n-1]
@@ -235,6 +311,11 @@ func RunLoad(cfg LoadGenConfig) (LoadResult, error) {
 		res.Requests += t.requests
 		res.Errors += t.errors
 		res.Rejected += t.rejected
+		res.Sheds += t.sheds
+		res.Retries += t.retries
+		res.RetriedOK += t.retriedOK
+		res.Hedges += t.hedges
+		res.HedgeWins += t.hedgeWins
 	}
 	if wall > 0 {
 		res.RPS = float64(res.Requests) / wall.Seconds()

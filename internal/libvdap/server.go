@@ -87,12 +87,18 @@ type Server struct {
 	streamDeadline time.Duration
 	streams        atomic.Int64
 
+	// life is the graceful-drain state (see Shutdown); panicsTotal counts
+	// handler panics caught by the recovery middleware.
+	life        lifecycle
+	panicsTotal atomic.Int64
+
 	// Telemetry mirrors of the internal stats (nil-safe before
 	// AttachTelemetry).
 	cacheHits   *telemetry.Counter
 	cacheMisses *telemetry.Counter
 	rejected    *telemetry.Counter
 	writeErrs   *telemetry.Counter
+	panicsCtr   *telemetry.Counter
 
 	writeErrors atomic.Int64
 	shedTotal   atomic.Int64
@@ -118,6 +124,7 @@ func NewServer(registry *Registry, mhep *vcu.MHEP, store *ddi.DDI, sharing *edge
 		eventsCache:    newWMCache(0),
 		streamDeadline: DefaultStreamWriteDeadline,
 	}
+	s.life.drainCh = make(chan struct{})
 	s.routes()
 	return s, nil
 }
@@ -136,6 +143,7 @@ func (s *Server) AttachTelemetry(reg *telemetry.Registry) {
 		s.cacheMisses = reg.CounterHandle("libvdap.cache.misses")
 		s.rejected = reg.CounterHandle("libvdap.rejected")
 		s.writeErrs = reg.CounterHandle("libvdap.write_errors")
+		s.panicsCtr = reg.CounterHandle("libvdap.panics")
 	}
 }
 
@@ -233,8 +241,27 @@ func (s *Server) CacheStats() map[string]CacheStat {
 	return out
 }
 
-// ServeHTTP implements http.Handler.
-func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+// ServeHTTP implements http.Handler. Every request passes the lifecycle
+// gate (shed with 503 + Connection: close once draining) and the panic
+// recovery middleware; the health endpoints bypass the gate so probes keep
+// working through a drain.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	switch r.URL.Path {
+	case "/v1/healthz", "/api/v1/healthz":
+		s.handleHealthz(w, r)
+		return
+	case "/v1/readyz", "/api/v1/readyz":
+		s.handleReadyz(w, r)
+		return
+	}
+	if !s.life.begin() {
+		s.shedDraining(w)
+		return
+	}
+	defer s.life.done()
+	defer s.recoverPanic(w, r)
+	s.mux.ServeHTTP(w, r)
+}
 
 var _ http.Handler = (*Server)(nil)
 
@@ -562,35 +589,53 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 		<-timer.C
 	}
 	defer timer.Stop()
+	// writeFrame ships everything past the current watermark. A final
+	// frame additionally carries the drain marker so resilient clients
+	// stop reconnecting.
+	writeFrame := func(now time.Duration, final bool) bool {
+		frame := obs.Frame{WatermarkNs: int64(now), Final: final}
+		if s.series != nil {
+			p := s.series.Payload(watermark)
+			frame.Series = &p
+		}
+		if s.events != nil {
+			frame.Events = s.events.EventsSince(watermark, "", obs.SevDebug)
+		}
+		if s.streamDeadline > 0 {
+			rc.SetWriteDeadline(time.Now().Add(s.streamDeadline))
+		}
+		if err := enc.Encode(frame); err != nil {
+			return false
+		}
+		// The client may have vanished while the frame was encoded;
+		// don't keep flushing into a dead connection.
+		if ctx.Err() != nil {
+			return false
+		}
+		if flusher != nil {
+			flusher.Flush()
+		}
+		return true
+	}
+	drained := s.life.drainCh
 	for {
 		if ctx.Err() != nil {
 			return
+		}
+		select {
+		case <-drained:
+			// The server is draining: flush the remaining backlog as one
+			// final frame and end the stream cleanly.
+			writeFrame(s.clock(), true)
+			return
+		default:
 		}
 		now := s.clock()
 		// The first frame ships the backlog immediately; later frames wait
 		// for the watermark to advance.
 		if sent == 0 || now > watermark {
-			frame := obs.Frame{WatermarkNs: int64(now)}
-			if s.series != nil {
-				p := s.series.Payload(watermark)
-				frame.Series = &p
-			}
-			if s.events != nil {
-				frame.Events = s.events.EventsSince(watermark, "", obs.SevDebug)
-			}
-			if s.streamDeadline > 0 {
-				rc.SetWriteDeadline(time.Now().Add(s.streamDeadline))
-			}
-			if err := enc.Encode(frame); err != nil {
+			if !writeFrame(now, false) {
 				return
-			}
-			// The client may have vanished while the frame was encoded;
-			// don't keep flushing into a dead connection.
-			if ctx.Err() != nil {
-				return
-			}
-			if flusher != nil {
-				flusher.Flush()
 			}
 			watermark = now
 			sent++
@@ -604,6 +649,12 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 			if !timer.Stop() {
 				<-timer.C
 			}
+			return
+		case <-drained:
+			if !timer.Stop() {
+				<-timer.C
+			}
+			writeFrame(s.clock(), true)
 			return
 		case <-timer.C:
 		}

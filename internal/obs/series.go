@@ -341,6 +341,9 @@ type Frame struct {
 	WatermarkNs int64    `json:"watermarkNs"`
 	Series      *Payload `json:"series,omitempty"`
 	Events      []Event  `json:"events,omitempty"`
+	// Final marks the last frame of a draining server: the stream ends
+	// cleanly after it and clients should not reconnect.
+	Final bool `json:"final,omitempty"`
 }
 
 // Payload exports every series, sorted by name, keeping only points
