@@ -35,6 +35,7 @@ func main() {
 		benchOut   = flag.String("benchout", "BENCH_PERF.json", "output path for the -exp perf / -exp scale report")
 		runReport  = flag.String("runreport", "", "output path for the -exp obs RUN_REPORT.json (empty: stdout tables only)")
 		shards     = flag.Int("shards", 0, "shard count for -exp scale (0 = sweep 1,2,4,8) and -exp obs (0 = default; simulation output is identical for every value)")
+		lanes      = flag.Int("lanes", 0, "commit-lane count for -exp scale (0 = sweep 1,2,4,8; simulation output is identical for every value)")
 		vehicles   = flag.String("vehicles", "", "-exp scale comma-separated fleet sizes (default 100,1000,10000)")
 		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProfile = flag.String("memprofile", "", "write a heap profile to this file on exit")
@@ -59,7 +60,7 @@ func main() {
 		defer pprof.StopCPUProfile()
 	}
 	serve := serveOpts{clients: *clients, duration: *serveDur, mix: *mix, out: *serveOut, chaosOut: *chaosOut}
-	if err := run(*exp, *seed, *duration, *dir, *traceOut, *benchOut, *runReport, *vehicles, *reps, *parallel, *shards, serve); err != nil {
+	if err := run(*exp, *seed, *duration, *dir, *traceOut, *benchOut, *runReport, *vehicles, *reps, *parallel, *shards, *lanes, serve); err != nil {
 		fmt.Fprintln(os.Stderr, "vdapbench:", err)
 		os.Exit(1)
 	}
@@ -160,7 +161,7 @@ type serveOpts struct {
 	chaosOut string
 }
 
-func run(exp string, seed int64, duration time.Duration, dir, traceOut, benchOut, runReport, vehicles string, reps, parallel, shards int, serve serveOpts) error {
+func run(exp string, seed int64, duration time.Duration, dir, traceOut, benchOut, runReport, vehicles string, reps, parallel, shards, lanes int, serve serveOpts) error {
 	// With -trace, instrument-aware experiments report spans and metrics;
 	// virtual-time determinism makes the file byte-identical per seed.
 	var tracer *trace.Tracer
@@ -354,17 +355,21 @@ func run(exp string, seed int64, duration time.Duration, dir, traceOut, benchOut
 			if shards > 0 {
 				cfg.Shards = []int{shards}
 			}
+			if lanes > 0 {
+				cfg.Lanes = []int{lanes}
+			}
 			res, err := experiments.RunScale(cfg)
 			if err != nil {
 				return err
 			}
 			fmt.Println(experiments.ScaleTable(res))
 			fmt.Fprintln(os.Stderr, experiments.ScaleTimingTable(res))
+			fmt.Fprintln(os.Stderr, experiments.ScaleLaneTable(res))
 			if err := experiments.MergeScaleIntoPerfReport(benchOut, res); err != nil {
 				return err
 			}
-			fmt.Fprintf(os.Stderr, "vdapbench: merged %d fleet.scale rows into %s (%s)\n",
-				len(res.Timing), benchOut, experiments.PerfSchema)
+			fmt.Fprintf(os.Stderr, "vdapbench: merged %d fleet.scale and %d fleet.lanes rows into %s (%s)\n",
+				len(res.Timing), len(res.Lanes), benchOut, experiments.PerfSchema)
 			return nil
 		},
 		// obs is E17: a faulted fleet run with the observability stack on.

@@ -17,7 +17,7 @@ func TestRunEachExperiment(t *testing.T) {
 	for _, exp := range fast {
 		exp := exp
 		t.Run(exp, func(t *testing.T) {
-			if err := run(exp, 7, 4*time.Second, t.TempDir(), "", "", "", "", 4, 2, 0, serveOpts{}); err != nil {
+			if err := run(exp, 7, 4*time.Second, t.TempDir(), "", "", "", "", 4, 2, 0, 0, serveOpts{}); err != nil {
 				t.Fatalf("run(%s): %v", exp, err)
 			}
 		})
@@ -25,13 +25,13 @@ func TestRunEachExperiment(t *testing.T) {
 }
 
 func TestRunFig2Short(t *testing.T) {
-	if err := run("fig2", 7, 4*time.Second, "", "", "", "", "", 4, 2, 0, serveOpts{}); err != nil {
+	if err := run("fig2", 7, 4*time.Second, "", "", "", "", "", 4, 2, 0, 0, serveOpts{}); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunDDI(t *testing.T) {
-	if err := run("ddi", 7, time.Second, t.TempDir(), "", "", "", "", 4, 2, 0, serveOpts{}); err != nil {
+	if err := run("ddi", 7, time.Second, t.TempDir(), "", "", "", "", 4, 2, 0, 0, serveOpts{}); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -69,7 +69,7 @@ func captureStdout(t *testing.T, f func() error) []byte {
 func TestRunSweepDeterministicAcrossParallel(t *testing.T) {
 	at := func(parallel int) []byte {
 		return captureStdout(t, func() error {
-			return run("sweep", 42, time.Second, "", "", "", "", "", 8, parallel, 0, serveOpts{})
+			return run("sweep", 42, time.Second, "", "", "", "", "", 8, parallel, 0, 0, serveOpts{})
 		})
 	}
 	serial := at(1)
@@ -87,13 +87,14 @@ func TestRunSweepDeterministicAcrossParallel(t *testing.T) {
 // TestRunScaleDeterministicAcrossShards: the acceptance criterion for
 // the epoch-barrier fleet executor — the E16 stdout (deterministic
 // simulation table, digests included) must be byte-identical between
-// -shards 1 and -shards 4 for the same seed, and the merged
-// BENCH_PERF.json must carry the fleet.scale rows.
+// -shards 1 and -shards 4 for the same seed, and between -lanes 1 and
+// -lanes 4, and the merged BENCH_PERF.json must carry the fleet.scale
+// and fleet.lanes rows.
 func TestRunScaleDeterministicAcrossShards(t *testing.T) {
-	at := func(shards int) []byte {
+	at := func(shards, lanes int) []byte {
 		bench := filepath.Join(t.TempDir(), "bench.json")
 		out := captureStdout(t, func() error {
-			return run("scale", 42, time.Second, "", "", bench, "", "64", 4, 2, shards, serveOpts{})
+			return run("scale", 42, time.Second, "", "", bench, "", "64", 4, 2, shards, lanes, serveOpts{})
 		})
 		data, err := os.ReadFile(bench)
 		if err != nil {
@@ -102,10 +103,17 @@ func TestRunScaleDeterministicAcrossShards(t *testing.T) {
 		if !bytes.Contains(data, []byte("fleet.scale.v64")) {
 			t.Fatalf("bench report missing fleet.scale rows:\n%s", data)
 		}
+		if !bytes.Contains(data, []byte("fleet.lanes.v64")) {
+			t.Fatalf("bench report missing fleet.lanes rows:\n%s", data)
+		}
 		return out
 	}
-	if single, quad := at(1), at(4); !bytes.Equal(single, quad) {
-		t.Fatalf("-shards 4 stdout differs from -shards 1:\n--- 1 ---\n%s\n--- 4 ---\n%s", single, quad)
+	base := at(1, 1)
+	for _, cell := range [][2]int{{4, 1}, {1, 4}, {4, 4}} {
+		if got := at(cell[0], cell[1]); !bytes.Equal(base, got) {
+			t.Fatalf("-shards %d -lanes %d stdout differs from -shards 1 -lanes 1:\n--- base ---\n%s\n--- got ---\n%s",
+				cell[0], cell[1], base, got)
+		}
 	}
 }
 
@@ -130,7 +138,7 @@ func TestRunArchTraced(t *testing.T) {
 	once := func() []byte {
 		t.Helper()
 		out := filepath.Join(t.TempDir(), "out.json")
-		if err := run("arch", 7, time.Second, "", out, "", "", "", 4, 2, 0, serveOpts{}); err != nil {
+		if err := run("arch", 7, time.Second, "", out, "", "", "", 4, 2, 0, 0, serveOpts{}); err != nil {
 			t.Fatal(err)
 		}
 		data, err := os.ReadFile(out)
@@ -169,7 +177,7 @@ func TestRunArchTraced(t *testing.T) {
 }
 
 func TestRunUnknownExperiment(t *testing.T) {
-	err := run("warp-drive", 1, time.Second, "", "", "", "", "", 4, 2, 0, serveOpts{})
+	err := run("warp-drive", 1, time.Second, "", "", "", "", "", 4, 2, 0, 0, serveOpts{})
 	if err == nil {
 		t.Fatal("unknown experiment accepted")
 	}
@@ -216,7 +224,7 @@ func TestRunObsDeterministic(t *testing.T) {
 	at := func(parallel, shards int) ([]byte, []byte) {
 		report := filepath.Join(t.TempDir(), "run_report.json")
 		out := captureStdout(t, func() error {
-			return run("obs", 42, time.Second, "", "", "", report, "", 2, parallel, shards, serveOpts{})
+			return run("obs", 42, time.Second, "", "", "", report, "", 2, parallel, shards, 0, serveOpts{})
 		})
 		data, err := os.ReadFile(report)
 		if err != nil {

@@ -78,6 +78,7 @@ func RunCommute() ([]CommuteRow, error) {
 	legNames := []string{"stopped", "crawl-15", "arterial-35", "highway-70", "arterial-35b"}
 	var rows []CommuteRow
 	var elapsed time.Duration
+	var covBuf []geo.Station
 	for i, leg := range trip.Legs {
 		row := CommuteRow{
 			Leg:      legNames[i],
@@ -88,12 +89,11 @@ func RunCommute() ([]CommuteRow, error) {
 		for at := elapsed; at < elapsed+leg.Duration; at += 10 * time.Second {
 			eng.SetMobility(trip.MobilityAt(at))
 			pos := trip.PositionAt(at)
-			if len(road.CoveringStations(pos)) > 0 {
-				for _, st := range road.CoveringStations(pos) {
-					if st.Kind == geo.RSU {
-						row.RSUCovered++
-						break
-					}
+			covBuf = road.CoveringStationsInto(pos, covBuf[:0])
+			for _, st := range covBuf {
+				if st.Kind == geo.RSU {
+					row.RSUCovered++
+					break
 				}
 			}
 			best, _, viable, err := mgr.Choose("kidnapper-search", at)

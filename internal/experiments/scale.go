@@ -6,7 +6,6 @@ import (
 	"hash/fnv"
 	"os"
 	"runtime"
-	"strings"
 	"time"
 
 	"repro/internal/fleet"
@@ -23,6 +22,14 @@ import (
 // fleet.scale.* rows. Speedup scales with available cores: a single-core
 // runner can only demonstrate ~1.0x while proving determinism; the
 // decision phase's parallel share is what multi-core runners harvest.
+//
+// The sweep also exercises the commit phase's parallel lanes
+// (fleet.Config.CommitLanes, see fleet/domains.go): each fleet size runs
+// a lane sweep whose simulation digest must match the shard sweep's
+// exactly, with per-lane commit-phase wall clock reported as
+// fleet.lanes.* rows. The cell topology pins RSURadiusM below half the
+// RSU spacing so every RSU anchors its own interaction domain and the
+// lanes have real work to split.
 
 // ScaleConfig parameterizes RunScale.
 type ScaleConfig struct {
@@ -32,6 +39,11 @@ type ScaleConfig struct {
 	// The first entry is the speedup baseline; include 1 first for the
 	// canonical single-shard reference.
 	Shards []int
+	// Lanes lists the commit-lane counts per fleet size (default
+	// 1, 2, 4, 8). The lane sweep runs at the last configured shard count;
+	// the first entry is the commit-speedup baseline. The shard sweep
+	// itself runs at Lanes[0].
+	Lanes []int
 	// Rounds is the number of epoch-barrier rounds per cell (default 4).
 	Rounds int
 	// Epoch spaces the rounds in virtual time (default 250ms).
@@ -46,6 +58,9 @@ func (c ScaleConfig) withDefaults() ScaleConfig {
 	}
 	if len(c.Shards) == 0 {
 		c.Shards = []int{1, 2, 4, 8}
+	}
+	if len(c.Lanes) == 0 {
+		c.Lanes = []int{1, 2, 4, 8}
 	}
 	if c.Rounds <= 0 {
 		c.Rounds = 4
@@ -87,42 +102,77 @@ type ScaleTimingRow struct {
 	Speedup float64
 }
 
+// ScaleLaneRow is the commit-phase half of one (vehicles, lanes) cell:
+// wall clock spent inside the commit phase (summed over rounds), the
+// offload invocations those commits carried, and the speedup over the
+// first configured lane count. Reporting only; simulation output is
+// asserted identical to the shard sweep's digest.
+type ScaleLaneRow struct {
+	Vehicles int
+	Lanes    int
+	Shards   int
+	Rounds   int
+	// CommitWall sums the commit-phase wall clock across all rounds.
+	CommitWall time.Duration
+	// Offloads counts the offload invocations the commit phase applied
+	// (domain lanes + residue) across all rounds.
+	Offloads int
+	// Speedup is baseline commit wall over this cell's commit wall, where
+	// the baseline is the first configured lane count at the same fleet
+	// size (canonically 1).
+	Speedup float64
+}
+
 // ScaleResult is the E16 report.
 type ScaleResult struct {
 	Config ScaleConfig
 	Sim    []ScaleSimRow
 	Timing []ScaleTimingRow
+	Lanes  []ScaleLaneRow
 }
 
-// scaleFleetConfig builds one sweep cell's fleet: shared-default
-// infrastructure, jittered speeds (consuming the seeded stream), and the
-// default kidnapper-search service.
-func scaleFleetConfig(vehicles, shards int, seed int64) fleet.Config {
+// scaleFleetConfig builds one sweep cell's fleet: jittered speeds
+// (consuming the seeded stream) and the default kidnapper-search service
+// over a 16-RSU corridor with disjoint coverage disks (1250 m spacing,
+// 600 m radius), so the partition yields one interaction domain per RSU
+// plus the cloud singleton and the commit lanes have work to split.
+func scaleFleetConfig(vehicles, shards, lanes int, seed int64) fleet.Config {
 	return fleet.Config{
 		Vehicles:       vehicles,
+		RSUs:           16,
+		RSURadiusM:     600,
 		SpeedJitterMPH: 10,
 		RNG:            sim.NewStream(seed, 0),
 		Shards:         shards,
+		CommitLanes:    lanes,
 	}
 }
 
-// runScaleCell runs one (vehicles, shards) cell and returns its sim row
-// (digest included) and raw elapsed wall time.
-func runScaleCell(cfg ScaleConfig, vehicles, shards int) (ScaleSimRow, time.Duration, error) {
-	f, err := fleet.New(scaleFleetConfig(vehicles, shards, cfg.Seed))
+// scaleCellTiming is the machine-dependent half of one cell run.
+type scaleCellTiming struct {
+	elapsed    time.Duration
+	commitWall time.Duration
+	offloads   int
+}
+
+// runScaleCell runs one (vehicles, shards, lanes) cell and returns its
+// sim row (digest included) and wall-clock measurements.
+func runScaleCell(cfg ScaleConfig, vehicles, shards, lanes int) (ScaleSimRow, scaleCellTiming, error) {
+	f, err := fleet.New(scaleFleetConfig(vehicles, shards, lanes, cfg.Seed))
 	if err != nil {
-		return ScaleSimRow{}, 0, err
+		return ScaleSimRow{}, scaleCellTiming{}, err
 	}
 	f.InstrumentSharded(false)
 	h := fnv.New64a()
 	row := ScaleSimRow{Vehicles: vehicles}
+	var tm scaleCellTiming
 	var total, max time.Duration
 	var offload float64
 	start := time.Now()
 	for r := 0; r < cfg.Rounds; r++ {
 		rr, err := f.ShardedInvokeAll("kidnapper-search", time.Duration(r)*cfg.Epoch)
 		if err != nil {
-			return ScaleSimRow{}, 0, fmt.Errorf("scale: v=%d s=%d round %d: %w", vehicles, shards, r, err)
+			return ScaleSimRow{}, scaleCellTiming{}, fmt.Errorf("scale: v=%d s=%d l=%d round %d: %w", vehicles, shards, lanes, r, err)
 		}
 		fmt.Fprintf(h, "%d|%d|%d|%d|%d|%.9f|%d|%d|%d\n",
 			r, rr.Invocations, rr.HangUps, rr.Total, rr.Max, rr.OffloadShare,
@@ -134,8 +184,11 @@ func runScaleCell(cfg ScaleConfig, vehicles, shards int) (ScaleSimRow, time.Dura
 			max = rr.Max
 		}
 		offload = rr.OffloadShare
+		st := f.LastCommitStats()
+		tm.commitWall += st.CommitWall
+		tm.offloads += st.Offloads
 	}
-	elapsed := time.Since(start)
+	tm.elapsed = time.Since(start)
 	reg, _ := f.MergedTelemetry()
 	fmt.Fprint(h, reg.Render())
 	if done := row.Invocations - row.HangUps; done > 0 {
@@ -144,23 +197,25 @@ func runScaleCell(cfg ScaleConfig, vehicles, shards int) (ScaleSimRow, time.Dura
 	row.MaxMS = float64(max.Microseconds()) / 1000
 	row.OffloadShare = offload
 	row.Digest = fmt.Sprintf("%016x", h.Sum64())
-	return row, elapsed, nil
+	return row, tm, nil
 }
 
-// RunScale executes the E16 sweep: every fleet size at every shard count.
-// It fails loudly if any shard count changes the simulation digest — the
-// determinism contract is asserted in-process on top of the external
-// report diff in `make determinism`.
+// RunScale executes the E16 sweep: every fleet size at every shard count,
+// then at every commit-lane count. It fails loudly if any shard or lane
+// count changes the simulation digest — the determinism contract is
+// asserted in-process on top of the external report diff in
+// `make determinism`.
 func RunScale(cfg ScaleConfig) (*ScaleResult, error) {
 	cfg = cfg.withDefaults()
 	res := &ScaleResult{Config: cfg}
+	laneShards := cfg.Shards[len(cfg.Shards)-1]
 	for _, v := range cfg.Vehicles {
 		if v < 1 {
 			return nil, fmt.Errorf("scale: fleet size %d", v)
 		}
 		var baseRPS float64
 		for si, s := range cfg.Shards {
-			row, elapsed, err := runScaleCell(cfg, v, s)
+			row, tm, err := runScaleCell(cfg, v, s, cfg.Lanes[0])
 			if err != nil {
 				return nil, err
 			}
@@ -171,7 +226,7 @@ func RunScale(cfg ScaleConfig) (*ScaleResult, error) {
 					"scale: determinism violation at %d vehicles: shards=%d digest %s != shards=%d digest %s",
 					v, s, row.Digest, cfg.Shards[0], prev.Digest)
 			}
-			rps := float64(cfg.Rounds) / elapsed.Seconds()
+			rps := float64(cfg.Rounds) / tm.elapsed.Seconds()
 			if si == 0 {
 				baseRPS = rps
 			}
@@ -179,11 +234,38 @@ func RunScale(cfg ScaleConfig) (*ScaleResult, error) {
 				Vehicles:     v,
 				Shards:       s,
 				Rounds:       cfg.Rounds,
-				Elapsed:      elapsed,
+				Elapsed:      tm.elapsed,
 				RoundsPerSec: rps,
-				InvocPerSec:  float64(row.Invocations) / elapsed.Seconds(),
+				InvocPerSec:  float64(row.Invocations) / tm.elapsed.Seconds(),
 				Speedup:      rps / baseRPS,
 			})
+		}
+		var baseCommit time.Duration
+		for li, l := range cfg.Lanes {
+			row, tm, err := runScaleCell(cfg, v, laneShards, l)
+			if err != nil {
+				return nil, err
+			}
+			if prev := res.Sim[len(res.Sim)-1]; row != prev {
+				return nil, fmt.Errorf(
+					"scale: determinism violation at %d vehicles: lanes=%d digest %s != shard-sweep digest %s",
+					v, l, row.Digest, prev.Digest)
+			}
+			if li == 0 {
+				baseCommit = tm.commitWall
+			}
+			lr := ScaleLaneRow{
+				Vehicles:   v,
+				Lanes:      l,
+				Shards:     laneShards,
+				Rounds:     cfg.Rounds,
+				CommitWall: tm.commitWall,
+				Offloads:   tm.offloads,
+			}
+			if tm.commitWall > 0 {
+				lr.Speedup = float64(baseCommit) / float64(tm.commitWall)
+			}
+			res.Lanes = append(res.Lanes, lr)
 		}
 	}
 	return res, nil
@@ -232,10 +314,35 @@ func ScaleTimingTable(res *ScaleResult) string {
 	return t.String()
 }
 
+// ScaleLaneTable renders the commit-lane half (machine-dependent; keep
+// it out of determinism diffs).
+func ScaleLaneTable(res *ScaleResult) string {
+	t := &Table{
+		Title:   "E16: parallel commit lanes (commit-phase wall clock; speedup vs first lane count, scales with cores)",
+		Columns: []string{"vehicles", "lanes", "shards", "rounds", "commit wall", "ns/round", "offloads", "speedup"},
+	}
+	for _, r := range res.Lanes {
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprintf("%d", r.Vehicles),
+			fmt.Sprintf("%d", r.Lanes),
+			fmt.Sprintf("%d", r.Shards),
+			fmt.Sprintf("%d", r.Rounds),
+			r.CommitWall.Round(time.Microsecond).String(),
+			fmt.Sprintf("%.0f", float64(r.CommitWall.Nanoseconds())/float64(r.Rounds)),
+			fmt.Sprintf("%d", r.Offloads),
+			fmt.Sprintf("%.2fx", r.Speedup),
+		})
+	}
+	return t.String()
+}
+
 // ScalePerfRows converts the timing half into E15-schema rows for
-// BENCH_PERF.json: one fleet.scale.v<vehicles>.s<shards> row per cell,
-// ns/op = wall nanoseconds per round, baseline = the same-size
-// single-shard (first shard count) measurement from this run.
+// BENCH_PERF.json: one fleet.scale.v<vehicles>.s<shards> row per shard
+// cell (ns/op = wall nanoseconds per round, baseline = the same-size
+// first-shard-count measurement) plus one fleet.lanes.v<vehicles>.l<lanes>
+// row per lane cell (ns/op = commit-phase nanoseconds per round,
+// events/sec = offload commits per commit-phase second, baseline = the
+// same-size first-lane-count measurement).
 func ScalePerfRows(res *ScaleResult) []PerfRow {
 	baseNs := make(map[int]float64, len(res.Config.Vehicles))
 	for _, r := range res.Timing {
@@ -257,13 +364,37 @@ func ScalePerfRows(res *ScaleResult) []PerfRow {
 		}
 		rows = append(rows, row)
 	}
+	laneBaseNs := make(map[int]float64, len(res.Config.Vehicles))
+	for _, r := range res.Lanes {
+		if r.Lanes == res.Config.Lanes[0] {
+			laneBaseNs[r.Vehicles] = float64(r.CommitWall.Nanoseconds()) / float64(r.Rounds)
+		}
+	}
+	for _, r := range res.Lanes {
+		ns := float64(r.CommitWall.Nanoseconds()) / float64(r.Rounds)
+		row := PerfRow{
+			Name:     fmt.Sprintf("fleet.lanes.v%d.l%d", r.Vehicles, r.Lanes),
+			NsPerOp:  ns,
+			Baseline: PerfBaseline{NsPerOp: laneBaseNs[r.Vehicles]},
+		}
+		if secs := r.CommitWall.Seconds(); secs > 0 {
+			row.EventsPerSec = float64(r.Offloads) / secs
+		}
+		if ns > 0 {
+			row.Speedup = laneBaseNs[r.Vehicles] / ns
+		}
+		rows = append(rows, row)
+	}
 	return rows
 }
 
-// MergeScaleIntoPerfReport folds the E16 rows into the BENCH_PERF.json at
-// path (E15 schema): previous fleet.scale.* rows are replaced, every
-// other row is preserved. A missing file yields a fresh report holding
-// only the scale rows.
+// MergeScaleIntoPerfReport folds the E16 rows (fleet.scale.* and
+// fleet.lanes.*) into the BENCH_PERF.json at path (E15 schema) by
+// upserting on exact row name: an existing row with the same name is
+// replaced in place, new names append, every other row is preserved
+// untouched. A missing file yields a fresh report holding only the E16
+// rows. Upserting (rather than dropping every prefixed row wholesale)
+// keeps rows from sweeps with other vehicle/lane grids intact.
 func MergeScaleIntoPerfReport(path string, res *ScaleResult) error {
 	rep := &PerfReport{
 		Schema:    PerfSchema,
@@ -278,13 +409,18 @@ func MergeScaleIntoPerfReport(path string, res *ScaleResult) error {
 	} else if !os.IsNotExist(err) {
 		return err
 	}
-	kept := rep.Rows[:0]
-	for _, r := range rep.Rows {
-		if !strings.HasPrefix(r.Name, "fleet.scale.") {
-			kept = append(kept, r)
+	index := make(map[string]int, len(rep.Rows))
+	for i, r := range rep.Rows {
+		index[r.Name] = i
+	}
+	for _, row := range ScalePerfRows(res) {
+		if i, ok := index[row.Name]; ok {
+			rep.Rows[i] = row
+		} else {
+			index[row.Name] = len(rep.Rows)
+			rep.Rows = append(rep.Rows, row)
 		}
 	}
-	rep.Rows = append(kept, ScalePerfRows(res)...)
 	out, err := rep.Marshal()
 	if err != nil {
 		return err

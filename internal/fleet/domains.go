@@ -1,0 +1,583 @@
+// Parallel commit lanes: domain-partitioned conservative commit.
+//
+// The epoch-barrier executor (sharded.go) historically serialised every
+// shared-site interaction into one commit thread. This file breaks that
+// bottleneck with a conservative (null-message style) parallel commit:
+//
+//   - Sites are partitioned once into interaction domains by geo coverage
+//     cell: RSU-anchored sites whose coverage disks overlap (directly or
+//     transitively) share a domain; position-independent sites (cloud,
+//     neighbor vehicles) are singleton domains. Two sites in different
+//     domains can never serve the same coverage area, so commits against
+//     them touch disjoint shared state.
+//   - Each epoch's prepared invocations are assigned to the domain of
+//     their chosen destination site. A vehicle holds at most one prepared
+//     invocation per epoch, so per-epoch vehicle sets across domains never
+//     overlap, and per-site submission order within a domain remains
+//     canonical vehicle-index order — exactly the serial schedule.
+//   - Vehicles whose commit may escape its destination (a resilience
+//     policy's retry/fallback ladder re-estimates across ALL sites and may
+//     land anywhere) are routed to a canonical serial residue lane.
+//     Domain lanes and the residue lane interleave through index
+//     watermarks: a domain lane may commit vehicle i only when every
+//     residue vehicle with index < i has committed, and vice versa. The
+//     watermark order equals the serial order, so results are
+//     byte-identical to the sequential commit for any lane count.
+//   - The safe-window rule (sim.SafeWindow) gates lane advances on the
+//     minimum inter-domain network latency: influence between domains
+//     cannot propagate faster than the shortest one-way access path, so
+//     lanes at a common epoch time may always advance when that lookahead
+//     is positive. A non-positive lookahead (degenerate topology) forces
+//     the serial path.
+//
+// Determinism: commit results, per-site submission order, telemetry,
+// traces, and flight-recorder bytes are identical for every
+// (shards, lanes) combination. Commit markers are emitted only by the
+// coordinating goroutine, keyed by logical lane (= domain id, with -1
+// for the residue lane), never by worker goroutine — worker count, like
+// shard count, is invisible in output.
+package fleet
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/geo"
+	"repro/internal/obs"
+	"repro/internal/sim"
+	"repro/internal/xedge"
+)
+
+// Domain is one interaction domain: the sites of one geo coverage cell,
+// or a singleton for a position-independent site.
+type Domain struct {
+	ID    int
+	Label string
+	Sites []*xedge.Site
+}
+
+// DomainPartition maps every shared site to exactly one interaction
+// domain, plus the conservative lookahead bound between domains.
+type DomainPartition struct {
+	Domains []Domain
+	// Lookahead is the minimum one-way access-path latency across all
+	// sites: no commit in one domain can influence another domain's state
+	// sooner than this. It feeds the sim.SafeWindow advance rule.
+	Lookahead time.Duration
+	byName    map[string]int
+}
+
+// DomainOf returns the domain id owning the named site, -1 when unknown.
+func (dp *DomainPartition) DomainOf(site string) int {
+	if id, ok := dp.byName[site]; ok {
+		return id
+	}
+	return -1
+}
+
+// Domains returns the fleet's interaction-domain partition, built on
+// first use from the shared sites' coverage geometry and reused across
+// rounds (sites never move).
+func (f *Fleet) Domains() *DomainPartition {
+	if f.partition == nil {
+		f.partition = partitionSites(f.road, f.sites)
+	}
+	return f.partition
+}
+
+// partitionSites builds the interaction-domain partition: coverage cells
+// (geo.CoverageCells) over the anchored sites, singletons for
+// position-independent ones, and the minimum one-way path latency as the
+// safe-window lookahead.
+func partitionSites(road *geo.Road, sites []*xedge.Site) *DomainPartition {
+	dp := &DomainPartition{byName: make(map[string]int, len(sites))}
+	var anchored []int
+	var stations []geo.Station
+	for i, s := range sites {
+		if s.Station().Radius > 0 {
+			anchored = append(anchored, i)
+			stations = append(stations, s.Station())
+		}
+	}
+	for _, cell := range geo.CoverageCells(stations) {
+		d := Domain{ID: len(dp.Domains)}
+		for _, k := range cell {
+			site := sites[anchored[k]]
+			d.Sites = append(d.Sites, site)
+			dp.byName[site.Name()] = d.ID
+		}
+		d.Label = "cell:" + d.Sites[0].Name()
+		if len(d.Sites) > 1 {
+			d.Label += fmt.Sprintf("+%d", len(d.Sites)-1)
+		}
+		dp.Domains = append(dp.Domains, d)
+	}
+	for _, s := range sites {
+		if s.Station().Radius > 0 {
+			continue
+		}
+		dp.byName[s.Name()] = len(dp.Domains)
+		dp.Domains = append(dp.Domains, Domain{
+			ID:    len(dp.Domains),
+			Label: "site:" + s.Name(),
+			Sites: []*xedge.Site{s},
+		})
+	}
+	for i, s := range sites {
+		l := s.Access().RTT() / 2
+		if i == 0 || l < dp.Lookahead {
+			dp.Lookahead = l
+		}
+	}
+	if road != nil {
+		// Partition sanity, using the allocation-free coverage query: any
+		// site-hosting station that covers another site's anchor point must
+		// share its domain (coverage containment implies disk overlap, so
+		// union-find must have merged them).
+		buf := make([]geo.Station, 0, 8)
+		for _, s := range sites {
+			if s.Station().Radius <= 0 {
+				continue
+			}
+			buf = road.CoveringStationsInto(s.Station().Pos, buf[:0])
+			for _, st := range buf {
+				if id, ok := dp.byName[st.ID]; ok && id != dp.byName[s.Name()] {
+					panic(fmt.Sprintf("fleet: domain partition split overlapping coverage: %s (domain %d) covers %s's anchor (domain %d)",
+						st.ID, id, s.Name(), dp.byName[s.Name()]))
+				}
+			}
+		}
+	}
+	return dp
+}
+
+// CommitStats describes the last round's commit phase — scheduling
+// reporting only; nothing here feeds back into simulation state.
+type CommitStats struct {
+	// Offloads counts prepared non-local invocations this round.
+	Offloads int
+	// DomainCommits and ResidueCommits split Offloads by lane kind.
+	DomainCommits  int
+	ResidueCommits int
+	// ActiveDomains counts domains with pending commits this round.
+	ActiveDomains int
+	// Lanes is the worker count the commit phase actually used (1 =
+	// serial path).
+	Lanes int
+	// Lookahead is the partition's safe-window bound.
+	Lookahead time.Duration
+	// DecisionWall and CommitWall are the wall-clock spans of the round's
+	// two phases.
+	DecisionWall time.Duration
+	CommitWall   time.Duration
+}
+
+// LastCommitStats returns the scheduling report of the most recent
+// sharded round.
+func (f *Fleet) LastCommitStats() CommitStats { return f.lastStats }
+
+// commitState holds the commit scheduler's reusable per-round buffers —
+// lazily sized once, so steady-state rounds allocate nothing.
+type commitState struct {
+	domLists  [][]int // per-domain pending vehicle indices, ascending
+	residue   []int   // residue-lane vehicle indices, ascending
+	laneOf    []int   // per-vehicle routing: domain id, -1 residue, -2 none
+	domWorker []int   // per-domain worker assignment (parallel rounds)
+	order     []domainLoad
+	workers   [][]int // per-worker merged vehicle indices, ascending
+	coord     *commitCoord
+	window    *sim.SafeWindow
+}
+
+type domainLoad struct{ domain, pending int }
+
+// commitPrepared runs the commit phase over f.prepBuf at virtual time
+// now: route prepared invocations to domain lanes or the serial residue
+// lane, emit lane markers, and execute — in parallel when more than one
+// worker lane is usable, serially otherwise. Every prepared invocation
+// commits (complete-all semantics); error handling is the caller's
+// canonical scan over errBuf afterwards. Returns the number committed.
+func (f *Fleet) commitPrepared(now time.Duration) int {
+	part := f.Domains()
+	st := &f.commit
+	nd := len(part.Domains)
+	if st.laneOf == nil {
+		st.domLists = make([][]int, nd)
+		st.laneOf = make([]int, len(f.vehicles))
+		st.domWorker = make([]int, nd)
+	}
+	for d := range st.domLists {
+		st.domLists[d] = st.domLists[d][:0]
+	}
+	st.residue = st.residue[:0]
+
+	offloads := 0
+	for i, p := range f.prepBuf {
+		if p == nil {
+			st.laneOf[i] = -2
+			continue
+		}
+		offloads++
+		d := -1
+		if f.vehicles[i].Engine.Resilience() == nil {
+			// Non-resilient commits touch exactly their destination site.
+			// The resilience ladder may retry elsewhere and reads every
+			// site's queue when picking a fallback, so resilient vehicles
+			// take the serial residue lane (the pre-lane behavior).
+			d = part.DomainOf(p.Dest())
+		}
+		st.laneOf[i] = d
+		if d < 0 {
+			st.residue = append(st.residue, i)
+		} else {
+			st.domLists[d] = append(st.domLists[d], i)
+		}
+	}
+	active := 0
+	for d := range st.domLists {
+		if len(st.domLists[d]) > 0 {
+			active++
+		}
+	}
+	workers := f.lanes
+	if workers > active {
+		workers = active
+	}
+	if workers < 1 || part.Lookahead <= 0 {
+		workers = 1
+	}
+
+	// Markers: coordinator-only, logical-lane keyed (lane = domain id,
+	// residue = -1), so the flight log is identical for any worker count.
+	if f.flight != nil {
+		f.flight.fleet.Emit(now, "fleet", obs.SevDebug, "commit.begin",
+			obs.Int("offloads", offloads))
+		for d := range st.domLists {
+			if len(st.domLists[d]) == 0 {
+				continue
+			}
+			f.flight.fleet.Emit(now, "fleet", obs.SevDebug, "commit.lane.begin",
+				obs.Int("lane", d), obs.String("domain", part.Domains[d].Label),
+				obs.Int("pending", len(st.domLists[d])))
+		}
+		if len(st.residue) > 0 {
+			f.flight.fleet.Emit(now, "fleet", obs.SevDebug, "commit.lane.begin",
+				obs.Int("lane", -1), obs.String("domain", "residue"),
+				obs.Int("pending", len(st.residue)))
+		}
+	}
+
+	if workers <= 1 {
+		for i, p := range f.prepBuf {
+			if p == nil {
+				continue
+			}
+			f.prepBuf[i] = nil
+			f.resBuf[i], f.errBuf[i] = f.vehicles[i].Manager.CommitInvoke(p)
+		}
+	} else {
+		f.commitParallel(now, workers)
+	}
+
+	if f.flight != nil {
+		for d := range st.domLists {
+			if len(st.domLists[d]) == 0 {
+				continue
+			}
+			f.flight.fleet.Emit(now, "fleet", obs.SevDebug, "commit.lane.end",
+				obs.Int("lane", d), obs.String("domain", part.Domains[d].Label),
+				obs.Int("committed", len(st.domLists[d])))
+		}
+		if len(st.residue) > 0 {
+			f.flight.fleet.Emit(now, "fleet", obs.SevDebug, "commit.lane.end",
+				obs.Int("lane", -1), obs.String("domain", "residue"),
+				obs.Int("committed", len(st.residue)))
+		}
+		f.flight.fleet.Emit(now, "fleet", obs.SevDebug, "commit.end",
+			obs.Int("committed", offloads))
+	}
+	f.lastStats = CommitStats{
+		Offloads:       offloads,
+		DomainCommits:  offloads - len(st.residue),
+		ResidueCommits: len(st.residue),
+		ActiveDomains:  active,
+		Lanes:          workers,
+		Lookahead:      part.Lookahead,
+	}
+	return offloads
+}
+
+// commitParallel executes one epoch's non-residue commits across worker
+// lanes while the caller's goroutine walks the residue lane, coordinated
+// by index watermarks (see the file comment). Workers own disjoint
+// domain sets, each domain's sites are claimed via
+// xedge.Site.BeginCommitPhase, and the safe window asserts the
+// conservative advance rule before any lane commits.
+func (f *Fleet) commitParallel(now time.Duration, workers int) {
+	part := f.Domains()
+	st := &f.commit
+
+	// Deterministic load balance: heaviest domain first onto the least
+	// loaded worker (ties: lower domain id, lower worker index).
+	st.order = st.order[:0]
+	for d, l := range st.domLists {
+		if len(l) > 0 {
+			st.order = append(st.order, domainLoad{domain: d, pending: len(l)})
+		}
+	}
+	sort.Slice(st.order, func(i, j int) bool {
+		if st.order[i].pending != st.order[j].pending {
+			return st.order[i].pending > st.order[j].pending
+		}
+		return st.order[i].domain < st.order[j].domain
+	})
+	if cap(st.workers) < workers {
+		st.workers = make([][]int, workers)
+	}
+	st.workers = st.workers[:workers]
+	for w := range st.workers {
+		st.workers[w] = st.workers[w][:0]
+	}
+	load := make([]int, workers)
+	for _, dl := range st.order {
+		w := 0
+		for k := 1; k < workers; k++ {
+			if load[k] < load[w] {
+				w = k
+			}
+		}
+		load[w] += dl.pending
+		st.domWorker[dl.domain] = w
+	}
+	// Merged per-worker lists in ascending vehicle-index order: a worker
+	// processing its domains interleaved by index keeps per-lane progress
+	// monotone, which the watermark protocol's liveness argument needs.
+	for i := range f.vehicles {
+		if d := st.laneOf[i]; d >= 0 {
+			w := st.domWorker[d]
+			st.workers[w] = append(st.workers[w], i)
+		}
+	}
+
+	// Claim site ownership per domain (collision asserts live in
+	// xedge.Site.Submit) and reset the safe window: every lane starts the
+	// phase at the epoch time, and the positive lookahead (checked by the
+	// caller) keeps every horizon open.
+	for _, dl := range st.order {
+		for _, s := range part.Domains[dl.domain].Sites {
+			s.BeginCommitPhase(dl.domain)
+		}
+	}
+	const residueLane = 0 // lane 0 of the window; workers are 1..workers
+	if st.window == nil || st.window.Lanes() != workers+1 {
+		w, err := sim.NewSafeWindow(workers+1, part.Lookahead)
+		if err != nil {
+			panic(err) // workers+1 >= 2; unreachable
+		}
+		st.window = w
+	}
+	st.window.Reset(now)
+
+	if st.coord == nil {
+		st.coord = newCommitCoord()
+	}
+	st.coord.reset(workers, st.workers, st.residue)
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int, list []int) {
+			defer wg.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					st.coord.laneFail(w, r)
+				}
+			}()
+			for k, i := range list {
+				if !st.window.CanAdvance(residueLane+1+w, now) {
+					panic(fmt.Sprintf("fleet: commit lane %d blocked by safe window at %v (lookahead %v)", w, now, st.window.Lookahead()))
+				}
+				st.coord.awaitResidueAbove(i)
+				p := f.prepBuf[i]
+				f.prepBuf[i] = nil
+				f.resBuf[i], f.errBuf[i] = f.vehicles[i].Manager.CommitInvoke(p)
+				next := int64(math.MaxInt64)
+				if k+1 < len(list) {
+					next = int64(list[k+1])
+				}
+				st.coord.laneAdvance(w, next)
+			}
+			st.window.Advance(residueLane+1+w, now)
+			st.coord.laneAdvance(w, math.MaxInt64)
+		}(w, st.workers[w])
+	}
+
+	// The residue lane runs here, on the fleet's own goroutine — it IS the
+	// canonical serial lane. A panic is stashed and re-raised after the
+	// barrier so worker lanes are never abandoned mid-phase.
+	residuePanic := func() (pv any) {
+		defer func() { pv = recover() }()
+		for k, r := range st.residue {
+			st.coord.awaitLanesAbove(r)
+			p := f.prepBuf[r]
+			f.prepBuf[r] = nil
+			f.resBuf[r], f.errBuf[r] = f.vehicles[r].Manager.CommitInvoke(p)
+			next := int64(math.MaxInt64)
+			if k+1 < len(st.residue) {
+				next = int64(st.residue[k+1])
+			}
+			st.coord.residueAdvance(next)
+		}
+		return nil
+	}()
+	st.window.Advance(residueLane, now)
+	st.coord.residueAdvance(math.MaxInt64)
+	wg.Wait()
+	for _, dl := range st.order {
+		for _, s := range part.Domains[dl.domain].Sites {
+			s.EndCommitPhase()
+		}
+	}
+	if pv := st.coord.failed(); pv != nil {
+		panic(pv)
+	}
+	if residuePanic != nil {
+		panic(residuePanic)
+	}
+}
+
+// commitCoord synchronizes domain worker lanes with the serial residue
+// lane through per-lane index watermarks:
+//
+//   - a worker may commit vehicle i once the residue lane's next pending
+//     index exceeds i;
+//   - the residue lane may commit vehicle r once every worker's next
+//     pending index exceeds r.
+//
+// All lists ascend, so watermarks only grow, and the lane holding the
+// globally smallest pending index can always proceed — the protocol is
+// deadlock-free. The fast path is a single atomic load; the slow path
+// parks on a condition variable that advancing lanes broadcast only when
+// a waiter is registered, so rounds with an empty residue lane (the
+// common case for non-resilient fleets) never touch the mutex.
+type commitCoord struct {
+	mu      sync.Mutex
+	cond    *sync.Cond
+	waiters atomic.Int32
+	residue atomic.Int64
+	lanes   []atomic.Int64
+	fail    any // first worker panic, guarded by mu
+}
+
+func newCommitCoord() *commitCoord {
+	c := &commitCoord{}
+	c.cond = sync.NewCond(&c.mu)
+	return c
+}
+
+// reset arms the coordinator for one commit phase: initial watermarks are
+// each lane's first pending index (or +inf when it has none).
+func (c *commitCoord) reset(workers int, lists [][]int, residue []int) {
+	if len(c.lanes) != workers {
+		c.lanes = make([]atomic.Int64, workers)
+	}
+	for w := 0; w < workers; w++ {
+		first := int64(math.MaxInt64)
+		if len(lists[w]) > 0 {
+			first = int64(lists[w][0])
+		}
+		c.lanes[w].Store(first)
+	}
+	first := int64(math.MaxInt64)
+	if len(residue) > 0 {
+		first = int64(residue[0])
+	}
+	c.residue.Store(first)
+	c.mu.Lock()
+	c.fail = nil
+	c.mu.Unlock()
+}
+
+// awaitResidueAbove blocks until the residue watermark exceeds i.
+func (c *commitCoord) awaitResidueAbove(i int) {
+	if c.residue.Load() > int64(i) {
+		return
+	}
+	c.mu.Lock()
+	c.waiters.Add(1)
+	for c.residue.Load() <= int64(i) {
+		c.cond.Wait()
+	}
+	c.waiters.Add(-1)
+	c.mu.Unlock()
+}
+
+// awaitLanesAbove blocks until every worker watermark exceeds r.
+func (c *commitCoord) awaitLanesAbove(r int) {
+	if c.minLane() > int64(r) {
+		return
+	}
+	c.mu.Lock()
+	c.waiters.Add(1)
+	for c.minLane() <= int64(r) {
+		c.cond.Wait()
+	}
+	c.waiters.Add(-1)
+	c.mu.Unlock()
+}
+
+func (c *commitCoord) minLane() int64 {
+	min := int64(math.MaxInt64)
+	for w := range c.lanes {
+		if v := c.lanes[w].Load(); v < min {
+			min = v
+		}
+	}
+	return min
+}
+
+// laneAdvance publishes worker w's next pending index and wakes waiters
+// if any are parked. The store-then-check order pairs with the waiters'
+// lock-add-recheck sequence to rule out lost wakeups.
+func (c *commitCoord) laneAdvance(w int, next int64) {
+	c.lanes[w].Store(next)
+	c.wake()
+}
+
+// residueAdvance publishes the residue lane's next pending index.
+func (c *commitCoord) residueAdvance(next int64) {
+	c.residue.Store(next)
+	c.wake()
+}
+
+func (c *commitCoord) wake() {
+	if c.waiters.Load() > 0 {
+		c.mu.Lock()
+		c.cond.Broadcast()
+		c.mu.Unlock()
+	}
+}
+
+// laneFail records a worker panic (first wins), releases the lane's
+// watermark so no peer deadlocks waiting on it, and lets the coordinator
+// re-raise after the phase barrier.
+func (c *commitCoord) laneFail(w int, r any) {
+	c.mu.Lock()
+	if c.fail == nil {
+		c.fail = r
+	}
+	c.mu.Unlock()
+	c.laneAdvance(w, math.MaxInt64)
+}
+
+// failed returns the first recorded worker panic, nil when the phase
+// completed cleanly. Call after the phase barrier.
+func (c *commitCoord) failed() any {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.fail
+}

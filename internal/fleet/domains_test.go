@@ -1,0 +1,365 @@
+package fleet
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/offload"
+	"repro/internal/sim"
+)
+
+// laneConfig builds a clean-world fleet whose RSU disks are disjoint —
+// one interaction domain per RSU plus the cloud singleton — so the
+// commit phase actually fans out across domain lanes.
+func laneConfig(vehicles, shards, lanes int, seed int64) Config {
+	return Config{
+		Vehicles:       vehicles,
+		RSUs:           8,
+		RSURadiusM:     1000, // spacing 2500 > 2*1000: disjoint disks
+		SpeedJitterMPH: 10,
+		RNG:            sim.NewStream(seed, 0),
+		Shards:         shards,
+		CommitLanes:    lanes,
+	}
+}
+
+// laneObsRun drives rounds epochs with full instrumentation (telemetry,
+// traces, flight recorder) and returns every determinism-relevant
+// artifact.
+func laneObsRun(t *testing.T, cfg Config, rounds int) ([]RoundResult, string, []byte, string) {
+	t.Helper()
+	f, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.InstrumentSharded(true)
+	f.EnableFlightRecorder(4096)
+	out := make([]RoundResult, 0, rounds)
+	for r := 0; r < rounds; r++ {
+		rr, err := f.ShardedInvokeAllTolerant("kidnapper-search", time.Duration(r)*400*time.Millisecond)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out = append(out, rr)
+	}
+	reg, trc := f.MergedTelemetry()
+	chrome, err := trc.ChromeTrace()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out, reg.Render(), chrome, f.MergedFlightRecorder().RenderTable()
+}
+
+// TestLaneDifferentialAcrossLanesAndShards is the tentpole's contract:
+// RoundResults, telemetry renders, trace bytes, and the flight-recorder
+// export are byte-identical across commit lanes 1/2/4/7 at shards 1 and
+// 4. 7 deliberately exceeds neither vehicle count nor domain count
+// evenly.
+func TestLaneDifferentialAcrossLanesAndShards(t *testing.T) {
+	const vehicles, rounds, seed = 24, 5, 42
+	baseRR, baseReg, baseChrome, baseFlight := laneObsRun(t, laneConfig(vehicles, 1, 1, seed), rounds)
+	if !strings.Contains(baseFlight, "commit.lane.begin") {
+		t.Fatalf("no per-lane commit markers recorded:\n%s", baseFlight)
+	}
+	var sawOffload bool
+	for _, rr := range baseRR {
+		if rr.OffloadShare > 0 {
+			sawOffload = true
+		}
+	}
+	if !sawOffload {
+		t.Fatal("no round offloaded: the commit lanes were never exercised")
+	}
+	for _, shards := range []int{1, 4} {
+		for _, lanes := range []int{1, 2, 4, 7} {
+			if shards == 1 && lanes == 1 {
+				continue
+			}
+			rr, reg, chrome, flight := laneObsRun(t, laneConfig(vehicles, shards, lanes, seed), rounds)
+			if !reflect.DeepEqual(rr, baseRR) {
+				t.Fatalf("shards=%d lanes=%d RoundResults diverged:\n got %+v\nwant %+v", shards, lanes, rr, baseRR)
+			}
+			if reg != baseReg {
+				t.Fatalf("shards=%d lanes=%d merged telemetry diverged", shards, lanes)
+			}
+			if !bytes.Equal(chrome, baseChrome) {
+				t.Fatalf("shards=%d lanes=%d Chrome trace bytes diverged", shards, lanes)
+			}
+			if flight != baseFlight {
+				t.Fatalf("shards=%d lanes=%d flight-recorder table diverged:\n%s\nvs\n%s", shards, lanes, flight, baseFlight)
+			}
+		}
+	}
+}
+
+// TestLaneDifferentialChaosWorld extends the contract to faulted,
+// resilient fleets: every offload routes through the serial residue lane
+// (the ladder may escape its destination), and output stays
+// byte-identical for any lane count.
+func TestLaneDifferentialChaosWorld(t *testing.T) {
+	const vehicles, rounds, seed = 18, 5, 42
+	run := func(lanes int) ([]RoundResult, string, string, CommitStats) {
+		cfg := chaosConfig(vehicles, 3, seed)
+		cfg.CommitLanes = lanes
+		f, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		f.InstrumentSharded(true)
+		f.EnableFlightRecorder(4096)
+		var out []RoundResult
+		for r := 0; r < rounds; r++ {
+			rr, err := f.ShardedInvokeAllTolerant("kidnapper-search", time.Duration(r)*400*time.Millisecond)
+			if err != nil {
+				t.Fatal(err)
+			}
+			out = append(out, rr)
+		}
+		reg, _ := f.MergedTelemetry()
+		return out, reg.Render(), f.MergedFlightRecorder().RenderTable(), f.LastCommitStats()
+	}
+	baseRR, baseReg, baseFlight, baseStats := run(1)
+	if baseStats.Offloads == 0 {
+		t.Fatal("chaos world never offloaded")
+	}
+	if baseStats.ResidueCommits != baseStats.Offloads || baseStats.DomainCommits != 0 {
+		t.Fatalf("resilient vehicles must route through the residue lane: %+v", baseStats)
+	}
+	for _, lanes := range []int{2, 4, 7} {
+		rr, reg, flight, stats := run(lanes)
+		if !reflect.DeepEqual(rr, baseRR) {
+			t.Fatalf("lanes=%d chaos RoundResults diverged", lanes)
+		}
+		if reg != baseReg {
+			t.Fatalf("lanes=%d chaos telemetry diverged", lanes)
+		}
+		if flight != baseFlight {
+			t.Fatalf("lanes=%d chaos flight log diverged:\n%s\nvs\n%s", lanes, flight, baseFlight)
+		}
+		if stats.ResidueCommits != stats.Offloads {
+			t.Fatalf("lanes=%d: resilient commits escaped the residue lane: %+v", lanes, stats)
+		}
+	}
+}
+
+// TestLaneCommitStats pins the scheduler's routing in a clean world:
+// non-resilient offloads ride domain lanes (no residue), multiple
+// domains activate, and the worker count clamps to the active domains.
+func TestLaneCommitStats(t *testing.T) {
+	f, err := New(laneConfig(24, 2, 4, 7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.InstrumentSharded(false)
+	if _, err := f.ShardedInvokeAll("kidnapper-search", 0); err != nil {
+		t.Fatal(err)
+	}
+	st := f.LastCommitStats()
+	if st.Offloads == 0 {
+		t.Fatal("no offloads")
+	}
+	if st.ResidueCommits != 0 {
+		t.Fatalf("clean-world commits routed to residue: %+v", st)
+	}
+	if st.DomainCommits != st.Offloads {
+		t.Fatalf("domain commits %d != offloads %d", st.DomainCommits, st.Offloads)
+	}
+	if st.ActiveDomains < 2 {
+		t.Fatalf("expected multiple active domains, got %+v", st)
+	}
+	if st.Lanes < 2 || st.Lanes > 4 || st.Lanes > st.ActiveDomains {
+		t.Fatalf("worker clamp wrong: %+v", st)
+	}
+	if st.Lookahead <= 0 {
+		t.Fatalf("lookahead must be positive for real topologies: %+v", st)
+	}
+	if st.CommitWall <= 0 || st.DecisionWall <= 0 {
+		t.Fatalf("phase walls not measured: %+v", st)
+	}
+}
+
+// TestDomainPartition checks the geometry → domain mapping: disjoint RSU
+// disks each get a domain, the cloud is a singleton, every site is owned
+// exactly once, and the lookahead equals the minimum one-way access
+// latency (DSRC RTT/2 here).
+func TestDomainPartition(t *testing.T) {
+	f, err := New(laneConfig(4, 1, 1, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	part := f.Domains()
+	if got, want := len(part.Domains), 8+1; got != want {
+		t.Fatalf("domains = %d, want %d (8 disjoint RSUs + cloud)", got, want)
+	}
+	owned := map[string]int{}
+	for _, d := range part.Domains {
+		if len(d.Sites) == 0 {
+			t.Fatalf("empty domain %d (%s)", d.ID, d.Label)
+		}
+		for _, s := range d.Sites {
+			owned[s.Name()]++
+			if part.DomainOf(s.Name()) != d.ID {
+				t.Fatalf("site %s maps to domain %d, listed under %d", s.Name(), part.DomainOf(s.Name()), d.ID)
+			}
+		}
+	}
+	for _, s := range f.Sites() {
+		if owned[s.Name()] != 1 {
+			t.Fatalf("site %s owned %d times", s.Name(), owned[s.Name()])
+		}
+	}
+	cloud := part.DomainOf("cloud")
+	if cloud < 0 || part.Domains[cloud].Label != "site:cloud" {
+		t.Fatalf("cloud not a singleton domain: %+v", part.Domains)
+	}
+	var minOneWay time.Duration
+	for i, s := range f.Sites() {
+		if l := s.Access().RTT() / 2; i == 0 || l < minOneWay {
+			minOneWay = l
+		}
+	}
+	if part.Lookahead != minOneWay || part.Lookahead <= 0 {
+		t.Fatalf("lookahead = %v, want min one-way latency %v", part.Lookahead, minOneWay)
+	}
+	if part.DomainOf("no-such-site") != -1 {
+		t.Fatal("unknown site did not map to -1")
+	}
+}
+
+// TestDomainPartitionOverlappingDisksMerge: the historical whole-corridor
+// RSU radius collapses every RSU into one coverage-cell domain.
+func TestDomainPartitionOverlappingDisksMerge(t *testing.T) {
+	f, err := New(Config{Vehicles: 2, RSUs: 4}) // default radius = road length
+	if err != nil {
+		t.Fatal(err)
+	}
+	part := f.Domains()
+	if got := len(part.Domains); got != 2 { // one merged cell + cloud
+		t.Fatalf("domains = %d, want 2 (merged RSU cell + cloud)", got)
+	}
+	if len(part.Domains[0].Sites) != 4 {
+		t.Fatalf("merged cell holds %d sites, want 4", len(part.Domains[0].Sites))
+	}
+}
+
+// TestLaneRaceParallelCommit drives lanes > 1 fleets under `go test
+// -race` (the make verify gate): domain lanes committing concurrently
+// with the residue lane must be free of data races.
+func TestLaneRaceParallelCommit(t *testing.T) {
+	f, err := New(laneConfig(40, 4, 4, 11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.InstrumentSharded(true)
+	f.EnableFlightRecorder(2048)
+	for r := 0; r < 6; r++ {
+		if _, err := f.ShardedInvokeAll("kidnapper-search", time.Duration(r)*250*time.Millisecond); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if st := f.LastCommitStats(); st.Lanes < 2 {
+		t.Fatalf("parallel path never engaged: %+v", st)
+	}
+}
+
+// TestLaneResidueInterleavingWithForcedResidue mixes resilient vehicles
+// (residue lane) with plain ones (domain lanes) in one fleet and checks
+// the watermark interleave reproduces the serial commit exactly. The
+// overlap is deliberate: residue vehicles' ladders may touch every site,
+// so domain lanes must serialize around them.
+func TestLaneResidueInterleavingWithForcedResidue(t *testing.T) {
+	build := func(lanes int) *Fleet {
+		f, err := New(laneConfig(30, 3, lanes, 5))
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Every third vehicle gets a resilience policy → residue lane;
+		// the rest commit on domain lanes. Same assignment for every lane
+		// count, so worlds stay comparable.
+		pol := offload.DefaultPolicy()
+		for i, v := range f.Vehicles() {
+			if i%3 == 0 {
+				p := pol
+				v.Engine.SetResilience(&p)
+			}
+		}
+		f.InstrumentSharded(false)
+		return f
+	}
+	run := func(lanes int) ([]RoundResult, string, CommitStats) {
+		f := build(lanes)
+		var out []RoundResult
+		for r := 0; r < 5; r++ {
+			rr, err := f.ShardedInvokeAll("kidnapper-search", time.Duration(r)*300*time.Millisecond)
+			if err != nil {
+				t.Fatal(err)
+			}
+			out = append(out, rr)
+		}
+		reg, _ := f.MergedTelemetry()
+		return out, reg.Render(), f.LastCommitStats()
+	}
+	baseRR, baseReg, baseStats := run(1)
+	if baseStats.ResidueCommits == 0 || baseStats.DomainCommits == 0 {
+		t.Fatalf("want a genuine mix of residue and domain commits, got %+v", baseStats)
+	}
+	for _, lanes := range []int{2, 4, 7} {
+		rr, reg, stats := run(lanes)
+		if !reflect.DeepEqual(rr, baseRR) {
+			t.Fatalf("lanes=%d mixed-lane RoundResults diverged", lanes)
+		}
+		if reg != baseReg {
+			t.Fatalf("lanes=%d mixed-lane telemetry diverged", lanes)
+		}
+		if stats.ResidueCommits != baseStats.ResidueCommits {
+			t.Fatalf("lanes=%d residue routing changed: %+v vs %+v", lanes, stats, baseStats)
+		}
+	}
+}
+
+// TestLaneOwnershipReleased: sites carry no commit-lane owner outside the
+// parallel phase.
+func TestLaneOwnershipReleased(t *testing.T) {
+	f, err := New(laneConfig(16, 2, 4, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.InstrumentSharded(false)
+	if _, err := f.ShardedInvokeAll("kidnapper-search", 0); err != nil {
+		t.Fatal(err)
+	}
+	if f.LastCommitStats().Lanes < 2 {
+		t.Fatal("parallel path never engaged")
+	}
+	for _, s := range f.Sites() {
+		if s.CommitOwner() != -1 {
+			t.Fatalf("site %s still owned by lane %d after the round", s.Name(), s.CommitOwner())
+		}
+	}
+}
+
+// TestLanesClampAndSerialEquivalence: CommitLanes <= 1 and lane counts
+// beyond the domain count both run and agree with the serial commit.
+func TestLanesClampAndSerialEquivalence(t *testing.T) {
+	run := func(lanes int) RoundResult {
+		f, err := New(laneConfig(12, 2, lanes, 9))
+		if err != nil {
+			t.Fatal(err)
+		}
+		f.InstrumentSharded(false)
+		rr, err := f.ShardedInvokeAll("kidnapper-search", 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rr
+	}
+	base := run(0)
+	for _, lanes := range []int{1, 64} {
+		if got := run(lanes); !reflect.DeepEqual(got, base) {
+			t.Fatalf("lanes=%d diverged from serial: %+v vs %+v", lanes, got, base)
+		}
+	}
+}

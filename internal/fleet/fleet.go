@@ -50,6 +50,14 @@ type Fleet struct {
 	shards   int
 	shardSet []*Shard
 
+	// lanes is the commit-phase worker count (Config.CommitLanes, >= 1);
+	// partition and commit are the interaction-domain partition and the
+	// commit scheduler's reusable state (domains.go), both built lazily.
+	lanes     int
+	partition *DomainPartition
+	commit    commitState
+	lastStats CommitStats
+
 	// tele holds the per-vehicle telemetry lanes installed by
 	// InstrumentSharded (nil when uninstrumented or instrumented with the
 	// legacy shared-registry Instrument).
@@ -105,6 +113,18 @@ type Config struct {
 	// byte-identical for any Shards value with the same seed — only how
 	// many cores the decision phase can use. Zero means 1.
 	Shards int
+	// CommitLanes is the worker count for the commit phase's parallel
+	// domain lanes (see domains.go): offload commits to disjoint
+	// interaction domains run concurrently, byte-identical to the serial
+	// commit for any value. Like Shards it only changes how many cores
+	// the phase can use. Zero or one means the serial commit.
+	CommitLanes int
+	// RSURadiusM sets the RSU coverage radius. Zero keeps the historical
+	// default — RSUs cover the whole corridor, making contention (not
+	// coverage) the variable under study, at the cost of every RSU
+	// landing in one interaction domain. Scaling experiments set a radius
+	// below half the RSU spacing so each RSU anchors its own domain.
+	RSURadiusM float64
 }
 
 func (c Config) withDefaults() Config {
@@ -149,9 +169,14 @@ func New(cfg Config) (*Fleet, error) {
 		return nil, err
 	}
 	road.PlaceStations(cfg.BaseStations, geo.BaseStation, 900, 0, "bs")
-	// RSUs cover the whole corridor so contention, not coverage, is the
-	// variable under study.
-	road.PlaceStations(cfg.RSUs, geo.RSU, cfg.RoadLengthM, 0, "rsu")
+	// By default RSUs cover the whole corridor so contention, not
+	// coverage, is the variable under study; RSURadiusM narrows the disks
+	// (one interaction domain per coverage cell, see domains.go).
+	rsuRadius := cfg.RoadLengthM
+	if cfg.RSURadiusM > 0 {
+		rsuRadius = cfg.RSURadiusM
+	}
+	road.PlaceStations(cfg.RSUs, geo.RSU, rsuRadius, 0, "rsu")
 	sites, err := xedge.PlaceAlongRoad(road)
 	if err != nil {
 		return nil, err
@@ -230,6 +255,10 @@ func New(cfg Config) (*Fleet, error) {
 	}
 	if f.shards > len(f.vehicles) {
 		f.shards = len(f.vehicles)
+	}
+	f.lanes = cfg.CommitLanes
+	if f.lanes < 1 {
+		f.lanes = 1
 	}
 	f.prepBuf = make([]*edgeos.PreparedInvocation, len(f.vehicles))
 	f.resBuf = make([]edgeos.InvocationResult, len(f.vehicles))

@@ -9,11 +9,15 @@
 //     read-only with respect to shared state; invocations whose decision
 //     stayed on the vehicle (PreparedInvocation.Local) commit right here,
 //     touching only vehicle-local state.
-//   - Commit phase (single-threaded): after the barrier, the remaining
-//     prepared invocations — the ones that offload — commit in canonical
-//     vehicle-index order, applying Site.Submit reservations, queueing
-//     delays, and bandwidth-budget charges exactly as a sequential walk
-//     would.
+//   - Commit phase: after the barrier, the remaining prepared invocations
+//     — the ones that offload — commit with Site.Submit reservations,
+//     queueing delays, and bandwidth-budget charges exactly as a
+//     sequential canonical-vehicle-order walk would. With CommitLanes > 1
+//     the phase runs as domain-partitioned parallel lanes plus a serial
+//     residue lane (see domains.go); results stay byte-identical to the
+//     serial commit. The phase always completes every prepared commit
+//     (complete-all), then non-tolerant rounds report the first error in
+//     canonical order.
 //
 // Determinism contract: results are byte-identical for any shard count.
 // Three properties make that hold. (1) Decisions read only epoch-start
@@ -233,10 +237,12 @@ func (f *Fleet) WatchTelemetry(sp *obs.Sampler) error {
 // ShardedInvokeAll runs one epoch-barrier invocation round of the named
 // service across the fleet at virtual time now (see the package-section
 // comment at the top of this file for the phase structure and the
-// determinism contract). Like InvokeAll it returns on the first vehicle
-// error in canonical order — but vehicle-local work of later vehicles has
-// already run in the parallel phase by then; only their site commits are
-// withheld. Under fault injection use ShardedInvokeAllTolerant.
+// determinism contract). Like InvokeAll it reports the first vehicle
+// error in canonical order — but the whole round has already run by then
+// (the commit phase completes every prepared commit so the round is
+// reproducible for any lane count); only the returned aggregate stops at
+// the erroring vehicle. Under fault injection use
+// ShardedInvokeAllTolerant.
 func (f *Fleet) ShardedInvokeAll(service string, now time.Duration) (RoundResult, error) {
 	return f.shardedInvokeAll(service, now, false)
 }
@@ -260,6 +266,7 @@ func (f *Fleet) shardedInvokeAll(service string, now time.Duration, tolerant boo
 	}
 
 	// Decision phase: freeze shared sites, fan shards out, barrier.
+	decisionStart := time.Now()
 	for _, s := range f.sites {
 		s.Freeze()
 	}
@@ -297,32 +304,24 @@ func (f *Fleet) shardedInvokeAll(service string, now time.Duration, tolerant boo
 		}
 	}
 
-	// Commit phase: apply shared-site interactions in canonical
-	// vehicle-index order on the caller's goroutine.
-	if f.flight != nil {
-		pending := 0
-		for _, p := range f.prepBuf {
-			if p != nil {
-				pending++
+	decisionWall := time.Since(decisionStart)
+
+	// Commit phase: apply shared-site interactions — in canonical order
+	// per site, across domain lanes plus the serial residue lane (see
+	// domains.go). Completes every prepared commit before any error
+	// reporting, so the round's side effects are identical for any
+	// (shards, lanes) combination even when a vehicle errors.
+	commitStart := time.Now()
+	f.commitPrepared(now)
+	f.lastStats.DecisionWall = decisionWall
+	f.lastStats.CommitWall = time.Since(commitStart)
+
+	if !tolerant {
+		for i, v := range f.vehicles {
+			if f.errBuf[i] != nil {
+				return f.aggregate(i), fmt.Errorf("%s: %w", v.Name, f.errBuf[i])
 			}
 		}
-		f.flight.fleet.Emit(now, "fleet", obs.SevDebug, "commit.begin",
-			obs.Int("offloads", pending))
-	}
-	committed := 0
-	for i, v := range f.vehicles {
-		if p := f.prepBuf[i]; p != nil {
-			f.prepBuf[i] = nil
-			f.resBuf[i], f.errBuf[i] = v.Manager.CommitInvoke(p)
-			committed++
-		}
-		if f.errBuf[i] != nil && !tolerant {
-			return f.aggregate(i), fmt.Errorf("%s: %w", v.Name, f.errBuf[i])
-		}
-	}
-	if f.flight != nil {
-		f.flight.fleet.Emit(now, "fleet", obs.SevDebug, "commit.end",
-			obs.Int("committed", committed))
 	}
 	return f.aggregate(len(f.vehicles)), nil
 }

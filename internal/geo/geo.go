@@ -133,13 +133,77 @@ func (r *Road) StationsOfKind(kind StationKind) []Station {
 
 // CoveringStations returns all stations whose coverage includes p.
 func (r *Road) CoveringStations(p Point) []Station {
-	var out []Station
+	return r.CoveringStationsInto(p, nil)
+}
+
+// CoveringStationsInto appends every station whose coverage includes p to
+// buf and returns the extended slice. Callers on per-round hot paths pass
+// a reused buffer (typically buf[:0]) so coverage queries allocate nothing
+// in steady state; CoveringStations is the allocating convenience form.
+func (r *Road) CoveringStationsInto(p Point, buf []Station) []Station {
 	for _, s := range r.stations {
 		if s.Covers(p) {
-			out = append(out, s)
+			buf = append(buf, s)
 		}
 	}
-	return out
+	return buf
+}
+
+// CoverageCells partitions stations into connected components of
+// overlapping coverage disks: two stations share a cell when their disks
+// intersect (center distance <= sum of radii), directly or transitively.
+// Zero-radius stations cover nothing and are each their own cell. The
+// returned groups hold indices into the input slice; groups are ordered by
+// smallest member index and members ascend within a group, so the
+// partition is deterministic for a deterministic input order. Fleet
+// executors use these cells as interaction domains: offload commits to
+// sites in different cells cannot contend for the same coverage area.
+func CoverageCells(stations []Station) [][]int {
+	n := len(stations)
+	parent := make([]int, n)
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(int) int
+	find = func(i int) int {
+		for parent[i] != i {
+			parent[i] = parent[parent[i]]
+			i = parent[i]
+		}
+		return i
+	}
+	for i := 0; i < n; i++ {
+		if stations[i].Radius <= 0 {
+			continue
+		}
+		for j := i + 1; j < n; j++ {
+			if stations[j].Radius <= 0 {
+				continue
+			}
+			if stations[i].Pos.Dist(stations[j].Pos) <= stations[i].Radius+stations[j].Radius {
+				ri, rj := find(i), find(j)
+				if ri != rj {
+					if rj < ri {
+						ri, rj = rj, ri
+					}
+					parent[rj] = ri
+				}
+			}
+		}
+	}
+	groupOf := make(map[int]int, n)
+	var cells [][]int
+	for i := 0; i < n; i++ {
+		root := find(i)
+		g, ok := groupOf[root]
+		if !ok {
+			g = len(cells)
+			groupOf[root] = g
+			cells = append(cells, nil)
+		}
+		cells[g] = append(cells[g], i)
+	}
+	return cells
 }
 
 // NearestStation returns the closest station of the given kind and whether

@@ -191,3 +191,89 @@ func TestMobilityPositionNonNegativeProperty(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestCoveringStationsIntoMatchesAllocatingForm(t *testing.T) {
+	r, _ := NewRoad(10000)
+	r.PlaceStations(5, RSU, 800, 0, "rsu")
+	r.PlaceStations(3, BaseStation, 2000, 0, "bs")
+	buf := make([]Station, 0, 8)
+	for x := 0.0; x <= 10000; x += 137 {
+		p := Point{X: x}
+		buf = r.CoveringStationsInto(p, buf[:0])
+		alloc := r.CoveringStations(p)
+		if len(buf) != len(alloc) {
+			t.Fatalf("x=%v: into=%d alloc=%d", x, len(buf), len(alloc))
+		}
+		for i := range buf {
+			if buf[i] != alloc[i] {
+				t.Fatalf("x=%v station %d: %+v != %+v", x, i, buf[i], alloc[i])
+			}
+		}
+	}
+}
+
+func TestCoveringStationsIntoAppends(t *testing.T) {
+	r, _ := NewRoad(1000)
+	r.PlaceStations(1, RSU, 1000, 0, "rsu")
+	seed := []Station{{ID: "sentinel"}}
+	out := r.CoveringStationsInto(Point{X: 500}, seed)
+	if len(out) != 2 || out[0].ID != "sentinel" || out[1].ID != "rsu-0" {
+		t.Fatalf("append semantics broken: %+v", out)
+	}
+}
+
+// TestCoveringStationsIntoAllocFree pins the hot-path fix: with a
+// pre-grown reused buffer, per-round coverage queries allocate nothing.
+func TestCoveringStationsIntoAllocFree(t *testing.T) {
+	r, _ := NewRoad(20000)
+	r.PlaceStations(16, RSU, 600, 0, "rsu")
+	r.PlaceStations(20, BaseStation, 900, 0, "bs")
+	buf := make([]Station, 0, 64)
+	p := Point{X: 9990}
+	if n := testing.AllocsPerRun(100, func() {
+		buf = r.CoveringStationsInto(p, buf[:0])
+	}); n != 0 {
+		t.Fatalf("CoveringStationsInto allocated %.1f per run with a reused buffer", n)
+	}
+}
+
+func TestCoverageCells(t *testing.T) {
+	stations := []Station{
+		{ID: "a", Pos: Point{X: 0}, Radius: 100},    // overlaps b
+		{ID: "b", Pos: Point{X: 150}, Radius: 100},  // overlaps a and c
+		{ID: "c", Pos: Point{X: 340}, Radius: 100},  // overlaps b (transitively a)
+		{ID: "d", Pos: Point{X: 1000}, Radius: 100}, // isolated
+		{ID: "e", Pos: Point{X: 1050}, Radius: 0},   // zero radius: own cell even inside d's disk
+	}
+	cells := CoverageCells(stations)
+	want := [][]int{{0, 1, 2}, {3}, {4}}
+	if len(cells) != len(want) {
+		t.Fatalf("cells = %v, want %v", cells, want)
+	}
+	for i := range want {
+		if len(cells[i]) != len(want[i]) {
+			t.Fatalf("cell %d = %v, want %v", i, cells[i], want[i])
+		}
+		for j := range want[i] {
+			if cells[i][j] != want[i][j] {
+				t.Fatalf("cell %d = %v, want %v", i, cells[i], want[i])
+			}
+		}
+	}
+}
+
+// TestCoverageCellsDisjointPlacement: stations placed with disks smaller
+// than half their spacing never merge — the layout the fleet scaling
+// sweep relies on for one interaction domain per RSU.
+func TestCoverageCellsDisjointPlacement(t *testing.T) {
+	r, _ := NewRoad(20000)
+	placed := r.PlaceStations(16, RSU, 300, 0, "rsu")
+	cells := CoverageCells(placed)
+	if len(cells) != 16 {
+		t.Fatalf("disjoint disks merged: %d cells from 16 stations", len(cells))
+	}
+	merged := CoverageCells(r.PlaceStations(4, RSU, 20000, 0, "wide"))
+	if len(merged) != 1 {
+		t.Fatalf("corridor-wide disks split: %d cells from 4 stations", len(merged))
+	}
+}

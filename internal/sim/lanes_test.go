@@ -1,0 +1,111 @@
+package sim
+
+import (
+	"math"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestSafeWindowHorizon(t *testing.T) {
+	w, err := NewSafeWindow(3, 2*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.Reset(100 * time.Millisecond)
+	for lane := 0; lane < 3; lane++ {
+		if got := w.Horizon(lane); got != 102*time.Millisecond {
+			t.Fatalf("lane %d horizon = %v, want 102ms", lane, got)
+		}
+		if !w.CanAdvance(lane, 100*time.Millisecond) {
+			t.Fatalf("lane %d cannot process the shared epoch time inside a positive lookahead", lane)
+		}
+		if w.CanAdvance(lane, 102*time.Millisecond) {
+			t.Fatalf("lane %d advanced to its horizon — the window must be strict", lane)
+		}
+	}
+	// One lane ahead raises only the others' horizons.
+	w.Advance(1, 200*time.Millisecond)
+	if got := w.Horizon(0); got != 102*time.Millisecond {
+		t.Fatalf("lane 0 horizon = %v, still bounded by lane 2", got)
+	}
+	w.Advance(2, 150*time.Millisecond)
+	if got := w.Horizon(0); got != 152*time.Millisecond {
+		t.Fatalf("lane 0 horizon = %v, want 152ms", got)
+	}
+}
+
+func TestSafeWindowZeroLookaheadBlocks(t *testing.T) {
+	w, err := NewSafeWindow(2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.Reset(time.Second)
+	if w.CanAdvance(0, time.Second) {
+		t.Fatal("zero lookahead let a lane process the shared epoch time; the scheduler must fall back to serial")
+	}
+}
+
+func TestSafeWindowSingleLane(t *testing.T) {
+	w, err := NewSafeWindow(1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := w.Horizon(0); got != time.Duration(math.MaxInt64) {
+		t.Fatalf("single-lane horizon = %v, want unbounded", got)
+	}
+	if !w.CanAdvance(0, time.Hour) {
+		t.Fatal("single lane has no peers and must always advance")
+	}
+}
+
+func TestSafeWindowRejectsZeroLanes(t *testing.T) {
+	if _, err := NewSafeWindow(0, time.Millisecond); err == nil {
+		t.Fatal("zero-lane window accepted")
+	}
+}
+
+func TestSafeWindowBackwardAdvancePanics(t *testing.T) {
+	w, err := NewSafeWindow(2, time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.Reset(time.Second)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("backward advance did not panic")
+		}
+	}()
+	w.Advance(0, 500*time.Millisecond)
+}
+
+// TestSafeWindowConcurrentLanes exercises concurrent Advance/Horizon under
+// the race detector (the make verify gate): distinct lanes never race.
+func TestSafeWindowConcurrentLanes(t *testing.T) {
+	const lanes = 4
+	w, err := NewSafeWindow(lanes, time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for lane := 0; lane < lanes; lane++ {
+		wg.Add(1)
+		go func(lane int) {
+			defer wg.Done()
+			for step := 1; step <= 50; step++ {
+				at := time.Duration(step) * time.Millisecond
+				for !w.CanAdvance(lane, at-time.Millisecond) {
+					runtime.Gosched()
+				}
+				w.Advance(lane, at)
+			}
+		}(lane)
+	}
+	wg.Wait()
+	for lane := 0; lane < lanes; lane++ {
+		if got := w.Local(lane); got != 50*time.Millisecond {
+			t.Fatalf("lane %d finished at %v", lane, got)
+		}
+	}
+}
