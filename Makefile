@@ -54,15 +54,21 @@ determinism:
 	/tmp/vdapbench -exp chaosserve -clients 0 -seed 7 -parallel 4 > /tmp/netchaos-p4.txt
 	diff -u /tmp/netchaos-p1.txt /tmp/netchaos-p4.txt
 	@echo "determinism: E19 chaos plan byte-identical across -parallel levels"
+	/tmp/vdapbench -exp ddi -seed 7 -records 200000 -parallel 1 -benchout /tmp/ddi-p1.json 2>/dev/null > /tmp/ddi-p1.txt
+	/tmp/vdapbench -exp ddi -seed 7 -records 200000 -parallel 4 -benchout /tmp/ddi-p4.json 2>/dev/null > /tmp/ddi-p4.txt
+	diff -u /tmp/ddi-p1.txt /tmp/ddi-p4.txt
+	@echo "determinism: E20 DDI query digest byte-identical across -parallel levels"
 
-# bench runs the tracked E15 hot-path suite and the E16 scaling sweep,
-# refreshing BENCH_PERF.json (schema openvdap.bench_perf/v1) — one point
-# in the repo's performance trajectory. For the raw per-package
-# microbenchmarks use `make microbench`.
+# bench runs the tracked E15 hot-path suite, the E16 scaling sweep, and
+# the E20 columnar DDI store sweep (10M-record corpus), refreshing
+# BENCH_PERF.json (schema openvdap.bench_perf/v1) — one point in the
+# repo's performance trajectory. For the raw per-package microbenchmarks
+# use `make microbench`.
 bench:
 	$(GO) build -o /tmp/vdapbench ./cmd/vdapbench
 	/tmp/vdapbench -exp perf -benchout BENCH_PERF.json
 	/tmp/vdapbench -exp scale -benchout BENCH_PERF.json
+	/tmp/vdapbench -exp ddi -benchout BENCH_PERF.json > /dev/null
 	/tmp/vdapbench -exp obs -runreport RUN_REPORT.json > /dev/null
 
 # bench-serve runs the E18 serving-tier load test at full scale — 1000

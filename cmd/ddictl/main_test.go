@@ -49,6 +49,32 @@ func TestRunQueryAndGet(t *testing.T) {
 	}
 }
 
+func TestRunSegmentsAndAgg(t *testing.T) {
+	dir := seedStore(t)
+
+	// Seal the memtable so `segments` has something to list.
+	store, err := ddi.OpenDiskStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := store.Seal(); err != nil {
+		t.Fatal(err)
+	}
+	if err := store.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	if err := run([]string{"-dir", dir, "segments"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-dir", dir, "agg", "-column", "x", "-from", "1", "-to", "10"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-dir", dir, "agg", "-column", "bogus"}); err == nil {
+		t.Fatal("unknown aggregate column accepted")
+	}
+}
+
 func TestRunErrors(t *testing.T) {
 	if err := run([]string{"count"}); err == nil {
 		t.Fatal("missing -dir accepted")

@@ -37,6 +37,7 @@ func main() {
 		shards     = flag.Int("shards", 0, "shard count for -exp scale (0 = sweep 1,2,4,8) and -exp obs (0 = default; simulation output is identical for every value)")
 		lanes      = flag.Int("lanes", 0, "commit-lane count for -exp scale (0 = sweep 1,2,4,8; simulation output is identical for every value)")
 		vehicles   = flag.String("vehicles", "", "-exp scale comma-separated fleet sizes (default 100,1000,10000)")
+		records    = flag.Int("records", 10_000_000, "-exp ddi corpus size")
 		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProfile = flag.String("memprofile", "", "write a heap profile to this file on exit")
 		clients    = flag.Int("clients", 1000, "-exp serve concurrent HTTP clients")
@@ -60,7 +61,7 @@ func main() {
 		defer pprof.StopCPUProfile()
 	}
 	serve := serveOpts{clients: *clients, duration: *serveDur, mix: *mix, out: *serveOut, chaosOut: *chaosOut}
-	if err := run(*exp, *seed, *duration, *dir, *traceOut, *benchOut, *runReport, *vehicles, *reps, *parallel, *shards, *lanes, serve); err != nil {
+	if err := run(*exp, *seed, *duration, *dir, *traceOut, *benchOut, *runReport, *vehicles, *reps, *parallel, *shards, *lanes, *records, serve); err != nil {
 		fmt.Fprintln(os.Stderr, "vdapbench:", err)
 		os.Exit(1)
 	}
@@ -106,12 +107,13 @@ var experimentList = []experimentInfo{
 	{"sweep", "replicated fleet sweep with merged telemetry (E13)", true},
 	{"chaos", "fault-injection sweep, resilience off vs. on (E14)", true},
 	{"hdmap", "HD-map prefetch along the route (E2)", true},
-	{"ddi", "DDI ingest/query micro-benchmark (E3)", true},
+	{"ddicache", "DDI two-tier cache latency (E8)", true},
 	{"perf", "hot-path micro-benchmarks -> BENCH_PERF.json (E15)", false},
 	{"scale", "fleet scaling meta-benchmark -> BENCH_PERF.json (E16)", false},
 	{"obs", "flight-recorder fleet run -> RUN_REPORT.json (E17)", false},
 	{"serve", "libvdap serving tier under load -> BENCH_SERVE.json (E18)", false},
 	{"chaosserve", "paired chaos-proxy load test, resilience off vs. on -> BENCH_CHAOS.json (E19)", false},
+	{"ddi", "columnar DDI store ingest/query sweep -> BENCH_PERF.json (E20)", false},
 }
 
 // expNames renders the one-line flag usage: all|table1|...|obs.
@@ -161,7 +163,7 @@ type serveOpts struct {
 	chaosOut string
 }
 
-func run(exp string, seed int64, duration time.Duration, dir, traceOut, benchOut, runReport, vehicles string, reps, parallel, shards, lanes int, serve serveOpts) error {
+func run(exp string, seed int64, duration time.Duration, dir, traceOut, benchOut, runReport, vehicles string, reps, parallel, shards, lanes, records int, serve serveOpts) error {
 	// With -trace, instrument-aware experiments report spans and metrics;
 	// virtual-time determinism makes the file byte-identical per seed.
 	var tracer *trace.Tracer
@@ -473,7 +475,7 @@ func run(exp string, seed int64, duration time.Duration, dir, traceOut, benchOut
 			fmt.Fprintf(os.Stderr, "vdapbench: wrote %s (%s)\n", serve.chaosOut, experiments.ChaosServeSchema)
 			return nil
 		},
-		"ddi": func() error {
+		"ddicache": func() error {
 			d := dir
 			if d == "" {
 				tmp, err := os.MkdirTemp("", "vdapbench-ddi-*")
@@ -488,6 +490,39 @@ func run(exp string, seed int64, duration time.Duration, dir, traceOut, benchOut
 				return err
 			}
 			fmt.Println(experiments.DDITable(rows))
+			return nil
+		},
+		// ddi is E20: the columnar store ingest/query sweep. Like perf and
+		// scale it is a machine-dependent meta-benchmark, so it stays out
+		// of -exp all. Stdout carries only the deterministic digest —
+		// `make determinism` diffs it between -parallel levels — while
+		// wall-clock throughput goes to stderr and BENCH_PERF.json.
+		"ddi": func() error {
+			d := dir
+			if d == "" {
+				tmp, err := os.MkdirTemp("", "vdapbench-ddistore-*")
+				if err != nil {
+					return err
+				}
+				defer os.RemoveAll(tmp)
+				d = tmp
+			}
+			res, err := experiments.RunDDIStore(experiments.DDIStoreConfig{
+				Records:  records,
+				Seed:     seed,
+				Parallel: parallel,
+				Dir:      d,
+			})
+			if err != nil {
+				return err
+			}
+			fmt.Println(experiments.DDIStoreTable(res))
+			fmt.Fprintln(os.Stderr, experiments.DDIStoreTimingTable(res))
+			if err := experiments.MergeDDIStoreIntoPerfReport(benchOut, res); err != nil {
+				return err
+			}
+			fmt.Fprintf(os.Stderr, "vdapbench: merged %d ddi rows into %s (%s)\n",
+				len(experiments.DDIStorePerfRows(res)), benchOut, experiments.PerfSchema)
 			return nil
 		},
 	}

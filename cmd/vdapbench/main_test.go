@@ -17,7 +17,7 @@ func TestRunEachExperiment(t *testing.T) {
 	for _, exp := range fast {
 		exp := exp
 		t.Run(exp, func(t *testing.T) {
-			if err := run(exp, 7, 4*time.Second, t.TempDir(), "", "", "", "", 4, 2, 0, 0, serveOpts{}); err != nil {
+			if err := run(exp, 7, 4*time.Second, t.TempDir(), "", "", "", "", 4, 2, 0, 0, 0, serveOpts{}); err != nil {
 				t.Fatalf("run(%s): %v", exp, err)
 			}
 		})
@@ -25,14 +25,47 @@ func TestRunEachExperiment(t *testing.T) {
 }
 
 func TestRunFig2Short(t *testing.T) {
-	if err := run("fig2", 7, 4*time.Second, "", "", "", "", "", 4, 2, 0, 0, serveOpts{}); err != nil {
+	if err := run("fig2", 7, 4*time.Second, "", "", "", "", "", 4, 2, 0, 0, 0, serveOpts{}); err != nil {
 		t.Fatal(err)
 	}
 }
 
-func TestRunDDI(t *testing.T) {
-	if err := run("ddi", 7, time.Second, t.TempDir(), "", "", "", "", 4, 2, 0, 0, serveOpts{}); err != nil {
+func TestRunDDICache(t *testing.T) {
+	if err := run("ddicache", 7, time.Second, t.TempDir(), "", "", "", "", 4, 2, 0, 0, 0, serveOpts{}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestRunDDIStore smoke-tests the E20 columnar-store sweep end to end at a
+// small corpus size and checks the ddi.* rows land in the bench report.
+func TestRunDDIStore(t *testing.T) {
+	bench := filepath.Join(t.TempDir(), "bench.json")
+	if err := run("ddi", 7, time.Second, t.TempDir(), "", bench, "", "", 4, 2, 0, 0, 50_000, serveOpts{}); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(bench)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"ddi.ingest", "ddi.scan_window", "ddi.segment_skip_ratio", "ddi.compaction"} {
+		if !strings.Contains(string(data), name) {
+			t.Fatalf("bench report missing row %q:\n%s", name, data)
+		}
+	}
+}
+
+// TestRunDDIStoreDeterministicAcrossParallel: the E20 stdout digest must be
+// byte-identical no matter how many query-sweep workers ran.
+func TestRunDDIStoreDeterministicAcrossParallel(t *testing.T) {
+	at := func(parallel int) []byte {
+		return captureStdout(t, func() error {
+			bench := filepath.Join(t.TempDir(), "bench.json")
+			return run("ddi", 42, time.Second, t.TempDir(), "", bench, "", "", 4, parallel, 0, 0, 120_000, serveOpts{})
+		})
+	}
+	serial := at(1)
+	if got := at(4); !bytes.Equal(serial, got) {
+		t.Fatalf("-parallel 4 digest differs from -parallel 1:\n--- serial ---\n%s\n--- parallel ---\n%s", serial, got)
 	}
 }
 
@@ -69,7 +102,7 @@ func captureStdout(t *testing.T, f func() error) []byte {
 func TestRunSweepDeterministicAcrossParallel(t *testing.T) {
 	at := func(parallel int) []byte {
 		return captureStdout(t, func() error {
-			return run("sweep", 42, time.Second, "", "", "", "", "", 8, parallel, 0, 0, serveOpts{})
+			return run("sweep", 42, time.Second, "", "", "", "", "", 8, parallel, 0, 0, 0, serveOpts{})
 		})
 	}
 	serial := at(1)
@@ -94,7 +127,7 @@ func TestRunScaleDeterministicAcrossShards(t *testing.T) {
 	at := func(shards, lanes int) []byte {
 		bench := filepath.Join(t.TempDir(), "bench.json")
 		out := captureStdout(t, func() error {
-			return run("scale", 42, time.Second, "", "", bench, "", "64", 4, 2, shards, lanes, serveOpts{})
+			return run("scale", 42, time.Second, "", "", bench, "", "64", 4, 2, shards, lanes, 0, serveOpts{})
 		})
 		data, err := os.ReadFile(bench)
 		if err != nil {
@@ -138,7 +171,7 @@ func TestRunArchTraced(t *testing.T) {
 	once := func() []byte {
 		t.Helper()
 		out := filepath.Join(t.TempDir(), "out.json")
-		if err := run("arch", 7, time.Second, "", out, "", "", "", 4, 2, 0, 0, serveOpts{}); err != nil {
+		if err := run("arch", 7, time.Second, "", out, "", "", "", 4, 2, 0, 0, 0, serveOpts{}); err != nil {
 			t.Fatal(err)
 		}
 		data, err := os.ReadFile(out)
@@ -177,7 +210,7 @@ func TestRunArchTraced(t *testing.T) {
 }
 
 func TestRunUnknownExperiment(t *testing.T) {
-	err := run("warp-drive", 1, time.Second, "", "", "", "", "", 4, 2, 0, 0, serveOpts{})
+	err := run("warp-drive", 1, time.Second, "", "", "", "", "", 4, 2, 0, 0, 0, serveOpts{})
 	if err == nil {
 		t.Fatal("unknown experiment accepted")
 	}
@@ -224,7 +257,7 @@ func TestRunObsDeterministic(t *testing.T) {
 	at := func(parallel, shards int) ([]byte, []byte) {
 		report := filepath.Join(t.TempDir(), "run_report.json")
 		out := captureStdout(t, func() error {
-			return run("obs", 42, time.Second, "", "", "", report, "", 2, parallel, shards, 0, serveOpts{})
+			return run("obs", 42, time.Second, "", "", "", report, "", 2, parallel, shards, 0, 0, serveOpts{})
 		})
 		data, err := os.ReadFile(report)
 		if err != nil {

@@ -22,24 +22,35 @@ type MemCache struct {
 	hits   int
 	misses int
 
-	reg *telemetry.Registry
+	m   cacheMetrics
 	rec *obs.Recorder
+}
+
+// cacheMetrics holds the cache's interned counter handles, resolved once
+// in SetTelemetry. Handles are nil-safe, so an unattached cache bumps
+// them for free — Get/Put stay off the registry lock and never re-hash a
+// metric name (the interned-handle path every hot emitter uses).
+type cacheMetrics struct {
+	hits        *telemetry.Counter
+	misses      *telemetry.Counter
+	evictions   *telemetry.Counter
+	expirations *telemetry.Counter
 }
 
 // SetTelemetry mirrors hit/miss/eviction outcomes into a registry under
 // `ddi.cache.*` counters (nil detaches).
-func (c *MemCache) SetTelemetry(reg *telemetry.Registry) { c.reg = reg }
+func (c *MemCache) SetTelemetry(reg *telemetry.Registry) {
+	c.m = cacheMetrics{
+		hits:        reg.CounterHandle("ddi.cache.hits"),
+		misses:      reg.CounterHandle("ddi.cache.misses"),
+		evictions:   reg.CounterHandle("ddi.cache.evictions"),
+		expirations: reg.CounterHandle("ddi.cache.expirations"),
+	}
+}
 
 // SetRecorder attaches a flight recorder: every capacity eviction emits a
 // structured event stamped at the insertion that forced it (nil detaches).
 func (c *MemCache) SetRecorder(rec *obs.Recorder) { c.rec = rec }
-
-// count bumps a counter when a registry is attached.
-func (c *MemCache) count(name string) {
-	if c.reg != nil {
-		c.reg.Add(name, 1)
-	}
-}
 
 type cacheEntry struct {
 	rec       Record
@@ -96,7 +107,7 @@ func (c *MemCache) evictOldest(now time.Duration) {
 				obs.Int("id", int(entry.rec.ID)), obs.Int("resident", c.lru.Len()))
 		}
 	}
-	c.count("ddi.cache.evictions")
+	c.m.evictions.Inc()
 }
 
 // Get returns a live cached record, counting hit/miss statistics.
@@ -104,7 +115,7 @@ func (c *MemCache) Get(id uint64, now time.Duration) (Record, bool) {
 	el, ok := c.entries[id]
 	if !ok {
 		c.misses++
-		c.count("ddi.cache.misses")
+		c.m.misses.Inc()
 		return Record{}, false
 	}
 	entry, valid := el.Value.(*cacheEntry)
@@ -112,18 +123,20 @@ func (c *MemCache) Get(id uint64, now time.Duration) (Record, bool) {
 		c.lru.Remove(el)
 		delete(c.entries, id)
 		c.misses++
-		c.count("ddi.cache.misses")
-		c.count("ddi.cache.expirations")
+		c.m.misses.Inc()
+		c.m.expirations.Inc()
 		return Record{}, false
 	}
 	c.lru.MoveToFront(el)
 	c.hits++
-	c.count("ddi.cache.hits")
+	c.m.hits.Inc()
 	return entry.rec, true
 }
 
 // Sweep removes all expired entries at virtual time now and returns how
-// many were removed.
+// many were removed. Outcomes batch: one counter bump and one obs event
+// per sweep, not per record — a full-cache sweep must not flood the
+// flight recorder.
 func (c *MemCache) Sweep(now time.Duration) int {
 	removed := 0
 	for el := c.lru.Back(); el != nil; {
@@ -132,9 +145,15 @@ func (c *MemCache) Sweep(now time.Duration) int {
 			c.lru.Remove(el)
 			delete(c.entries, entry.rec.ID)
 			removed++
-			c.count("ddi.cache.expirations")
 		}
 		el = prev
+	}
+	if removed > 0 {
+		c.m.expirations.Add(float64(removed))
+		if c.rec.Enabled() {
+			c.rec.Emit(now, "ddi", obs.SevDebug, "cache.sweep",
+				obs.Int("removed", removed), obs.Int("resident", c.lru.Len()))
+		}
 	}
 	return removed
 }

@@ -49,6 +49,7 @@ type ddiMetrics struct {
 	bytesStored      *telemetry.Counter
 	downloads        *telemetry.Counter
 	diskReads        *telemetry.Counter
+	aggregates       *telemetry.Counter
 	readMS           *telemetry.HistogramHandle
 	diskReadMS       *telemetry.HistogramHandle
 }
@@ -67,6 +68,7 @@ func (d *DDI) Instrument(tr *trace.Tracer, reg *telemetry.Registry) {
 		bytesStored:      reg.CounterHandle("ddi.bytes_stored"),
 		downloads:        reg.CounterHandle("ddi.downloads"),
 		diskReads:        reg.CounterHandle("ddi.disk_reads"),
+		aggregates:       reg.CounterHandle("ddi.aggregates"),
 		readMS:           reg.HistogramHandle("ddi.read_ms"),
 		diskReadMS:       reg.HistogramHandle("ddi.disk_read_ms"),
 	}
@@ -295,6 +297,33 @@ func (d *DDI) Download(now time.Duration, q Query) ([]Record, time.Duration, err
 	return recs, latency, nil
 }
 
+// Aggregate is the service-layer windowed aggregate: count/min/max/mean
+// of a column over the records matching q, answered by the store's query
+// planner. Segments the zone maps prune cost nothing; fully-covered
+// segments answer from their footers — the modeled disk latency charges
+// only for the rows the plan actually scanned.
+func (d *DDI) Aggregate(now time.Duration, q Query, col Column) (Agg, PlanStats, time.Duration, error) {
+	agg, stats, err := d.store.Aggregate(q, col)
+	if err != nil {
+		return Agg{}, PlanStats{}, 0, err
+	}
+	// Columnar scan cost: ~48 bytes of fixed columns per scanned sealed
+	// row (memtable rows are already resident).
+	bytes := float64(stats.RowsScanned-stats.MemRows) * 48
+	latency, err := d.ssd.ReadTime(bytes / 1e6)
+	if err != nil {
+		return Agg{}, PlanStats{}, 0, err
+	}
+	if d.tracer.Enabled() {
+		d.tracer.SpanAt("ddi", "ddi.aggregate", now, now+latency,
+			trace.String("column", col.String()), trace.Int("count", agg.Count),
+			trace.Int("pruned", stats.Pruned), trace.Int("rows_scanned", stats.RowsScanned))
+	}
+	d.m.aggregates.Inc()
+	d.m.readMS.ObserveDuration(latency)
+	return agg, stats, latency, nil
+}
+
 // MigrateToCloud ships records older than `before` to the community data
 // server and deletes them locally (paper: "eventually migrated to a cloud
 // based data server"). It returns the migrated count and the simulated
@@ -306,13 +335,13 @@ func (d *DDI) MigrateToCloud(server *cloud.DataServer, pseudonym string, before 
 	if before <= 0 {
 		return 0, 0, nil
 	}
-	old := d.store.Select(Query{To: before - time.Nanosecond})
-	if len(old) == 0 {
-		return 0, 0, nil
-	}
+	// Stream the expiring window off the store cursor: each record is
+	// converted in place, so the local []Record is never materialized.
+	it := d.store.Scan(Query{To: before - time.Nanosecond})
 	var bytes float64
-	recs := make([]cloud.Record, 0, len(old))
-	for _, r := range old {
+	var recs []cloud.Record
+	for it.Next() {
+		r := it.Record()
 		bytes += float64(r.SizeBytes())
 		recs = append(recs, cloud.Record{
 			Vehicle: pseudonym,
@@ -320,6 +349,12 @@ func (d *DDI) MigrateToCloud(server *cloud.DataServer, pseudonym string, before 
 			At:      r.At,
 			Payload: append([]byte(nil), r.Payload...),
 		})
+	}
+	if err := it.Err(); err != nil {
+		return 0, 0, err
+	}
+	if len(recs) == 0 {
+		return 0, 0, nil
 	}
 	var dur time.Duration
 	if cost != nil {
@@ -333,7 +368,7 @@ func (d *DDI) MigrateToCloud(server *cloud.DataServer, pseudonym string, before 
 	if _, err := d.store.DeleteBefore(before); err != nil {
 		return 0, 0, err
 	}
-	return len(old), dur, nil
+	return len(recs), dur, nil
 }
 
 // Stats summarizes service-layer activity.

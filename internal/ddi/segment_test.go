@@ -1,0 +1,278 @@
+package ddi
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+// sealedFixture builds a store with its records sealed into segments and
+// returns the dir, the store, and the segment file paths.
+func sealedFixture(t *testing.T, n int) (string, *DiskStore, []string) {
+	t.Helper()
+	dir := t.TempDir()
+	s, err := OpenDiskStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s.Close() })
+	s.SetSealPolicy(0, time.Minute)
+	for i := 0; i < n; i++ {
+		r := rec(SourceOBD, time.Duration(i)*time.Second, float64(i))
+		if i%3 == 0 {
+			r.Source = SourceGPS
+		}
+		if _, err := s.Put(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Seal(); err != nil {
+		t.Fatal(err)
+	}
+	matches, err := filepath.Glob(filepath.Join(dir, "seg-*"+segSuffix))
+	if err != nil || len(matches) == 0 {
+		t.Fatalf("no segments sealed: %v %v", matches, err)
+	}
+	return dir, s, matches
+}
+
+// TestSegmentRoundTrip: sealed columns decode back byte-identical.
+func TestSegmentRoundTrip(t *testing.T) {
+	_, s, paths := sealedFixture(t, 500)
+	total := 0
+	for _, p := range paths {
+		cols, err := readSegmentFile(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		total += cols.rows()
+		for i := 0; i < cols.rows(); i++ {
+			id := cols.id[i]
+			want, ok := s.Get(id)
+			if !ok {
+				t.Fatalf("record %d missing from store", id)
+			}
+			if int64(want.At) != cols.at[i] || want.X != cols.x[i] ||
+				want.Source != cols.dict[cols.src[i]] ||
+				string(want.Payload) != string(cols.payload(i)) {
+				t.Fatalf("row %d of %s decodes wrong", i, p)
+			}
+		}
+	}
+	if total != 500 {
+		t.Fatalf("segments hold %d rows, want 500", total)
+	}
+}
+
+// TestOpenRemovesStraySealTmp: a crash mid-seal leaves a half-written
+// .tmp segment; the next open must sweep it and recover every record
+// from the WAL.
+func TestOpenRemovesStraySealTmp(t *testing.T) {
+	dir := t.TempDir()
+	s, err := OpenDiskStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		if _, err := s.Put(rec(SourceOBD, time.Duration(i)*time.Second, 0)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	stray := filepath.Join(dir, segName(7)+".tmp")
+	if err := os.WriteFile(stray, []byte("half-written seal"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s2, err := OpenDiskStore(dir)
+	if err != nil {
+		t.Fatalf("stray tmp blocked open: %v", err)
+	}
+	defer s2.Close()
+	if _, err := os.Stat(stray); !os.IsNotExist(err) {
+		t.Fatal("stray .tmp survived open")
+	}
+	if s2.Count() != 10 {
+		t.Fatalf("count = %d, want 10", s2.Count())
+	}
+}
+
+// TestSealCrashWALReplayDedupes: a crash between segment publish and WAL
+// truncation leaves sealed records still in the log. Replay must skip
+// them — the segment is authoritative — instead of doubling the store.
+func TestSealCrashWALReplayDedupes(t *testing.T) {
+	dir := t.TempDir()
+	s, err := OpenDiskStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		if _, err := s.Put(rec(SourceOBD, time.Duration(i)*time.Second, float64(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	walPath := filepath.Join(dir, "ddi.log")
+	saved, err := os.ReadFile(walPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Seal(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Resurrect the pre-seal WAL, as if truncation never happened.
+	if err := os.WriteFile(walPath, saved, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s2, err := OpenDiskStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if s2.Count() != 10 {
+		t.Fatalf("count after replay = %d, want 10 (sealed records doubled?)", s2.Count())
+	}
+	// IDs must keep advancing past the sealed ones.
+	id, err := s2.Put(rec(SourceOBD, time.Minute, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id != 11 {
+		t.Fatalf("next ID = %d, want 11", id)
+	}
+}
+
+// TestCorruptSegmentTrailerRefusesOpen: open validates every segment's
+// framed trailer; damage there is real corruption (publish is atomic via
+// tmp+rename) and must refuse the open with context, mirroring the WAL's
+// mid-file contract.
+func TestCorruptSegmentTrailerRefusesOpen(t *testing.T) {
+	_, s, paths := sealedFixture(t, 100)
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(paths[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Flip bytes just ahead of the 12-byte tail frame: inside the trailer.
+	for i := len(raw) - 40; i < len(raw)-12; i++ {
+		raw[i] ^= 0xff
+	}
+	if err := os.WriteFile(paths[0], raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, err = OpenDiskStore(filepath.Dir(paths[0]))
+	if err == nil {
+		t.Fatal("corrupt segment accepted")
+	}
+	if !strings.Contains(err.Error(), "corrupt segment") {
+		t.Fatalf("corruption error missing context: %v", err)
+	}
+}
+
+// TestCorruptSegmentColumnSurfacesAtScan: column blocks validate lazily —
+// damage inside one leaves the open cheap (trailer intact) but the first
+// query that decodes the segment must fail its block CRC loudly.
+func TestCorruptSegmentColumnSurfacesAtScan(t *testing.T) {
+	_, s, paths := sealedFixture(t, 100)
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(paths[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := len(segHeadMagic); i < len(segHeadMagic)+16; i++ {
+		raw[i] ^= 0xff
+	}
+	if err := os.WriteFile(paths[0], raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s2, err := OpenDiskStore(filepath.Dir(paths[0]))
+	if err != nil {
+		t.Fatalf("trailer-valid segment blocked open: %v", err)
+	}
+	defer s2.Close()
+	it := s2.Scan(Query{})
+	for it.Next() {
+	}
+	if it.Err() == nil || !strings.Contains(it.Err().Error(), "corrupt segment") {
+		t.Fatalf("column corruption not surfaced: %v", it.Err())
+	}
+}
+
+// TestTornSegmentTailRefusesOpen: a segment cut short (torn tail) cannot
+// be a crash artifact either — rename is atomic — so open refuses.
+func TestTornSegmentTailRefusesOpen(t *testing.T) {
+	_, s, paths := sealedFixture(t, 100)
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(paths[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(paths[0], raw[:len(raw)/2], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, err = OpenDiskStore(filepath.Dir(paths[0]))
+	if err == nil {
+		t.Fatal("torn segment accepted")
+	}
+	if !strings.Contains(err.Error(), "corrupt segment") {
+		t.Fatalf("torn-tail error missing context: %v", err)
+	}
+}
+
+// TestLazySegmentDecode: pruned segments must never read their files —
+// deleting the file out from under a fully-pruned query must not break
+// it, while a query that needs the segment fails loudly.
+func TestLazySegmentDecode(t *testing.T) {
+	dir := t.TempDir()
+	s, err := OpenDiskStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	s.SetSealPolicy(0, time.Minute)
+	for i := 0; i < 100; i++ {
+		if _, err := s.Put(rec(SourceOBD, time.Duration(i)*time.Second, 0)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Seal(); err != nil {
+		t.Fatal(err)
+	}
+	// Reopen so columns are not resident, then remove the files.
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	s, err = OpenDiskStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	paths, _ := filepath.Glob(filepath.Join(dir, "seg-*"+segSuffix))
+	for _, p := range paths {
+		os.Remove(p)
+	}
+	// Fully pruned: window far past the data — zone maps answer alone.
+	if got := s.Select(Query{From: time.Hour}); len(got) != 0 {
+		t.Fatalf("pruned query returned %d records", len(got))
+	}
+	// Not pruned: the plan must surface the read failure via Err.
+	it := s.Scan(Query{})
+	for it.Next() {
+	}
+	if it.Err() == nil {
+		t.Fatal("missing segment file did not surface an error")
+	}
+}

@@ -2,8 +2,10 @@ package ddi
 
 import (
 	"bytes"
+	"encoding/binary"
 	"os"
 	"path/filepath"
+	"sort"
 	"strings"
 	"testing"
 	"time"
@@ -271,17 +273,35 @@ func writeLogFixture(t *testing.T, mutate func(log []byte) []byte) string {
 	return dir
 }
 
-// TestLoadToleratesTornFinalLine: a crash mid-append leaves a final line
-// with no trailing newline. The store must open, keep every complete
-// record, drop the torn tail, and stay appendable — the truncated tail
-// must not glue itself onto the next record.
+// walFrames splits a binary WAL into its whole frames.
+func walFrames(t *testing.T, log []byte) [][]byte {
+	t.Helper()
+	var frames [][]byte
+	for off := 0; off < len(log); {
+		if len(log)-off < 8 {
+			t.Fatalf("trailing %d bytes are not a frame header", len(log)-off)
+		}
+		n := int(binary.LittleEndian.Uint32(log[off:]))
+		if off+8+n > len(log) {
+			t.Fatalf("frame at %d overruns the log", off)
+		}
+		frames = append(frames, log[off:off+8+n])
+		off += 8 + n
+	}
+	return frames
+}
+
+// TestLoadToleratesTornFinalLine: a crash mid-append leaves a final frame
+// cut short. The store must open, keep every complete record, drop the
+// torn tail, and stay appendable — the truncated tail must not glue
+// itself onto the next record.
 func TestLoadToleratesTornFinalLine(t *testing.T) {
 	dir := writeLogFixture(t, func(log []byte) []byte {
-		// Tear the last record: drop its trailing newline and half its bytes.
-		lines := bytes.SplitAfter(log, []byte("\n"))
-		last := lines[len(lines)-2] // final element is the empty post-\n slice
+		// Tear the last frame: keep only half its bytes.
+		frames := walFrames(t, log)
+		last := frames[len(frames)-1]
 		torn := last[:len(last)/2]
-		return append(bytes.Join(lines[:len(lines)-2], nil), torn...)
+		return append(bytes.Join(frames[:len(frames)-1], nil), torn...)
 	})
 	s, err := OpenDiskStore(dir)
 	if err != nil {
@@ -313,13 +333,14 @@ func TestLoadToleratesTornFinalLine(t *testing.T) {
 // silently skipping the line.
 func TestLoadRejectsMidFileCorruption(t *testing.T) {
 	dir := writeLogFixture(t, func(log []byte) []byte {
-		lines := bytes.SplitAfter(log, []byte("\n"))
-		// Mangle the second of three records, newline intact.
-		mid := lines[1]
-		for i := 0; i < len(mid)/2; i++ {
+		frames := walFrames(t, log)
+		// Mangle the second of three frames' body, header intact — the
+		// frame is complete, so this is corruption, not a crash artifact.
+		mid := frames[1]
+		for i := 8; i < 8+(len(mid)-8)/2; i++ {
 			mid[i] = '#'
 		}
-		return bytes.Join(lines, nil)
+		return bytes.Join(frames, nil)
 	})
 	_, err := OpenDiskStore(dir)
 	if err == nil {
@@ -330,23 +351,32 @@ func TestLoadRejectsMidFileCorruption(t *testing.T) {
 	}
 }
 
-// fullScanSelect is the reference O(n) implementation Select replaced:
-// walk the whole time-sorted index, filter with Query.Matches.
-func fullScanSelect(s *DiskStore, q Query) []Record {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+// fullScanSelect is the naive reference implementation the segment
+// engine must match: walk a (At, ID)-sorted shadow copy of every stored
+// record, filter with Query.Matches.
+func fullScanSelect(shadow []Record, q Query) []Record {
+	sorted := append([]Record(nil), shadow...)
+	sortRecords(sorted)
 	var out []Record
-	for _, id := range s.byTime {
-		r := s.index[id]
-		if !q.Matches(r) {
+	for i := range sorted {
+		if !q.Matches(&sorted[i]) {
 			continue
 		}
-		out = append(out, *r)
+		out = append(out, sorted[i])
 		if q.Limit > 0 && len(out) >= q.Limit {
 			break
 		}
 	}
 	return out
+}
+
+func sortRecords(rs []Record) {
+	sort.Slice(rs, func(i, j int) bool {
+		if rs[i].At != rs[j].At {
+			return rs[i].At < rs[j].At
+		}
+		return rs[i].ID < rs[j].ID
+	})
 }
 
 // TestSelectWindowSearchMatchesFullScan: the binary-searched window is a
@@ -356,17 +386,23 @@ func fullScanSelect(s *DiskStore, q Query) []Record {
 // scan did.
 func TestSelectWindowSearchMatchesFullScan(t *testing.T) {
 	s := openStore(t)
+	// Seal aggressively so queries cross sealed segments and the memtable.
+	s.SetSealPolicy(64, 2*time.Second)
 	rng := sim.NewStream(17, 0)
 	sources := []Source{SourceOBD, SourceGPS, SourceCamera, SourceLiDAR}
+	var shadow []Record
 	for i := 0; i < 400; i++ {
 		// Coarse timestamps force long equal-At runs, exercising the
 		// (At, ID) tiebreak at the window boundaries.
 		at := time.Duration(rng.Intn(50)) * 100 * time.Millisecond
 		r := rec(sources[rng.Intn(len(sources))], at, rng.Uniform(-500, 500))
 		r.Y = rng.Uniform(-500, 500)
-		if _, err := s.Put(r); err != nil {
+		id, err := s.Put(r)
+		if err != nil {
 			t.Fatal(err)
 		}
+		r.ID = id
+		shadow = append(shadow, r)
 	}
 	queries := []Query{
 		{},                      // everything
@@ -384,7 +420,7 @@ func TestSelectWindowSearchMatchesFullScan(t *testing.T) {
 	}
 	for qi, q := range queries {
 		got := s.Select(q)
-		want := fullScanSelect(s, q)
+		want := fullScanSelect(shadow, q)
 		if len(got) != len(want) {
 			t.Fatalf("query %d: %d results, full scan found %d", qi, len(got), len(want))
 		}

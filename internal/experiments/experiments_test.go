@@ -1,7 +1,9 @@
 package experiments
 
 import (
+	"encoding/json"
 	"math"
+	"os"
 	"strings"
 	"testing"
 	"time"
@@ -267,6 +269,70 @@ func TestDDIBench(t *testing.T) {
 	}
 	if rows[0].AvgMS >= rows[1].AvgMS {
 		t.Errorf("cache hit (%.4f ms) not faster than disk (%.4f ms)", rows[0].AvgMS, rows[1].AvgMS)
+	}
+}
+
+// TestDDIStore: E20 — the columnar store sweep at a small corpus. Narrow
+// windows must prune most segments, the naive reference must lose to the
+// planned scan, and compaction must leave every digest cell intact (the
+// runner itself fails loudly if a count or checksum shifts).
+func TestDDIStore(t *testing.T) {
+	res, err := RunDDIStore(DDIStoreConfig{Records: 300_000, Seed: 5, Parallel: 2, Dir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.SegmentsBefore < 2 {
+		t.Fatalf("corpus sealed into %d segment(s); want several", res.SegmentsBefore)
+	}
+	if res.SegmentsAfter >= res.SegmentsBefore {
+		t.Errorf("compaction did not shrink the segment set: %d -> %d", res.SegmentsBefore, res.SegmentsAfter)
+	}
+	if res.NarrowSkipRatio < 0.5 {
+		t.Errorf("narrow-window skip ratio %.3f too low for a multi-segment corpus", res.NarrowSkipRatio)
+	}
+	if res.NaiveNsPerOp <= res.ScanNsPerOp {
+		t.Errorf("planned scan (%.0f ns) not faster than naive reference (%.0f ns)", res.ScanNsPerOp, res.NaiveNsPerOp)
+	}
+	rows := DDIStorePerfRows(res)
+	if len(rows) != 4 {
+		t.Fatalf("perf rows = %d", len(rows))
+	}
+	for _, s := range []string{DDIStoreTable(res), DDIStoreTimingTable(res)} {
+		if len(s) == 0 {
+			t.Fatal("empty E20 table render")
+		}
+	}
+}
+
+// TestMergePerfRows: the shared BENCH_PERF upsert — replace by name,
+// append new names, leave everything else untouched.
+func TestMergePerfRows(t *testing.T) {
+	path := t.TempDir() + "/bench.json"
+	if err := MergePerfRows(path, []PerfRow{{Name: "a", NsPerOp: 1}, {Name: "b", NsPerOp: 2}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := MergePerfRows(path, []PerfRow{{Name: "b", NsPerOp: 20}, {Name: "c", Ratio: 0.9}}); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep PerfReport
+	if err := json.Unmarshal(data, &rep); err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Rows) != 3 {
+		t.Fatalf("rows = %d, want 3", len(rep.Rows))
+	}
+	if rep.Rows[0].Name != "a" || rep.Rows[1].Name != "b" || rep.Rows[2].Name != "c" {
+		t.Fatalf("row order %v", []string{rep.Rows[0].Name, rep.Rows[1].Name, rep.Rows[2].Name})
+	}
+	if rep.Rows[1].NsPerOp != 20 {
+		t.Errorf("row b not replaced: ns/op = %v", rep.Rows[1].NsPerOp)
+	}
+	if rep.Rows[2].Ratio != 0.9 {
+		t.Errorf("ratio field lost: %v", rep.Rows[2].Ratio)
 	}
 }
 

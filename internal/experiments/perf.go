@@ -45,6 +45,9 @@ type PerfRow struct {
 	Baseline     PerfBaseline `json:"baseline"`
 	// Speedup is baseline ns/op over live ns/op (>1 means faster now).
 	Speedup float64 `json:"speedup"`
+	// Ratio carries a dimensionless datum for rows that measure a
+	// fraction rather than a latency (e.g. ddi.segment_skip_ratio).
+	Ratio float64 `json:"ratio,omitempty"`
 }
 
 // PerfReport is the schema-versioned payload written to BENCH_PERF.json —
@@ -386,6 +389,45 @@ func (r *PerfReport) Marshal() ([]byte, error) {
 		return nil, err
 	}
 	return append(out, '\n'), nil
+}
+
+// MergePerfRows folds rows into the BENCH_PERF.json at path (E15
+// schema) by upserting on exact row name: an existing row with the same
+// name is replaced in place, new names append, every other row is
+// preserved untouched. A missing file yields a fresh report holding only
+// the given rows. Upserting (rather than dropping prefixed rows
+// wholesale) keeps rows from sweeps with other parameter grids intact.
+func MergePerfRows(path string, rows []PerfRow) error {
+	rep := &PerfReport{
+		Schema:    PerfSchema,
+		GoVersion: runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+	}
+	if data, err := os.ReadFile(path); err == nil {
+		if err := json.Unmarshal(data, rep); err != nil {
+			return fmt.Errorf("perf: parse %s: %w", path, err)
+		}
+	} else if !os.IsNotExist(err) {
+		return err
+	}
+	index := make(map[string]int, len(rep.Rows))
+	for i, r := range rep.Rows {
+		index[r.Name] = i
+	}
+	for _, row := range rows {
+		if i, ok := index[row.Name]; ok {
+			rep.Rows[i] = row
+		} else {
+			index[row.Name] = len(rep.Rows)
+			rep.Rows = append(rep.Rows, row)
+		}
+	}
+	out, err := rep.Marshal()
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, out, 0o644)
 }
 
 // PerfTable renders the E15 report with before/after columns.

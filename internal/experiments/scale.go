@@ -1,11 +1,8 @@
 package experiments
 
 import (
-	"encoding/json"
 	"fmt"
 	"hash/fnv"
-	"os"
-	"runtime"
 	"time"
 
 	"repro/internal/fleet"
@@ -388,42 +385,9 @@ func ScalePerfRows(res *ScaleResult) []PerfRow {
 	return rows
 }
 
-// MergeScaleIntoPerfReport folds the E16 rows (fleet.scale.* and
-// fleet.lanes.*) into the BENCH_PERF.json at path (E15 schema) by
-// upserting on exact row name: an existing row with the same name is
-// replaced in place, new names append, every other row is preserved
-// untouched. A missing file yields a fresh report holding only the E16
-// rows. Upserting (rather than dropping every prefixed row wholesale)
-// keeps rows from sweeps with other vehicle/lane grids intact.
+// MergeScaleIntoPerfReport upserts the E16 rows (fleet.scale.* and
+// fleet.lanes.*) into the BENCH_PERF.json at path, preserving every
+// other row (see MergePerfRows).
 func MergeScaleIntoPerfReport(path string, res *ScaleResult) error {
-	rep := &PerfReport{
-		Schema:    PerfSchema,
-		GoVersion: runtime.Version(),
-		GOOS:      runtime.GOOS,
-		GOARCH:    runtime.GOARCH,
-	}
-	if data, err := os.ReadFile(path); err == nil {
-		if err := json.Unmarshal(data, rep); err != nil {
-			return fmt.Errorf("scale: parse %s: %w", path, err)
-		}
-	} else if !os.IsNotExist(err) {
-		return err
-	}
-	index := make(map[string]int, len(rep.Rows))
-	for i, r := range rep.Rows {
-		index[r.Name] = i
-	}
-	for _, row := range ScalePerfRows(res) {
-		if i, ok := index[row.Name]; ok {
-			rep.Rows[i] = row
-		} else {
-			index[row.Name] = len(rep.Rows)
-			rep.Rows = append(rep.Rows, row)
-		}
-	}
-	out, err := rep.Marshal()
-	if err != nil {
-		return err
-	}
-	return os.WriteFile(path, out, 0o644)
+	return MergePerfRows(path, ScalePerfRows(res))
 }

@@ -1,0 +1,216 @@
+package huffman
+
+import (
+	"encoding/binary"
+)
+
+// Block API: append-style encode/decode over the same wire format as
+// Encode/Decode, built for callers that compress many independent blocks
+// into reused buffers (the DDI segment writer compresses one payload block
+// per sealed segment). AppendDecode additionally replaces the map-based
+// symbol lookup with canonical decode tables and a prefix LUT, an order of
+// magnitude faster on the segment-scan path.
+
+// lutBits sizes the prefix lookup table: every code of at most lutBits
+// bits decodes with a single table read.
+const lutBits = 11
+
+// AppendEncode compresses data and appends the encoded block to dst,
+// returning the extended slice. The format is identical to Encode's.
+func AppendEncode(dst, data []byte) ([]byte, error) {
+	if len(data) == 0 {
+		return dst, ErrEmptyInput
+	}
+	var freq [256]int
+	for _, b := range data {
+		freq[b]++
+	}
+	lens := codeLengths(&freq)
+	codes, ok := canonicalCodes(&lens)
+	if !ok {
+		return dst, errCodeOverflow
+	}
+
+	var hdr [8]byte
+	binary.LittleEndian.PutUint64(hdr[:], uint64(len(data)))
+	dst = append(dst, hdr[:]...)
+	distinct := 0
+	for _, l := range lens {
+		if l > 0 {
+			distinct++
+		}
+	}
+	dst = append(dst, byte(distinct-1)) // 1..256 encoded as 0..255
+	for s, l := range lens {
+		if l == 0 {
+			continue
+		}
+		dst = append(dst, byte(s), byte(l))
+	}
+
+	var acc uint64
+	var nbits uint
+	for _, b := range data {
+		l := uint(lens[b])
+		acc = acc<<l | codes[b]
+		nbits += l
+		for nbits >= 8 {
+			nbits -= 8
+			dst = append(dst, byte(acc>>nbits))
+		}
+	}
+	if nbits > 0 {
+		dst = append(dst, byte(acc<<(8-nbits)))
+	}
+	return dst, nil
+}
+
+// decodeTables holds the canonical decoder state for one block.
+type decodeTables struct {
+	// lut maps the next lutBits of the stream to sym<<8|len for codes of
+	// at most lutBits bits; len 0 marks a longer code (slow path).
+	lut [1 << lutBits]uint16
+	// firstCode/firstIdx/countAt drive the per-length slow path.
+	firstCode [65]uint64
+	firstIdx  [65]int
+	countAt   [65]int
+	syms      [256]byte // ordered by (length, symbol)
+	maxLen    int
+}
+
+// build populates the tables from the sparse code-length header.
+func (t *decodeTables) build(lens *[256]int) bool {
+	codes, ok := canonicalCodes(lens)
+	if !ok {
+		return false
+	}
+	for _, l := range lens {
+		if l > 0 {
+			t.countAt[l]++
+			if l > t.maxLen {
+				t.maxLen = l
+			}
+		}
+	}
+	if t.maxLen == 0 {
+		return false
+	}
+	idx := 0
+	for l := 1; l <= t.maxLen; l++ {
+		t.firstIdx[l] = idx
+		first := true
+		for s := 0; s < 256; s++ {
+			if lens[s] != l {
+				continue
+			}
+			if first {
+				t.firstCode[l] = codes[s]
+				first = false
+			}
+			t.syms[idx] = byte(s)
+			idx++
+			if l <= lutBits {
+				// Every stream position whose top l bits equal this code
+				// decodes to s.
+				base := codes[s] << (lutBits - uint(l))
+				span := uint64(1) << (lutBits - uint(l))
+				entry := uint16(s)<<8 | uint16(l)
+				for i := uint64(0); i < span; i++ {
+					t.lut[base+i] = entry
+				}
+			}
+		}
+	}
+	return true
+}
+
+// AppendDecode decompresses an encoded block, appending the original bytes
+// to dst. It accepts exactly the blocks AppendEncode/Encode produce.
+func AppendDecode(dst, enc []byte) ([]byte, error) {
+	if len(enc) < 8+1+2 {
+		return dst, ErrCorrupt
+	}
+	n := binary.LittleEndian.Uint64(enc[:8])
+	if n == 0 || n > 1<<40 {
+		return dst, ErrCorrupt
+	}
+	distinct := int(enc[8]) + 1
+	tableEnd := 9 + 2*distinct
+	if len(enc) < tableEnd {
+		return dst, ErrCorrupt
+	}
+	var lens [256]int
+	for i := 0; i < distinct; i++ {
+		sym := enc[9+2*i]
+		l := int(enc[9+2*i+1])
+		if l == 0 || l > 64 || lens[sym] != 0 {
+			return dst, ErrCorrupt
+		}
+		lens[sym] = l
+	}
+	var t decodeTables
+	if !t.build(&lens) {
+		return dst, ErrCorrupt
+	}
+
+	payload := enc[tableEnd:]
+	totalBits := uint64(len(payload)) * 8
+	// acc holds the next nbits of the stream left-aligned at bit 63.
+	var acc uint64
+	var nbits uint
+	var pos int // next payload byte to load
+	var used uint64
+	start := len(dst)
+	want := int(n)
+	for len(dst)-start < want {
+		// Refill so the LUT always sees lutBits bits (zero-padded at EOF).
+		for nbits <= 56 && pos < len(payload) {
+			acc |= uint64(payload[pos]) << (56 - nbits)
+			nbits += 8
+			pos++
+		}
+		e := t.lut[acc>>(64-lutBits)]
+		l := uint(e & 0xff)
+		if l != 0 {
+			if used += uint64(l); used > totalBits {
+				return dst[:start], ErrCorrupt
+			}
+			dst = append(dst, byte(e>>8))
+			acc <<= l
+			nbits -= min(nbits, l)
+			continue
+		}
+		// Slow path: codes longer than lutBits bits.
+		code := acc >> (64 - lutBits)
+		length := uint(lutBits)
+		matched := false
+		for length < uint(t.maxLen) {
+			length++
+			code = code<<1 | (acc>>(64-length))&1
+			if cnt := t.countAt[length]; cnt > 0 {
+				d := code - t.firstCode[length]
+				if d < uint64(cnt) {
+					if used += uint64(length); used > totalBits {
+						return dst[:start], ErrCorrupt
+					}
+					dst = append(dst, t.syms[t.firstIdx[length]+int(d)])
+					acc <<= length
+					nbits -= min(nbits, length)
+					matched = true
+					break
+				}
+			}
+		}
+		if !matched {
+			return dst[:start], ErrCorrupt
+		}
+	}
+	return dst, nil
+}
+
+func min(a, b uint) uint {
+	if a < b {
+		return a
+	}
+	return b
+}

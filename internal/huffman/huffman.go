@@ -6,9 +6,7 @@ package huffman
 
 import (
 	"container/heap"
-	"encoding/binary"
 	"errors"
-	"fmt"
 	"sort"
 )
 
@@ -123,6 +121,10 @@ func canonicalCodes(lens *[256]int) (codes [256]uint64, ok bool) {
 	return codes, true
 }
 
+// errCodeOverflow reports a code longer than 64 bits (unreachable for any
+// real frequency distribution over byte symbols, guarded anyway).
+var errCodeOverflow = errors.New("huffman: code length overflow")
+
 // Encode compresses data. The output embeds the original length, a sparse
 // canonical code-length table (count + symbol/length pairs — most streams
 // here use few distinct symbols), and the bit stream.
@@ -130,125 +132,14 @@ func Encode(data []byte) ([]byte, error) {
 	if len(data) == 0 {
 		return nil, ErrEmptyInput
 	}
-	var freq [256]int
-	for _, b := range data {
-		freq[b]++
-	}
-	lens := codeLengths(&freq)
-	codes, ok := canonicalCodes(&lens)
-	if !ok {
-		return nil, fmt.Errorf("huffman: code length overflow")
-	}
-
-	out := make([]byte, 0, len(data)/2+64)
-	var hdr [8]byte
-	binary.LittleEndian.PutUint64(hdr[:], uint64(len(data)))
-	out = append(out, hdr[:]...)
-	distinct := 0
-	for _, l := range lens {
-		if l > 0 {
-			distinct++
-		}
-	}
-	if distinct > 256 {
-		return nil, fmt.Errorf("huffman: impossible symbol count %d", distinct)
-	}
-	out = append(out, byte(distinct-1)) // 1..256 encoded as 0..255
-	for s, l := range lens {
-		if l == 0 {
-			continue
-		}
-		if l > 255 {
-			return nil, fmt.Errorf("huffman: code length %d exceeds byte", l)
-		}
-		out = append(out, byte(s), byte(l))
-	}
-
-	var acc uint64
-	var nbits uint
-	for _, b := range data {
-		l := uint(lens[b])
-		acc = acc<<l | codes[b]
-		nbits += l
-		for nbits >= 8 {
-			nbits -= 8
-			out = append(out, byte(acc>>nbits))
-		}
-	}
-	if nbits > 0 {
-		out = append(out, byte(acc<<(8-nbits)))
-	}
-	return out, nil
+	return AppendEncode(make([]byte, 0, len(data)/2+64), data)
 }
 
 // Decode reverses Encode.
 func Decode(enc []byte) ([]byte, error) {
-	if len(enc) < 8+1+2 {
-		return nil, ErrCorrupt
-	}
-	n := binary.LittleEndian.Uint64(enc[:8])
-	if n == 0 || n > 1<<40 {
-		return nil, ErrCorrupt
-	}
-	distinct := int(enc[8]) + 1
-	tableEnd := 9 + 2*distinct
-	if len(enc) < tableEnd {
-		return nil, ErrCorrupt
-	}
-	var lens [256]int
-	for i := 0; i < distinct; i++ {
-		sym := enc[9+2*i]
-		l := int(enc[9+2*i+1])
-		if l == 0 || lens[sym] != 0 {
-			return nil, ErrCorrupt
-		}
-		lens[sym] = l
-	}
-	codes, ok := canonicalCodes(&lens)
-	if !ok {
-		return nil, ErrCorrupt
-	}
-
-	// Build decode map: (length, code) -> symbol.
-	type key struct {
-		length int
-		code   uint64
-	}
-	decode := make(map[key]byte)
-	maxLen := 0
-	for s, l := range lens {
-		if l > 0 {
-			decode[key{l, codes[s]}] = byte(s)
-			if l > maxLen {
-				maxLen = l
-			}
-		}
-	}
-	if len(decode) == 0 {
-		return nil, ErrCorrupt
-	}
-
-	out := make([]byte, 0, n)
-	payload := enc[tableEnd:]
-	var acc uint64
-	length := 0
-	bitIdx := 0
-	totalBits := len(payload) * 8
-	for uint64(len(out)) < n {
-		if bitIdx >= totalBits {
-			return nil, ErrCorrupt
-		}
-		bit := (payload[bitIdx/8] >> (7 - uint(bitIdx%8))) & 1
-		bitIdx++
-		acc = acc<<1 | uint64(bit)
-		length++
-		if length > maxLen {
-			return nil, ErrCorrupt
-		}
-		if sym, ok := decode[key{length, acc}]; ok {
-			out = append(out, sym)
-			acc, length = 0, 0
-		}
+	out, err := AppendDecode(nil, enc)
+	if err != nil {
+		return nil, err
 	}
 	return out, nil
 }

@@ -144,6 +144,23 @@ func (c *Client) QueryData(source string, fromSec, toSec float64, limit int) ([]
 	return out.Records, out.LatencyMS, nil
 }
 
+// QueryWindow runs a DDI windowed aggregate over one column ("at", "x",
+// "y", "payload_bytes"). from/to are virtual seconds.
+func (c *Client) QueryWindow(source, column string, fromSec, toSec float64) (WindowResponse, error) {
+	v := url.Values{}
+	if source != "" {
+		v.Set("source", source)
+	}
+	if column != "" {
+		v.Set("column", column)
+	}
+	v.Set("from", strconv.FormatFloat(fromSec, 'f', -1, 64))
+	v.Set("to", strconv.FormatFloat(toSec, 'f', -1, 64))
+	var out WindowResponse
+	err := c.do(http.MethodGet, "/api/v1/data/window?"+v.Encode(), nil, &out)
+	return out, err
+}
+
 // Topics lists data-sharing topics.
 func (c *Client) Topics() ([]string, error) {
 	var out []string

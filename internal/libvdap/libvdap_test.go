@@ -241,6 +241,24 @@ func TestDataEndpoints(t *testing.T) {
 	if _, _, err := client.QueryData("user", -5, 10, 0); err == nil {
 		t.Fatal("negative time accepted")
 	}
+
+	// Windowed aggregate over the same record.
+	win, err := client.QueryWindow("user", "x", 0, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if win.Column != "x" || win.Aggregate.Count != 1 || win.Aggregate.Mean != 12 {
+		t.Fatalf("window = %+v", win)
+	}
+	// Empty window aggregates to zero, not an error.
+	win, err = client.QueryWindow("", "at", 5000, 6000)
+	if err != nil || win.Aggregate.Count != 0 {
+		t.Fatalf("empty window = %+v, %v", win, err)
+	}
+	// Bad column rejected.
+	if _, err := client.QueryWindow("user", "bogus", 0, 100); err == nil {
+		t.Fatal("bogus column accepted")
+	}
 }
 
 func TestSharingEndpoints(t *testing.T) {

@@ -273,6 +273,7 @@ func (s *Server) routes() {
 	s.mux.HandleFunc("GET /api/v1/resources", s.lockedRead(s.handleResources))
 	s.mux.HandleFunc("POST /api/v1/data/upload", s.locked(s.handleUpload))
 	s.mux.HandleFunc("GET /api/v1/data/query", s.locked(s.handleQuery))
+	s.mux.HandleFunc("GET /api/v1/data/window", s.lockedRead(s.handleWindow))
 	s.mux.HandleFunc("GET /api/v1/sharing/topics", s.lockedRead(s.handleTopics))
 	s.mux.HandleFunc("POST /api/v1/sharing/publish", s.locked(s.handlePublish))
 	s.mux.HandleFunc("GET /api/v1/sharing/fetch", s.locked(s.handleFetch))
@@ -909,6 +910,57 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	}
 	s.writeJSON(w, http.StatusOK, QueryResponse{
 		Records:   recs,
+		LatencyMS: float64(latency) / float64(time.Millisecond),
+	})
+}
+
+// WindowResponse carries a windowed aggregate, the plan that produced it
+// (how many segments the zone maps pruned, rows scanned), and the
+// simulated latency.
+type WindowResponse struct {
+	Column    string        `json:"column"`
+	Aggregate ddi.Agg       `json:"aggregate"`
+	Plan      ddi.PlanStats `json:"plan"`
+	LatencyMS float64       `json:"latencyMs"`
+}
+
+// handleWindow serves GET /api/v1/data/window: a windowed aggregate
+// (count/min/max/mean) over one column, answered by the DDI query
+// planner without materialising records — which is why it runs under the
+// read tier, unlike /data/query whose cache promotion mutates.
+func (s *Server) handleWindow(w http.ResponseWriter, r *http.Request) {
+	if s.store == nil {
+		s.writeErrRes(w, http.StatusServiceUnavailable, fmt.Errorf("DDI not attached"))
+		return
+	}
+	q := ddi.Query{Source: ddi.Source(r.URL.Query().Get("source"))}
+	var err error
+	if q.From, err = parseSeconds(r.URL.Query().Get("from")); err != nil {
+		s.writeErrRes(w, http.StatusBadRequest, err)
+		return
+	}
+	if q.To, err = parseSeconds(r.URL.Query().Get("to")); err != nil {
+		s.writeErrRes(w, http.StatusBadRequest, err)
+		return
+	}
+	colName := r.URL.Query().Get("column")
+	if colName == "" {
+		colName = "at"
+	}
+	col, ok := ddi.ParseColumn(colName)
+	if !ok {
+		s.writeErrRes(w, http.StatusBadRequest, fmt.Errorf("bad column %q", colName))
+		return
+	}
+	agg, stats, latency, err := s.store.Aggregate(s.clock(), q, col)
+	if err != nil {
+		s.writeErrRes(w, http.StatusInternalServerError, err)
+		return
+	}
+	s.writeJSON(w, http.StatusOK, WindowResponse{
+		Column:    col.String(),
+		Aggregate: agg,
+		Plan:      stats,
 		LatencyMS: float64(latency) / float64(time.Millisecond),
 	})
 }
